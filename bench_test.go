@@ -1,0 +1,111 @@
+package manet
+
+// One benchmark per reproduced artifact (figures Fig.1–Fig.3 and every
+// numbered claim; see DESIGN.md §4 and EXPERIMENTS.md). Each benchmark
+// executes the corresponding experiment end-to-end at bench scale —
+// `go test -bench=E15 -benchtime=1x` regenerates the headline result's
+// machinery; `cmd/experiments -run E15` produces the full-scale report.
+
+import (
+	"io"
+	"testing"
+)
+
+// benchScale keeps per-iteration cost bounded while still exercising
+// the full pipeline.
+func benchScale() Scale {
+	return Scale{Ns: []int{48, 96}, Seeds: 1, Duration: 20, Warmup: 5, BigN: 96}
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	sc := benchScale()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := RunExperiment(io.Discard, id, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Fig. 1: recursive ALCA hierarchy construction.
+func BenchmarkE1_HierarchyBuild(b *testing.B) { benchExperiment(b, "E1") }
+
+// Fig. 2: GLS grid hierarchy and server sets.
+func BenchmarkE2_GLSServers(b *testing.B) { benchExperiment(b, "E2") }
+
+// Fig. 3: ALCA state occupancy and unit transitions.
+func BenchmarkE3_StateDynamics(b *testing.B) { benchExperiment(b, "E3") }
+
+// Eq. 4: f0 = Θ(1).
+func BenchmarkE4_LinkChangeRate(b *testing.B) { benchExperiment(b, "E4") }
+
+// Eq. 3: h_k = Θ(√c_k).
+func BenchmarkE5_HopScaling(b *testing.B) { benchExperiment(b, "E5") }
+
+// Eqs. 8–9: f_k = Θ(1/h_k).
+func BenchmarkE6_MigrationFreq(b *testing.B) { benchExperiment(b, "E6") }
+
+// Eq. 6: φ(N) scaling.
+func BenchmarkE7_MigrationOverhead(b *testing.B) { benchExperiment(b, "E7") }
+
+// Eq. 14: g'_k = O(1/h_k).
+func BenchmarkE8_ClusterLinkFreq(b *testing.B) { benchExperiment(b, "E8") }
+
+// Eqs. 10–11: γ(N) scaling.
+func BenchmarkE9_ReorgOverhead(b *testing.B) { benchExperiment(b, "E9") }
+
+// §5.2: event classes i–vii breakdown.
+func BenchmarkE10_EventBreakdown(b *testing.B) { benchExperiment(b, "E10") }
+
+// Eq. 22: q1 estimation (the paper's future work).
+func BenchmarkE11_Q1Estimate(b *testing.B) { benchExperiment(b, "E11") }
+
+// Eq. 13: |E_k| = Θ(|V|/c_k).
+func BenchmarkE12_LevelEdgeCount(b *testing.B) { benchExperiment(b, "E12") }
+
+// §2.1: routing table reduction and stretch.
+func BenchmarkE13_TableSize(b *testing.B) { benchExperiment(b, "E13") }
+
+// §3: CHLM vs GLS maintenance traffic.
+func BenchmarkE14_GLSCompare(b *testing.B) { benchExperiment(b, "E14") }
+
+// Headline: total φ+γ vs N, both regimes.
+func BenchmarkE15_TotalOverhead(b *testing.B) { benchExperiment(b, "E15") }
+
+// Ablations.
+func BenchmarkA1_ElectorLadder(b *testing.B) { benchExperiment(b, "A1") }
+func BenchmarkA2_MaxMin(b *testing.B)        { benchExperiment(b, "A2") }
+func BenchmarkA3_HashFamily(b *testing.B)    { benchExperiment(b, "A3") }
+func BenchmarkA4_NaiveNaming(b *testing.B)   { benchExperiment(b, "A4") }
+func BenchmarkA5_UncappedTop(b *testing.B)   { benchExperiment(b, "A5") }
+
+// BenchmarkSimulationTick measures the cost of one full scan tick
+// (mobility + topology + clustering + identity tracking + LM update +
+// accounting) at N=512, the harness's inner loop.
+func BenchmarkSimulationTick(b *testing.B) {
+	// One long run amortizes setup; ticks dominate.
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := Run(Config{N: 512, Seed: 1, Duration: 50, Warmup: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Ticks), "ticks/run")
+	}
+}
+
+// Motivation: measured flat-LM baselines vs the hierarchy.
+func BenchmarkE16_FlatBaselines(b *testing.B) { benchExperiment(b, "E16") }
+
+// §6: query cost absorbed into sessions.
+func BenchmarkE17_QueryAbsorption(b *testing.B) { benchExperiment(b, "E17") }
+
+// Extension: the node birth/death case the paper excluded.
+func BenchmarkE18_Churn(b *testing.B) { benchExperiment(b, "E18") }
+
+// Extension: entry-transfer latency through the message-level DES.
+func BenchmarkE19_HandoffLatency(b *testing.B) { benchExperiment(b, "E19") }
+
+// Ablation: group mobility (RPGM).
+func BenchmarkA6_GroupMobility(b *testing.B) { benchExperiment(b, "A6") }

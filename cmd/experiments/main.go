@@ -1,0 +1,61 @@
+// Command experiments regenerates the paper's figures and validates
+// its numbered claims. Each experiment ID maps to a table or figure
+// per DESIGN.md §4; EXPERIMENTS.md records paper-vs-measured outcomes.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run E15
+//	experiments -run all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	manet "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		run   = flag.String("run", "", "experiment ID (E1..E15, A1..A3) or 'all'")
+		list  = flag.Bool("list", false, "list experiments")
+		quick = flag.Bool("quick", false, "smoke-test scale instead of full scale")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("available experiments:")
+		for _, e := range manet.Experiments() {
+			fmt.Printf("  %-4s %-36s %s\n", e.ID, e.Title, e.Paper)
+		}
+		if *run == "" && !*list {
+			fmt.Println("\nrun one with: experiments -run <ID> (or -run all)")
+		}
+		return
+	}
+
+	sc := manet.FullScale()
+	if *quick {
+		sc = manet.QuickScale()
+	}
+
+	start := time.Now()
+	var err error
+	if strings.EqualFold(*run, "all") {
+		err = manet.RunAllExperiments(os.Stdout, sc)
+	} else {
+		err = manet.RunExperiment(os.Stdout, strings.ToUpper(*run), sc)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,117 @@
+// Command traceview summarizes a JSONL simulation trace produced by
+// `lmsim -trace`: hierarchy shape over time, handoff activity, and the
+// busiest ticks.
+//
+// Usage:
+//
+//	lmsim -n 256 -duration 120 -trace run.jsonl
+//	traceview run.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("traceview: ")
+	top := flag.Int("top", 5, "show the N busiest ticks")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: traceview [-top N] <trace.jsonl>")
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := trace.Read(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(recs) == 0 {
+		log.Fatal("empty trace")
+	}
+
+	var (
+		levels    stats.Welford
+		transfers stats.Welford
+		phi, gam  float64
+		elections int
+		rejects   int
+		members   int
+	)
+	for _, r := range recs {
+		levels.Add(float64(r.Levels))
+		transfers.Add(float64(r.Transfers))
+		phi += float64(r.PhiPackets)
+		gam += float64(r.GammaPackets)
+		elections += r.Elections
+		rejects += r.Rejections
+		members += r.Memberships
+	}
+	span := recs[len(recs)-1].Time - recs[0].Time
+	if span <= 0 {
+		span = 1
+	}
+	n := 0
+	if len(recs[0].LevelSizes) > 0 {
+		n = recs[0].LevelSizes[0]
+	}
+
+	fmt.Printf("trace: %d ticks over %.1f sim-seconds, %d nodes\n\n", len(recs), span, n)
+	fmt.Printf("hierarchy depth:   mean %.2f (min/max over trace: %s)\n", levels.Mean(), levelRange(recs))
+	fmt.Printf("entry transfers:   mean %.1f per tick (max %s)\n", transfers.Mean(), maxTransfers(recs))
+	fmt.Printf("handoff packets:   φ %.1f/s, γ %.1f/s (trace-wide)\n", phi/span, gam/span)
+	fmt.Printf("clustering events: %.2f elections/s, %.2f rejections/s, %.2f membership changes/s\n\n",
+		float64(elections)/span, float64(rejects)/span, float64(members)/span)
+
+	// Busiest ticks by handoff packets.
+	idx := make([]int, len(recs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa := recs[idx[a]].PhiPackets + recs[idx[a]].GammaPackets
+		pb := recs[idx[b]].PhiPackets + recs[idx[b]].GammaPackets
+		return pa > pb
+	})
+	fmt.Printf("busiest %d ticks:\n", *top)
+	for i := 0; i < *top && i < len(idx); i++ {
+		r := recs[idx[i]]
+		fmt.Printf("  t=%8.1f  φ=%4d γ=%4d pkts  %3d transfers  %2d elections  levels=%v\n",
+			r.Time, r.PhiPackets, r.GammaPackets, r.Transfers, r.Elections, r.LevelSizes)
+	}
+}
+
+func levelRange(recs []trace.TickRecord) string {
+	min, max := recs[0].Levels, recs[0].Levels
+	for _, r := range recs {
+		if r.Levels < min {
+			min = r.Levels
+		}
+		if r.Levels > max {
+			max = r.Levels
+		}
+	}
+	return fmt.Sprintf("%d/%d", min, max)
+}
+
+func maxTransfers(recs []trace.TickRecord) string {
+	best := 0
+	at := 0.0
+	for _, r := range recs {
+		if r.Transfers > best {
+			best = r.Transfers
+			at = r.Time
+		}
+	}
+	return fmt.Sprintf("%d at t=%.1f", best, at)
+}

@@ -1,0 +1,33 @@
+package manet_test
+
+import (
+	"fmt"
+
+	manet "repro"
+)
+
+// ExampleRun shows the minimal simulation loop: configure, run, read
+// the overhead rates. Determinism in the seed makes the assertion
+// stable.
+func ExampleRun() {
+	r, err := manet.Run(manet.Config{N: 64, Seed: 1, Duration: 20, Warmup: 5})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("overhead measured:", r.TotalRate() > 0)
+	fmt.Println("hierarchy levels >= 2:", r.MeanLevels >= 2)
+	// Output:
+	// overhead measured: true
+	// hierarchy levels >= 2: true
+}
+
+// ExampleExperiments lists the experiment registry.
+func ExampleExperiments() {
+	for _, e := range manet.Experiments()[:3] {
+		fmt.Printf("%s: %s\n", e.ID, e.Paper)
+	}
+	// Output:
+	// E1: Fig. 1
+	// E2: Fig. 2
+	// E3: Fig. 3
+}

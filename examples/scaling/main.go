@@ -1,0 +1,30 @@
+// Scaling: sweep the node count and test the paper's headline claim —
+// LM handoff overhead grows polylogarithmically — by fitting the
+// measured φ+γ against candidate growth models.
+//
+//	go run ./examples/scaling            # quick sweep
+//	go run ./examples/scaling -full      # the full E15 sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	manet "repro"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the full experiment scale")
+	flag.Parse()
+
+	sc := manet.QuickScale()
+	if *full {
+		sc = manet.FullScale()
+	}
+	fmt.Printf("sweeping N = %v, %d seed(s), %v s per run\n\n", sc.Ns, sc.Seeds, sc.Duration)
+	if err := manet.RunExperiment(os.Stdout, "E15", sc); err != nil {
+		log.Fatal(err)
+	}
+}

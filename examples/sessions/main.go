@@ -1,0 +1,59 @@
+// Sessions: generate a communication workload over a static snapshot
+// and verify the paper's §6 argument — a location query costs the same
+// order as the route to the destination and happens once per session,
+// so query overhead is absorbed into session traffic.
+//
+//	go run ./examples/sessions
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/geom"
+	"repro/internal/lm"
+	"repro/internal/rng"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func main() {
+	const n = 300
+	cfg := simnet.Config{N: n, Seed: 11}
+	region := cfg.Region()
+	src := rng.NewRoot(11).Stream("placement")
+	pos := make([]geom.Vec, n)
+	for i := range pos {
+		pos[i] = region.Sample(src)
+	}
+	g := topology.BuildUnitDiskBrute(pos, 100)
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	giant := topology.GiantComponent(g, all)
+	tr := cluster.NewIdentityTracker()
+	h, ids := cluster.BuildWithIdentities(g, giant, cluster.Config{ForceTopAt: 12}, nil, nil, tr, 0)
+	if err := h.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	sel := lm.NewSelector(nil)
+	hop := topology.NewBFSHops(g, 100)
+	gen := workload.NewGenerator(workload.Config{Rate: 0.05, PacketsPerSession: 20},
+		rng.NewRoot(11).Stream("workload"))
+
+	var st workload.Stats
+	for tick := 0; tick < 120; tick++ {
+		gen.Tick(1.0, h, ids, sel, hop, &st)
+	}
+
+	fmt.Printf("%d sessions over a %d-node network (%d failed: partitioned pairs)\n\n",
+		st.Sessions, n, st.Failed)
+	fmt.Printf("mean query cost:        %6.1f pkts (±%.1f)\n", st.QueryPkts.Mean(), st.QueryPkts.CI95())
+	fmt.Printf("mean session traffic:   %6.1f pkts\n", st.RoutePkts.Mean())
+	fmt.Printf("query / session ratio:  %6.3f   <- the paper's absorption argument\n", st.QueryToRoute.Mean())
+	fmt.Printf("mean path stretch:      %6.3f   (hierarchical vs shortest)\n", st.Stretch.Mean())
+}

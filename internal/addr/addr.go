@@ -1,0 +1,105 @@
+// Package addr provides hierarchical addresses for nodes in a
+// clustered hierarchy. A node's hierarchical address is the chain of
+// cluster IDs containing it, from its level-1 cluster up to the top of
+// the hierarchy (§2.1 of the paper: every datagram carries the
+// destination's hierarchical address, and forwarding decisions are
+// made on it alone).
+package addr
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+)
+
+// Address identifies a node and the cluster chain containing it.
+// Chain[k-1] is the node's level-k cluster head ID; the last element
+// is the top-level cluster.
+type Address struct {
+	Node  int
+	Chain []int
+}
+
+// Of extracts the hierarchical address of level-0 node v from a
+// hierarchy snapshot.
+func Of(h *cluster.Hierarchy, v int) Address {
+	return Address{Node: v, Chain: h.AncestorChain(v)}
+}
+
+// Levels returns the number of cluster levels in the address.
+func (a Address) Levels() int { return len(a.Chain) }
+
+// ClusterAt returns the level-k cluster ID (k >= 1), or -1 when the
+// address does not reach level k.
+func (a Address) ClusterAt(k int) int {
+	if k < 1 || k > len(a.Chain) {
+		return -1
+	}
+	return a.Chain[k-1]
+}
+
+// String renders the address top-down, e.g. "100.85.37.63" for node 63
+// in level-1 cluster 37, level-2 cluster 85, level-3 cluster 100 —
+// matching the paper's Fig. 1 notation.
+func (a Address) String() string {
+	var sb strings.Builder
+	for i := len(a.Chain) - 1; i >= 0; i-- {
+		sb.WriteString(strconv.Itoa(a.Chain[i]))
+		sb.WriteByte('.')
+	}
+	sb.WriteString(strconv.Itoa(a.Node))
+	return sb.String()
+}
+
+// Equal reports whether two addresses are identical.
+func (a Address) Equal(b Address) bool {
+	if a.Node != b.Node || len(a.Chain) != len(b.Chain) {
+		return false
+	}
+	for i := range a.Chain {
+		if a.Chain[i] != b.Chain[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CommonLevel returns the smallest k such that a and b lie in the same
+// level-k cluster: 0 when a and b are the same node, and -1 when the
+// addresses share no cluster at any level (distinct partitions). This
+// is the level at which hierarchical routing between the two nodes
+// resolves.
+func CommonLevel(a, b Address) int {
+	if a.Node == b.Node {
+		return 0
+	}
+	min := len(a.Chain)
+	if len(b.Chain) < min {
+		min = len(b.Chain)
+	}
+	for k := 1; k <= min; k++ {
+		if a.Chain[k-1] == b.Chain[k-1] {
+			return k
+		}
+	}
+	return -1
+}
+
+// DivergenceLevels counts how many levels of a's chain differ from
+// b's, i.e. the number of LM servers that would need updating if a
+// node's address changed from a to b. Chains of different lengths
+// count the missing levels as differing.
+func DivergenceLevels(a, b Address) int {
+	max := len(a.Chain)
+	if len(b.Chain) > max {
+		max = len(b.Chain)
+	}
+	diff := 0
+	for k := 1; k <= max; k++ {
+		if a.ClusterAt(k) != b.ClusterAt(k) {
+			diff++
+		}
+	}
+	return diff
+}

@@ -1,0 +1,120 @@
+// Package analytic evaluates the paper's closed-form overhead model so
+// the harness can overlay predicted curves on measured ones. The
+// paper's derivation chain (Sections 1.2, 4 and 5):
+//
+//	c_k  = Π α_j ≈ α^k                        (Eq. 2)
+//	h_k  = Θ(√c_k)                            (Eq. 3)
+//	f_0  = Θ(μ/R_TX) = Θ(1)                   (Eq. 4)
+//	f_k  = Θ(f_0/h_k)                         (Eqs. 7–9)
+//	φ_k  = Θ(f_k·h_k·L) = Θ(f_0·L)            (Eq. 6a)
+//	φ    = Σ_k φ_k = Θ(L²) = Θ(log²|V|)       (Eq. 6c)
+//	g'_k = Θ(1/h_k)  ⇒  γ_k = Θ(L)            (Eqs. 10–14)
+//	γ    = Θ(log²|V|)                         (§5.3)
+//
+// The Θ constants are free; Calibrate pins them from one measured
+// reference point so predictions can be drawn at other N.
+package analytic
+
+import "math"
+
+// Model holds the structural constants of the paper's analysis.
+type Model struct {
+	// Alpha is the mean cluster arity α (nodes aggregate by α per
+	// level); the paper treats it as Θ(1).
+	Alpha float64
+	// F0 is the level-0 link change rate per node per second (Eq. 4).
+	F0 float64
+	// H1 is the mean hop count across a level-1 cluster; h_k scales
+	// as H1·α^{(k-1)/2} from it (Eq. 3).
+	H1 float64
+	// CPhi and CGamma absorb the Θ constants of Eq. 6 and Eq. 10.
+	CPhi   float64
+	CGamma float64
+}
+
+// Default returns a model with unit constants and the given arity.
+func Default(alpha float64) Model {
+	if alpha <= 1 {
+		alpha = 3
+	}
+	return Model{Alpha: alpha, F0: 1, H1: 1, CPhi: 1, CGamma: 1}
+}
+
+// Levels returns L(N) = log_α N, the hierarchy depth the analysis
+// assumes (Θ(log|V|)).
+func (m Model) Levels(n float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return math.Log(n) / math.Log(m.Alpha)
+}
+
+// Ck returns c_k = α^k (Eq. 2 with uniform arity).
+func (m Model) Ck(k int) float64 { return math.Pow(m.Alpha, float64(k)) }
+
+// Hk returns h_k = H1·√(c_k/c_1) (Eq. 3).
+func (m Model) Hk(k int) float64 {
+	if k < 1 {
+		return 0
+	}
+	return m.H1 * math.Sqrt(m.Ck(k)/m.Ck(1))
+}
+
+// Fk returns f_k = F0/h_k (Eq. 8-9), the level-k migration frequency
+// per node.
+func (m Model) Fk(k int) float64 {
+	h := m.Hk(k)
+	if h == 0 {
+		return m.F0
+	}
+	return m.F0 / h
+}
+
+// PhiK returns φ_k = CPhi·f_k·h_k·L(N) (Eq. 6a) for a network of n
+// nodes. Note f_k·h_k = F0, so φ_k is level-independent — the heart of
+// the paper's argument.
+func (m Model) PhiK(n float64, k int) float64 {
+	return m.CPhi * m.Fk(k) * m.Hk(k) * m.Levels(n)
+}
+
+// Phi returns φ(N) = Σ_{k=1..L} φ_k = CPhi·F0·L² (Eq. 6c).
+func (m Model) Phi(n float64) float64 {
+	L := m.Levels(n)
+	return m.CPhi * m.F0 * L * L
+}
+
+// GammaK returns γ_k = CGamma·g'_k·c_k·h_k·L / c_k = CGamma·F0·L per
+// level (Eqs. 10–14 with g'_k = F0/h_k and the |E_k| ∝ 1/c_k
+// cancellation of Eq. 13).
+func (m Model) GammaK(n float64, k int) float64 {
+	return m.CGamma * m.F0 * m.Levels(n)
+}
+
+// Gamma returns γ(N) = CGamma·F0·L².
+func (m Model) Gamma(n float64) float64 {
+	L := m.Levels(n)
+	return m.CGamma * m.F0 * L * L
+}
+
+// Total returns φ(N) + γ(N), the paper's headline Θ(log²|V|) bound.
+func (m Model) Total(n float64) float64 { return m.Phi(n) + m.Gamma(n) }
+
+// Calibrate pins CPhi and CGamma so the model passes through one
+// measured reference point (n, φ, γ). It returns the calibrated copy.
+func (m Model) Calibrate(n, phi, gamma float64) Model {
+	L := m.Levels(n)
+	if L > 0 && m.F0 > 0 {
+		m.CPhi = phi / (m.F0 * L * L)
+		m.CGamma = gamma / (m.F0 * L * L)
+	}
+	return m
+}
+
+// FlatLMUpdate returns the per-node-per-second update cost of the
+// strawman flat location service the paper's motivation implies: every
+// level-0 link change triggers a location update over the network
+// diameter Θ(√N), so cost = F0·√N. Used as the comparison curve in
+// E15.
+func (m Model) FlatLMUpdate(n float64) float64 {
+	return m.F0 * math.Sqrt(n)
+}

@@ -1,0 +1,110 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLevelsLogarithmic(t *testing.T) {
+	m := Default(4)
+	if got := m.Levels(4); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("Levels(4) = %v", got)
+	}
+	if got := m.Levels(256); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("Levels(256) = %v", got)
+	}
+	if m.Levels(1) != 0 {
+		t.Fatal("Levels(1) != 0")
+	}
+}
+
+func TestHkSqrtScaling(t *testing.T) {
+	m := Default(4)
+	m.H1 = 2
+	if got := m.Hk(1); got != 2 {
+		t.Fatalf("Hk(1) = %v", got)
+	}
+	// Each level multiplies h by sqrt(alpha) = 2.
+	if got := m.Hk(2); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("Hk(2) = %v", got)
+	}
+	if got := m.Hk(3); math.Abs(got-8) > 1e-9 {
+		t.Fatalf("Hk(3) = %v", got)
+	}
+}
+
+func TestPhiKLevelIndependent(t *testing.T) {
+	// f_k·h_k = F0 cancels: φ_k identical across k (the paper's core
+	// cancellation).
+	m := Default(3)
+	m.F0 = 0.4
+	for k := 2; k <= 6; k++ {
+		if math.Abs(m.PhiK(1e4, k)-m.PhiK(1e4, 1)) > 1e-12 {
+			t.Fatalf("φ_%d = %v != φ_1 = %v", k, m.PhiK(1e4, k), m.PhiK(1e4, 1))
+		}
+	}
+}
+
+func TestPhiIsLogSquared(t *testing.T) {
+	m := Default(3)
+	// φ(N²)/φ(N) = (2 log N)²/(log N)² = 4 exactly.
+	n := 100.0
+	ratio := m.Phi(n*n) / m.Phi(n)
+	if math.Abs(ratio-4) > 1e-9 {
+		t.Fatalf("φ(N²)/φ(N) = %v, want 4", ratio)
+	}
+	if m.Gamma(n*n)/m.Gamma(n) != ratio {
+		t.Fatal("γ scaling differs from φ scaling")
+	}
+}
+
+func TestFkDecreasesWithLevel(t *testing.T) {
+	m := Default(4)
+	prev := math.Inf(1)
+	for k := 1; k <= 6; k++ {
+		f := m.Fk(k)
+		if f >= prev {
+			t.Fatalf("f_%d = %v not decreasing", k, f)
+		}
+		prev = f
+	}
+}
+
+func TestCalibrate(t *testing.T) {
+	m := Default(3.5)
+	m.F0 = 0.8
+	cal := m.Calibrate(512, 0.123, 0.456)
+	if math.Abs(cal.Phi(512)-0.123) > 1e-9 {
+		t.Fatalf("calibrated φ(512) = %v", cal.Phi(512))
+	}
+	if math.Abs(cal.Gamma(512)-0.456) > 1e-9 {
+		t.Fatalf("calibrated γ(512) = %v", cal.Gamma(512))
+	}
+	if math.Abs(cal.Total(512)-(0.123+0.456)) > 1e-9 {
+		t.Fatalf("calibrated total = %v", cal.Total(512))
+	}
+}
+
+func TestFlatLMUpdateBeatenAsymptotically(t *testing.T) {
+	// For large N the flat Θ(√N) cost exceeds the hierarchical
+	// Θ(log²N) cost even with unfavorable constants.
+	m := Default(3)
+	m.CPhi, m.CGamma = 5, 5
+	if m.Total(1e9) >= m.FlatLMUpdate(1e9) {
+		t.Fatalf("hierarchical %v not below flat %v at N=1e9",
+			m.Total(1e9), m.FlatLMUpdate(1e9))
+	}
+	// And the gap widens with N.
+	gap6 := m.FlatLMUpdate(1e9) / m.Total(1e9)
+	gap12 := m.FlatLMUpdate(1e12) / m.Total(1e12)
+	if gap12 <= gap6 {
+		t.Fatalf("crossover gap not widening: %v vs %v", gap6, gap12)
+	}
+}
+
+func TestDefaultGuardsAlpha(t *testing.T) {
+	m := Default(0.5)
+	if m.Alpha <= 1 {
+		t.Fatal("Default did not guard alpha")
+	}
+}

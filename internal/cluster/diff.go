@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// MembershipChange records that level-0 node Node moved from level-k
+// cluster Old to New between two snapshots (Old or New is -1 when the
+// hierarchy did not reach level k in that snapshot).
+type MembershipChange struct {
+	Node  int
+	Level int // k >= 1
+	Old   int
+	New   int
+}
+
+// StateDelta records the ALCA state change of a persistent clusterhead
+// between snapshots, for the Fig. 3 unit-transition measurement.
+type StateDelta struct {
+	Level int // election level k (state of a level-(k+1) node)
+	Node  int
+	Old   int
+	New   int
+}
+
+// Diff captures every hierarchy change between two consecutive
+// snapshots, organized the way the paper's Sections 4 and 5 consume
+// them.
+type Diff struct {
+	// Elections[k] lists nodes that became level-k nodes (k >= 1).
+	Elections map[int][]int
+	// Rejections[k] lists nodes that lost level-k status (k >= 1).
+	Rejections map[int][]int
+	// MigrationLinkEvents[k] lists level-k link changes (k >= 1) whose
+	// endpoints are level-k nodes in both snapshots — the paper's
+	// "cluster migration" events (i) and (ii).
+	MigrationLinkEvents map[int][]topology.LinkEvent
+	// StructuralLinkEvents[k] lists the remaining level-k link changes,
+	// consequences of clusterhead election/rejection (events iii–vii).
+	StructuralLinkEvents map[int][]topology.LinkEvent
+	// Memberships lists per-node ancestor changes, ordered by
+	// (level, node).
+	Memberships []MembershipChange
+	// StateDeltas lists ALCA state changes of persistent heads.
+	StateDeltas []StateDelta
+}
+
+// ComputeDiff extracts all change events between hierarchy snapshots
+// prev and next (same level-0 node population).
+func ComputeDiff(prev, next *Hierarchy) *Diff {
+	d := &Diff{
+		Elections:            map[int][]int{},
+		Rejections:           map[int][]int{},
+		MigrationLinkEvents:  map[int][]topology.LinkEvent{},
+		StructuralLinkEvents: map[int][]topology.LinkEvent{},
+	}
+	maxL := len(prev.Levels)
+	if len(next.Levels) > maxL {
+		maxL = len(next.Levels)
+	}
+
+	// Node-set and link-set changes per level k >= 1.
+	for k := 1; k < maxL; k++ {
+		pl, nl := prev.Level(k), next.Level(k)
+		pset := nodeSet(pl)
+		nset := nodeSet(nl)
+		for id := range nset {
+			if !pset[id] {
+				d.Elections[k] = append(d.Elections[k], id)
+			}
+		}
+		for id := range pset {
+			if !nset[id] {
+				d.Rejections[k] = append(d.Rejections[k], id)
+			}
+		}
+		sort.Ints(d.Elections[k])
+		sort.Ints(d.Rejections[k])
+		if len(d.Elections[k]) == 0 {
+			delete(d.Elections, k)
+		}
+		if len(d.Rejections[k]) == 0 {
+			delete(d.Rejections, k)
+		}
+
+		// Link events.
+		pg := levelGraph(pl)
+		ng := levelGraph(nl)
+		if pg == nil && ng == nil {
+			continue
+		}
+		if pg == nil {
+			pg = topology.NewGraph(graphIDSpace(ng))
+		}
+		if ng == nil {
+			ng = topology.NewGraph(graphIDSpace(pg))
+		}
+		for _, ev := range topology.DiffEdges(pg, ng) {
+			a, b := ev.Edge.Nodes()
+			if pset[a] && pset[b] && nset[a] && nset[b] {
+				d.MigrationLinkEvents[k] = append(d.MigrationLinkEvents[k], ev)
+			} else {
+				d.StructuralLinkEvents[k] = append(d.StructuralLinkEvents[k], ev)
+			}
+		}
+	}
+
+	// Per-node membership changes from ancestor chains.
+	for _, v := range prev.Levels[0].Nodes {
+		pc := prev.AncestorChain(v)
+		nc := next.AncestorChain(v)
+		depth := len(pc)
+		if len(nc) > depth {
+			depth = len(nc)
+		}
+		for i := 0; i < depth; i++ {
+			old, nw := -1, -1
+			if i < len(pc) {
+				old = pc[i]
+			}
+			if i < len(nc) {
+				nw = nc[i]
+			}
+			if old != nw {
+				d.Memberships = append(d.Memberships, MembershipChange{
+					Node: v, Level: i + 1, Old: old, New: nw,
+				})
+			}
+		}
+	}
+	sort.Slice(d.Memberships, func(i, j int) bool {
+		a, b := d.Memberships[i], d.Memberships[j]
+		if a.Level != b.Level {
+			return a.Level < b.Level
+		}
+		return a.Node < b.Node
+	})
+
+	// ALCA state deltas for heads persisting across snapshots.
+	for k := 0; k+1 < len(prev.Levels) && k+1 < len(next.Levels); k++ {
+		pl, nl := prev.Levels[k], next.Levels[k]
+		if pl.State == nil || nl.State == nil {
+			continue
+		}
+		ids := make([]int, 0, len(pl.State))
+		for id := range pl.State {
+			if _, ok := nl.State[id]; ok {
+				ids = append(ids, id)
+			}
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			if pl.State[id] != nl.State[id] {
+				d.StateDeltas = append(d.StateDeltas, StateDelta{
+					Level: k, Node: id, Old: pl.State[id], New: nl.State[id],
+				})
+			}
+		}
+	}
+	return d
+}
+
+// Empty reports whether the diff contains no changes at all.
+func (d *Diff) Empty() bool {
+	return len(d.Elections) == 0 && len(d.Rejections) == 0 &&
+		len(d.MigrationLinkEvents) == 0 && len(d.StructuralLinkEvents) == 0 &&
+		len(d.Memberships) == 0 && len(d.StateDeltas) == 0
+}
+
+func nodeSet(l *Level) map[int]bool {
+	if l == nil {
+		return map[int]bool{}
+	}
+	s := make(map[int]bool, len(l.Nodes))
+	for _, id := range l.Nodes {
+		s[id] = true
+	}
+	return s
+}
+
+func levelGraph(l *Level) *topology.Graph {
+	if l == nil {
+		return nil
+	}
+	return l.Graph
+}
+
+func graphIDSpace(g *topology.Graph) int {
+	if g == nil {
+		return 1
+	}
+	return g.IDSpace()
+}

@@ -1,0 +1,401 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// Level is one stratum of the clustered hierarchy.
+//
+// Levels are indexed by k = 0..L. Level 0 holds every node and the
+// unit-disk graph. For k >= 1, Nodes are the level-k nodes (clusterheads
+// elected at level k-1, identified by their level-0 IDs), Graph is the
+// level-k topology (E_k), and the election data describes how level-k
+// nodes grouped into level-(k+1) clusters — present only when a level
+// k+1 exists.
+type Level struct {
+	K     int
+	Nodes []int           // sorted level-k node IDs
+	Graph *topology.Graph // level-k topology over Nodes
+
+	// Election results at this level (grouping level-k nodes into
+	// level-(k+1) clusters). Empty maps on the top level.
+	Head    map[int]int   // level-k node -> elected clusterhead
+	Member  map[int]int   // level-k node -> level-(k+1) cluster it belongs to
+	State   map[int]int   // level-(k+1) node -> # level-k *neighbors* electing it (ALCA state, Fig. 3)
+	Members map[int][]int // level-(k+1) cluster -> sorted level-k members
+}
+
+// IsNode reports whether id is a level-k node at this level.
+func (l *Level) IsNode(id int) bool {
+	i := sort.SearchInts(l.Nodes, id)
+	return i < len(l.Nodes) && l.Nodes[i] == id
+}
+
+// Hierarchy is a full clustered-hierarchy snapshot. Levels[0] is the
+// physical network; Levels[len-1] is the top level (no further
+// clustering performed there).
+type Hierarchy struct {
+	Levels []*Level
+	// Reach is the member-to-head hop bound of the clustering that
+	// produced this hierarchy (1 for LCA).
+	Reach int
+	// ForcedTop records that the final election level groups all
+	// remaining clusters into one forced top cluster (see
+	// Config.ForceTopAt); its members need not be adjacent to the
+	// head.
+	ForcedTop bool
+}
+
+// L returns the number of clustering levels: the highest k for which
+// level-k clusters exist. A hierarchy with Levels = [level0, level1]
+// has L = 1.
+func (h *Hierarchy) L() int { return len(h.Levels) - 1 }
+
+// Level returns the level-k stratum, or nil when k is out of range.
+func (h *Hierarchy) Level(k int) *Level {
+	if k < 0 || k >= len(h.Levels) {
+		return nil
+	}
+	return h.Levels[k]
+}
+
+// Config controls hierarchy construction.
+type Config struct {
+	// MaxLevels caps recursion depth (safety net; the recursion
+	// naturally terminates when a level no longer compresses).
+	MaxLevels int
+	// Elector is the clusterhead election rule; nil means MemorylessLCA.
+	Elector Elector
+	// Reach is the maximum hop distance between a member and its head
+	// (1 for LCA, d for max-min d-hop clustering, -1 to disable the
+	// check for electors that tolerate transient detachment, e.g.
+	// DebouncedLCA). It only affects Validate; default 1.
+	Reach int
+	// ForceTopAt, when positive, stops the election recursion once a
+	// level has at most this many nodes and closes the hierarchy with
+	// a single forced top cluster containing all of them (the paper's
+	// "desired number of cluster levels", §2.1). Election-driven
+	// hierarchies have arity-2..3 top levels whose member lists churn
+	// and whose handoffs cost Θ(√N) per node; a forced top with a
+	// healthy arity removes that boundary pathology while keeping LM
+	// queries resolvable network-wide.
+	ForceTopAt int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxLevels <= 0 {
+		c.MaxLevels = 24
+	}
+	if c.Elector == nil {
+		c.Elector = MemorylessLCA{}
+	}
+	if c.Reach == 0 {
+		c.Reach = 1
+	}
+	return c
+}
+
+// Build constructs the clustered hierarchy over the level-0 graph g0
+// covering the given (sorted or unsorted) node set. prev, when
+// non-nil, supplies the previous snapshot for hysteresis electors;
+// levels are matched by index.
+func Build(g0 *topology.Graph, nodes []int, cfg Config, prev *Hierarchy) *Hierarchy {
+	cfg = cfg.withDefaults()
+	base := append([]int(nil), nodes...)
+	sort.Ints(base)
+
+	h := &Hierarchy{Reach: cfg.Reach}
+	curNodes := base
+	curGraph := g0
+	for k := 0; ; k++ {
+		lvl := &Level{K: k, Nodes: curNodes, Graph: curGraph}
+		h.Levels = append(h.Levels, lvl)
+
+		if len(curNodes) <= 1 || k >= cfg.MaxLevels {
+			break
+		}
+		if cfg.ForceTopAt > 0 && k >= 1 && len(curNodes) <= cfg.ForceTopAt {
+			forceTop(h, lvl, curNodes, g0.IDSpace())
+			break
+		}
+
+		prevHead := func(int) int { return -1 }
+		if prev != nil {
+			if pl := prev.Level(k); pl != nil && pl.Head != nil {
+				heads := pl.Head
+				prevHead = func(u int) int {
+					if hd, ok := heads[u]; ok {
+						return hd
+					}
+					return -1
+				}
+			}
+		}
+
+		head := cfg.Elector.Elect(curNodes, curGraph, prevHead)
+		elect(lvl, head)
+
+		nextNodes := keysSorted(lvl.Members)
+		if len(nextNodes) == len(curNodes) {
+			// No compression. This happens exactly when the level has
+			// no edges (every node self-elects), so clustering has
+			// converged; drop the trivial election data to keep the
+			// invariant that only non-top levels carry it.
+			lvl.Head, lvl.Member, lvl.Members, lvl.State = nil, nil, nil, nil
+			break
+		}
+		curGraph = liftGraph(curGraph, lvl, g0.IDSpace())
+		curNodes = nextNodes
+	}
+	return h
+}
+
+// forceTop groups every node of lvl into a single cluster headed by
+// the maximum ID and appends the resulting one-node top level.
+func forceTop(h *Hierarchy, lvl *Level, curNodes []int, idSpace int) {
+	root := curNodes[len(curNodes)-1] // curNodes is sorted ascending
+	head := make(map[int]int, len(curNodes))
+	for _, u := range curNodes {
+		head[u] = root
+	}
+	elect(lvl, head)
+	h.Levels = append(h.Levels, &Level{
+		K:     lvl.K + 1,
+		Nodes: []int{root},
+		Graph: topology.NewGraph(idSpace),
+	})
+	h.ForcedTop = true
+}
+
+// elect fills the election-derived fields of lvl from the head map.
+func elect(lvl *Level, head map[int]int) {
+	lvl.Head = head
+	lvl.Member = make(map[int]int, len(lvl.Nodes))
+	lvl.Members = make(map[int][]int)
+	lvl.State = make(map[int]int)
+
+	headSet := make(map[int]bool, len(lvl.Nodes))
+	for _, hd := range head {
+		headSet[hd] = true
+	}
+	for _, u := range lvl.Nodes {
+		m := head[u]
+		if headSet[u] {
+			// A clusterhead belongs to its own cluster even if it
+			// elected a higher-ID neighbor.
+			m = u
+		}
+		lvl.Member[u] = m
+		lvl.Members[m] = append(lvl.Members[m], u)
+	}
+	for _, members := range lvl.Members {
+		sort.Ints(members)
+	}
+	// ALCA state: electors among *neighbors* (self-election excluded),
+	// matching the paper's Fig. 3 state variable.
+	for _, u := range lvl.Nodes {
+		hd := head[u]
+		if hd != u {
+			lvl.State[hd]++
+		}
+	}
+	// Heads with only a self-election have state 0.
+	for hd := range lvl.Members {
+		if _, ok := lvl.State[hd]; !ok {
+			lvl.State[hd] = 0
+		}
+	}
+}
+
+// liftGraph builds the level-(k+1) topology: clusters X and Y are
+// adjacent iff some level-k edge joins a member of X to a member of Y.
+func liftGraph(g *topology.Graph, lvl *Level, idSpace int) *topology.Graph {
+	up := topology.NewGraph(idSpace)
+	for k := range g.EdgeSet() {
+		a, b := k.Nodes()
+		ca, cb := lvl.Member[a], lvl.Member[b]
+		if ca != cb {
+			up.AddEdge(ca, cb)
+		}
+	}
+	return up
+}
+
+func keysSorted(m map[int][]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// AncestorChain returns the cluster IDs containing level-0 node v at
+// levels 1..L: chain[0] is v's level-1 cluster, chain[len-1] its
+// top-level cluster. Nodes absent from the hierarchy return nil.
+func (h *Hierarchy) AncestorChain(v int) []int {
+	lvl0 := h.Levels[0]
+	if _, ok := lvl0.Member[v]; !ok && len(h.Levels) > 1 {
+		return nil
+	}
+	var chain []int
+	cur := v
+	for k := 0; k+1 < len(h.Levels); k++ {
+		m, ok := h.Levels[k].Member[cur]
+		if !ok {
+			break
+		}
+		chain = append(chain, m)
+		cur = m
+	}
+	return chain
+}
+
+// Ancestor returns the ID of v's level-k cluster (k >= 1), or -1 when
+// the hierarchy does not reach level k above v.
+func (h *Hierarchy) Ancestor(v, k int) int {
+	chain := h.AncestorChain(v)
+	if k < 1 || k > len(chain) {
+		return -1
+	}
+	return chain[k-1]
+}
+
+// Descendants returns all level-0 nodes contained in the level-k
+// cluster with the given head ID, sorted ascending. For k == 0 it
+// returns {cluster}.
+func (h *Hierarchy) Descendants(k, cluster int) []int {
+	if k == 0 {
+		return []int{cluster}
+	}
+	if k >= len(h.Levels) {
+		return nil
+	}
+	cur := []int{cluster}
+	for lvl := k - 1; lvl >= 0; lvl-- {
+		var next []int
+		for _, c := range cur {
+			next = append(next, h.Levels[lvl].Members[c]...)
+		}
+		cur = next
+	}
+	sort.Ints(cur)
+	return cur
+}
+
+// MembersAt returns the sorted level-(k-1) members of the level-k
+// cluster (k >= 1).
+func (h *Hierarchy) MembersAt(k, cluster int) []int {
+	if k < 1 || k > len(h.Levels) {
+		return nil
+	}
+	return h.Levels[k-1].Members[cluster]
+}
+
+// LevelNodes returns the sorted level-k node IDs.
+func (h *Hierarchy) LevelNodes(k int) []int {
+	if k < 0 || k >= len(h.Levels) {
+		return nil
+	}
+	return h.Levels[k].Nodes
+}
+
+// Alpha returns α_k = |V_{k-1}| / |V_k| for k in 1..L.
+func (h *Hierarchy) Alpha(k int) float64 {
+	if k < 1 || k >= len(h.Levels) {
+		return 0
+	}
+	return float64(len(h.Levels[k-1].Nodes)) / float64(len(h.Levels[k].Nodes))
+}
+
+// Aggregation returns c_k = |V| / |V_k|.
+func (h *Hierarchy) Aggregation(k int) float64 {
+	if k < 0 || k >= len(h.Levels) {
+		return 0
+	}
+	return float64(len(h.Levels[0].Nodes)) / float64(len(h.Levels[k].Nodes))
+}
+
+// Validate checks structural invariants and returns an error naming
+// the first violation. Used by integration tests and the simulator's
+// paranoid mode.
+func (h *Hierarchy) Validate() error {
+	if len(h.Levels) == 0 {
+		return fmt.Errorf("cluster: empty hierarchy")
+	}
+	for k := 0; k+1 < len(h.Levels); k++ {
+		lvl := h.Levels[k]
+		up := h.Levels[k+1]
+		if lvl.Member == nil {
+			return fmt.Errorf("cluster: level %d missing election data", k)
+		}
+		// Every node has a member cluster that is a level-(k+1) node.
+		for _, u := range lvl.Nodes {
+			m, ok := lvl.Member[u]
+			if !ok {
+				return fmt.Errorf("cluster: level %d node %d has no cluster", k, u)
+			}
+			if !up.IsNode(m) {
+				return fmt.Errorf("cluster: level %d node %d assigned to non-node cluster %d", k, u, m)
+			}
+			// Reach property: a non-head member is within Reach hops
+			// of its head in the level topology (skipped for Reach < 0,
+			// used by grace-period electors, and for the forced top
+			// level, whose members need not be adjacent).
+			forced := h.ForcedTop && k == len(h.Levels)-2
+			if m != u && h.Reach == 1 && !forced && !lvl.Graph.HasEdge(u, m) {
+				return fmt.Errorf("cluster: level %d node %d not adjacent to its head %d", k, u, m)
+			}
+			if m != u && h.Reach > 1 && !forced {
+				scratch := NewReachChecker(lvl.Graph)
+				if !scratch.Within(u, m, h.Reach) {
+					return fmt.Errorf("cluster: level %d node %d beyond reach %d of head %d", k, u, h.Reach, m)
+				}
+			}
+		}
+		// Members lists partition the level's nodes.
+		count := 0
+		for c, members := range lvl.Members {
+			if !up.IsNode(c) {
+				return fmt.Errorf("cluster: members list for non-node %d", c)
+			}
+			for _, u := range members {
+				if lvl.Member[u] != c {
+					return fmt.Errorf("cluster: member list mismatch for %d in %d", u, c)
+				}
+			}
+			count += len(members)
+		}
+		if count != len(lvl.Nodes) {
+			return fmt.Errorf("cluster: level %d members cover %d of %d nodes", k, count, len(lvl.Nodes))
+		}
+		// A head leads its own cluster.
+		for _, c := range up.Nodes {
+			if lvl.Member[c] != c {
+				return fmt.Errorf("cluster: head %d at level %d not in own cluster", c, k)
+			}
+		}
+	}
+	return nil
+}
+
+// ReachChecker verifies bounded-hop membership for multi-hop
+// clusterings (Reach > 1) during validation.
+type ReachChecker struct {
+	g       *topology.Graph
+	scratch *topology.BFSScratch
+}
+
+// NewReachChecker builds a checker over g.
+func NewReachChecker(g *topology.Graph) *ReachChecker {
+	return &ReachChecker{g: g, scratch: topology.NewBFSScratch(g.IDSpace())}
+}
+
+// Within reports whether v is within maxHops of head in the graph.
+func (r *ReachChecker) Within(v, head, maxHops int) bool {
+	h := r.scratch.HopCount(r.g, v, head, nil)
+	return h >= 0 && h <= maxHops
+}

@@ -1,0 +1,265 @@
+package cluster
+
+import (
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// Tracked building: hierarchy construction interleaved with identity
+// matching, so that election hysteresis survives clusterhead relabels.
+//
+// A hysteresis elector (StickyLCA) keys its memory on the head a node
+// elected previously. At levels >= 1 the "nodes" are clusters whose
+// physical name (head ID) churns; if memory were keyed on names, every
+// relabel below would erase the affiliation and re-trigger argmax
+// elections — the instability cascade that destroys the paper's
+// Θ(1/h_k) event frequencies. BuildWithIdentities therefore matches
+// each level's clusters to the previous snapshot (logical IDs) before
+// electing that level, and translates "the head u elected last tick"
+// through logical inheritance into this tick's physical node.
+//
+// MemorylessLCA ignores the memory entirely, giving the paper's
+// literal re-election model; the A1 ablation contrasts the two.
+
+// BuildWithIdentities builds the hierarchy for the current topology
+// and assigns logical identities level by level. prevH/prevIDs may be
+// nil for the first snapshot. The result is equivalent to Build
+// followed by identity matching, except that the elector's hysteresis
+// is fed relabel-proof previous-head information.
+func BuildWithIdentities(
+	g0 *topology.Graph,
+	nodes []int,
+	cfg Config,
+	prevH *Hierarchy,
+	prevIDs *Identities,
+	tr *IdentityTracker,
+	now float64,
+) (*Hierarchy, *Identities) {
+	cfg = cfg.withDefaults()
+	base := append([]int(nil), nodes...)
+	sort.Ints(base)
+
+	// Previous logical chains per level-0 node, and previous elections
+	// in logical space: prevElect[k][logical_u] = logical head u
+	// elected at level k (k >= 1).
+	prevLog := map[int][]uint64{}
+	prevElect := map[int]map[uint64]uint64{}
+	if prevH != nil && prevIDs != nil {
+		for _, v := range prevH.LevelNodes(0) {
+			if c := prevIDs.ChainOf(prevH, v); c != nil {
+				prevLog[v] = c
+			}
+		}
+		for k := 1; k <= prevH.L(); k++ {
+			lvl := prevH.Level(k)
+			if lvl == nil || lvl.Head == nil {
+				continue
+			}
+			m := map[uint64]uint64{}
+			for u, w := range lvl.Head {
+				lu, okU := prevIDs.Logical(k, u)
+				lw, okW := prevIDs.Logical(k, w)
+				if okU && okW {
+					m[lu] = lw
+				}
+			}
+			prevElect[k] = m
+		}
+	}
+
+	h := &Hierarchy{Reach: cfg.Reach}
+	ids := &Identities{}
+	// anc maps each level-0 node to its deepest known ancestor; it is
+	// advanced one level per election round.
+	anc := make(map[int]int, len(base))
+	for _, v := range base {
+		anc[v] = v
+	}
+
+	curNodes := base
+	curGraph := g0
+	for k := 0; ; k++ {
+		lvl := &Level{K: k, Nodes: curNodes, Graph: curGraph}
+		h.Levels = append(h.Levels, lvl)
+
+		if k >= 1 {
+			// Identity-match the freshly formed level-k clusters.
+			ids.byLevel = append(ids.byLevel, matchLevel(tr, k, curNodes, anc, prevLog))
+		}
+
+		if len(curNodes) <= 1 || k >= cfg.MaxLevels {
+			break
+		}
+		if cfg.ForceTopAt > 0 && k >= 1 && len(curNodes) <= cfg.ForceTopAt {
+			forceTop(h, lvl, curNodes, g0.IDSpace())
+			// Identity for the forced top level.
+			root := curNodes[len(curNodes)-1]
+			for v, a := range anc {
+				if _, ok := lvl.Member[a]; ok {
+					anc[v] = root
+				} else {
+					delete(anc, v)
+				}
+			}
+			ids.byLevel = append(ids.byLevel, matchLevel(tr, k+1, []int{root}, anc, prevLog))
+			break
+		}
+
+		prevHead := buildPrevHead(k, curNodes, ids, prevH, prevElect)
+		var head map[int]int
+		if se, ok := cfg.Elector.(StatefulElector); ok {
+			logicalOf := func(u int) uint64 {
+				if k == 0 {
+					return uint64(u)
+				}
+				if l, ok := ids.Logical(k, u); ok {
+					return l
+				}
+				return uint64(u)
+			}
+			head = se.ElectTracked(&ElectCtx{
+				Time: now, Level: k, Nodes: curNodes, Graph: curGraph,
+				PrevHead: prevHead, LogicalOf: logicalOf,
+			})
+		} else {
+			head = cfg.Elector.Elect(curNodes, curGraph, prevHead)
+		}
+		elect(lvl, head)
+
+		nextNodes := keysSorted(lvl.Members)
+		if len(nextNodes) == len(curNodes) {
+			// No compression: drop trivial election data and stop.
+			lvl.Head, lvl.Member, lvl.Members, lvl.State = nil, nil, nil, nil
+			break
+		}
+		// Advance ancestors to level k+1.
+		for v, a := range anc {
+			m, ok := lvl.Member[a]
+			if !ok {
+				delete(anc, v)
+				continue
+			}
+			anc[v] = m
+		}
+		curGraph = liftGraph(curGraph, lvl, g0.IDSpace())
+		curNodes = nextNodes
+	}
+	return h, ids
+}
+
+// buildPrevHead returns the elector-memory closure for level k: given
+// a level-k node (cluster), the current physical node that carries the
+// logical identity of the head it elected in the previous snapshot, or
+// -1 when there is none.
+func buildPrevHead(
+	k int,
+	curNodes []int,
+	ids *Identities,
+	prevH *Hierarchy,
+	prevElect map[int]map[uint64]uint64,
+) func(int) int {
+	if k == 0 {
+		// Level-0 nodes are persistent; use the raw previous election.
+		if prevH == nil || prevH.Level(0) == nil || prevH.Level(0).Head == nil {
+			return func(int) int { return -1 }
+		}
+		heads := prevH.Level(0).Head
+		return func(u int) int {
+			if hd, ok := heads[u]; ok {
+				return hd
+			}
+			return -1
+		}
+	}
+	elect := prevElect[k]
+	if len(elect) == 0 {
+		return func(int) int { return -1 }
+	}
+	// Reverse map: logical level-k ID -> current physical node.
+	carrier := map[uint64]int{}
+	for _, u := range curNodes {
+		if l, ok := ids.Logical(k, u); ok {
+			carrier[l] = u
+		}
+	}
+	return func(u int) int {
+		lu, ok := ids.Logical(k, u)
+		if !ok {
+			return -1
+		}
+		lw, ok := elect[lu]
+		if !ok {
+			return -1
+		}
+		if w, ok := carrier[lw]; ok {
+			return w
+		}
+		return -1
+	}
+}
+
+// matchLevel assigns logical IDs to the level-k clusters of the
+// snapshot under construction by maximal level-0 overlap with the
+// previous snapshot's logical clusters (greedy, largest overlap first,
+// deterministic tie-breaks). Clusters inheriting no identity receive
+// fresh IDs from tr.
+func matchLevel(
+	tr *IdentityTracker,
+	k int,
+	newHeads []int,
+	newAnc map[int]int,
+	prevLog map[int][]uint64,
+) map[int]uint64 {
+	if tr.Passthrough {
+		m := make(map[int]uint64, len(newHeads))
+		for _, h := range newHeads {
+			m[h] = uint64(h)
+		}
+		return m
+	}
+	type pair struct {
+		prev uint64
+		next int
+	}
+	counts := map[pair]int{}
+	for v, nh := range newAnc {
+		pc, ok := prevLog[v]
+		if !ok || len(pc) < k {
+			continue
+		}
+		counts[pair{prev: pc[k-1], next: nh}]++
+	}
+	pairs := make([]pair, 0, len(counts))
+	for p := range counts {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		ci, cj := counts[pairs[i]], counts[pairs[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		if pairs[i].prev != pairs[j].prev {
+			return pairs[i].prev < pairs[j].prev
+		}
+		return pairs[i].next < pairs[j].next
+	})
+	m := make(map[int]uint64, len(newHeads))
+	usedPrev := map[uint64]bool{}
+	for _, p := range pairs {
+		if usedPrev[p.prev] {
+			continue
+		}
+		if _, taken := m[p.next]; taken {
+			continue
+		}
+		m[p.next] = p.prev
+		usedPrev[p.prev] = true
+	}
+	for _, h := range newHeads {
+		if _, ok := m[h]; !ok {
+			m[h] = tr.alloc(h)
+		}
+	}
+	return m
+}

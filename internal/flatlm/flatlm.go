@@ -1,0 +1,160 @@
+// Package flatlm implements the non-hierarchical location-management
+// baselines the paper's motivation argues against. Both are driven by
+// the same mobility trace as CHLM so the comparison in experiment E16
+// is apples-to-apples:
+//
+//   - HomeAgent: every node registers its position with a single
+//     rendezvous node (hashed from its ID). An update costs the
+//     unicast distance to the agent — Θ(√N) hops on average — and is
+//     sent whenever the node has moved more than UpdateDistance since
+//     its last report. This is the textbook Θ(√N)-per-update flat
+//     location service.
+//
+//   - Flooding: a node floods its new position network-wide after
+//     moving UpdateDistance; one flood costs |V| transmissions
+//     (every node rebroadcasts once). Queries are free. This is the
+//     Θ(N) proactive extreme (DSDV-style dissemination).
+//
+// Neither depends on the clustered hierarchy; they bound the design
+// space from below (flooding: zero lookup cost, huge updates) and the
+// middle (home agent: cheap-ish updates, remote lookups).
+package flatlm
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/topology"
+)
+
+// Scheme is a flat location-management baseline fed by position
+// snapshots.
+type Scheme interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// Tick feeds the current positions; returns the control packets
+	// this scheme emitted for this step.
+	Tick(pos []geom.Vec) float64
+	// QueryCost returns the lookup cost for querier q resolving
+	// destination d at the current positions.
+	QueryCost(q, d int) float64
+}
+
+// HomeAgent is the single-rendezvous baseline.
+type HomeAgent struct {
+	UpdateDistance float64 // meters moved before a new registration
+	Hop            topology.HopModel
+
+	agents   []int // agent[owner] = serving node (hashed, static ID-based)
+	lastSent []geom.Vec
+	started  bool
+}
+
+// NewHomeAgent builds the baseline for n nodes. Agents are assigned by
+// a fixed hash of the owner ID, giving an even static load.
+func NewHomeAgent(n int, updateDistance float64, hop topology.HopModel) *HomeAgent {
+	if n <= 0 || updateDistance <= 0 {
+		panic("flatlm: HomeAgent needs positive n and update distance")
+	}
+	h := &HomeAgent{
+		UpdateDistance: updateDistance,
+		Hop:            hop,
+		agents:         make([]int, n),
+		lastSent:       make([]geom.Vec, n),
+	}
+	for v := range h.agents {
+		// Deterministic agent assignment: splitmix of the owner ID.
+		z := uint64(v) * 0x9E3779B97F4A7C15
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		agent := int(z % uint64(n))
+		if agent == v {
+			agent = (agent + 1) % n
+		}
+		h.agents[v] = agent
+	}
+	return h
+}
+
+// Name implements Scheme.
+func (h *HomeAgent) Name() string { return "home-agent" }
+
+// Agent returns the rendezvous node of owner v.
+func (h *HomeAgent) Agent(v int) int { return h.agents[v] }
+
+// Tick implements Scheme.
+func (h *HomeAgent) Tick(pos []geom.Vec) float64 {
+	if len(pos) != len(h.agents) {
+		panic(fmt.Sprintf("flatlm: %d positions for %d nodes", len(pos), len(h.agents)))
+	}
+	var packets float64
+	if !h.started {
+		h.started = true
+		for v, p := range pos {
+			h.lastSent[v] = p
+			packets += float64(h.Hop.Hops(v, h.agents[v]))
+		}
+		return packets
+	}
+	for v, p := range pos {
+		if p.Dist(h.lastSent[v]) >= h.UpdateDistance {
+			h.lastSent[v] = p
+			packets += float64(h.Hop.Hops(v, h.agents[v]))
+		}
+	}
+	return packets
+}
+
+// QueryCost implements Scheme: ask d's agent, agent replies with d's
+// location (querier then reaches d directly; that traffic belongs to
+// the session, as in the paper's query argument).
+func (h *HomeAgent) QueryCost(q, d int) float64 {
+	agent := h.agents[d]
+	return float64(h.Hop.Hops(q, agent) + h.Hop.Hops(agent, q))
+}
+
+// Flooding is the network-wide dissemination baseline.
+type Flooding struct {
+	UpdateDistance float64
+	n              int
+	lastSent       []geom.Vec
+	started        bool
+}
+
+// NewFlooding builds the flooding baseline for n nodes.
+func NewFlooding(n int, updateDistance float64) *Flooding {
+	if n <= 0 || updateDistance <= 0 {
+		panic("flatlm: Flooding needs positive n and update distance")
+	}
+	return &Flooding{UpdateDistance: updateDistance, n: n, lastSent: make([]geom.Vec, n)}
+}
+
+// Name implements Scheme.
+func (f *Flooding) Name() string { return "flooding" }
+
+// Tick implements Scheme: each update floods once through every node.
+func (f *Flooding) Tick(pos []geom.Vec) float64 {
+	if len(pos) != f.n {
+		panic(fmt.Sprintf("flatlm: %d positions for %d nodes", len(pos), f.n))
+	}
+	var packets float64
+	if !f.started {
+		f.started = true
+		copy(f.lastSent, pos)
+		return float64(f.n) * float64(f.n)
+	}
+	for v, p := range pos {
+		if p.Dist(f.lastSent[v]) >= f.UpdateDistance {
+			f.lastSent[v] = p
+			packets += float64(f.n)
+		}
+	}
+	return packets
+}
+
+// QueryCost implements Scheme: everyone already knows everyone.
+func (f *Flooding) QueryCost(q, d int) float64 { return 0 }
+
+var (
+	_ Scheme = (*HomeAgent)(nil)
+	_ Scheme = (*Flooding)(nil)
+)

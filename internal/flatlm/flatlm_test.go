@@ -1,0 +1,147 @@
+package flatlm
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+func positions(n int, r float64, seed uint64) []geom.Vec {
+	src := rng.New(seed)
+	d := geom.Disc{R: r}
+	out := make([]geom.Vec, n)
+	for i := range out {
+		out[i] = d.Sample(src)
+	}
+	return out
+}
+
+func TestHomeAgentAssignment(t *testing.T) {
+	pos := positions(100, 500, 1)
+	hop := topology.NewEuclideanHops(pos, 100, 1.3)
+	h := NewHomeAgent(100, 50, hop)
+	load := map[int]int{}
+	for v := 0; v < 100; v++ {
+		a := h.Agent(v)
+		if a == v {
+			t.Fatalf("node %d is its own agent", v)
+		}
+		if a < 0 || a >= 100 {
+			t.Fatalf("agent out of range: %d", a)
+		}
+		load[a]++
+	}
+	// Deterministic.
+	h2 := NewHomeAgent(100, 50, hop)
+	for v := 0; v < 100; v++ {
+		if h.Agent(v) != h2.Agent(v) {
+			t.Fatal("agent assignment not deterministic")
+		}
+	}
+	// No extreme hot spot.
+	for a, c := range load {
+		if c > 12 {
+			t.Fatalf("agent %d serves %d owners", a, c)
+		}
+	}
+}
+
+func TestHomeAgentFirstTickRegistersAll(t *testing.T) {
+	pos := positions(60, 400, 2)
+	hop := topology.NewEuclideanHops(pos, 100, 1.3)
+	h := NewHomeAgent(60, 50, hop)
+	if pkts := h.Tick(pos); pkts <= 0 {
+		t.Fatalf("initial registration cost %v", pkts)
+	}
+	// No movement: no further updates.
+	if pkts := h.Tick(pos); pkts != 0 {
+		t.Fatalf("stationary tick cost %v", pkts)
+	}
+}
+
+func TestHomeAgentUpdatesOnThreshold(t *testing.T) {
+	pos := positions(30, 400, 3)
+	hop := topology.NewEuclideanHops(pos, 100, 1.3)
+	h := NewHomeAgent(30, 50, hop)
+	h.Tick(pos)
+	// Move one node just under the threshold: no update.
+	pos[5] = pos[5].Add(geom.Vec{X: 49, Y: 0})
+	if pkts := h.Tick(pos); pkts != 0 {
+		t.Fatalf("sub-threshold move cost %v", pkts)
+	}
+	// Cross the threshold.
+	pos[5] = pos[5].Add(geom.Vec{X: 2, Y: 0})
+	if pkts := h.Tick(pos); pkts <= 0 {
+		t.Fatal("threshold crossing emitted nothing")
+	}
+	// And the reference point resets: staying put costs nothing.
+	if pkts := h.Tick(pos); pkts != 0 {
+		t.Fatal("reference point not reset")
+	}
+}
+
+func TestHomeAgentQueryCost(t *testing.T) {
+	pos := positions(40, 400, 4)
+	hop := topology.NewEuclideanHops(pos, 100, 1.3)
+	h := NewHomeAgent(40, 50, hop)
+	h.Tick(pos)
+	c := h.QueryCost(3, 17)
+	if c <= 0 {
+		t.Fatalf("query cost %v", c)
+	}
+}
+
+func TestFloodingCosts(t *testing.T) {
+	pos := positions(50, 400, 5)
+	f := NewFlooding(50, 50)
+	if pkts := f.Tick(pos); pkts != 50*50 {
+		t.Fatalf("initial flood cost %v, want %v", pkts, 50*50)
+	}
+	if pkts := f.Tick(pos); pkts != 0 {
+		t.Fatalf("stationary flood cost %v", pkts)
+	}
+	pos[9] = pos[9].Add(geom.Vec{X: 60, Y: 0})
+	if pkts := f.Tick(pos); pkts != 50 {
+		t.Fatalf("single update flood cost %v, want 50", pkts)
+	}
+	if f.QueryCost(1, 2) != 0 {
+		t.Fatal("flooding queries should be free")
+	}
+}
+
+func TestFloodingScalesWithN(t *testing.T) {
+	// Per-node flooding cost grows linearly with N for the same
+	// per-node update rate: the Θ(N) pathology.
+	cost := func(n int) float64 {
+		pos := positions(n, 500, 6)
+		f := NewFlooding(n, 50)
+		f.Tick(pos)
+		for i := range pos {
+			pos[i] = pos[i].Add(geom.Vec{X: 60, Y: 0})
+		}
+		return f.Tick(pos) / float64(n)
+	}
+	if c2, c1 := cost(200), cost(100); c2 < c1*1.8 {
+		t.Fatalf("flooding per-node cost did not scale: %v vs %v", c1, c2)
+	}
+}
+
+func TestPanicsOnBadConfig(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHomeAgent(0, 50, nil) },
+		func() { NewHomeAgent(10, 0, nil) },
+		func() { NewFlooding(0, 50) },
+		func() { NewFlooding(10, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad config accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}

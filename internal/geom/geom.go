@@ -1,0 +1,137 @@
+// Package geom provides the 2-D geometry primitives used by the
+// simulator: vectors, distances, and sampling of the circular
+// deployment region assumed by the paper (§1.2).
+package geom
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Vec is a point or displacement in the plane, in meters.
+type Vec struct {
+	X, Y float64
+}
+
+// Add returns v + w.
+func (v Vec) Add(w Vec) Vec { return Vec{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns v - w.
+func (v Vec) Sub(w Vec) Vec { return Vec{v.X - w.X, v.Y - w.Y} }
+
+// Scale returns v scaled by s.
+func (v Vec) Scale(s float64) Vec { return Vec{v.X * s, v.Y * s} }
+
+// Dot returns the dot product v·w.
+func (v Vec) Dot(w Vec) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Len returns the Euclidean norm |v|.
+func (v Vec) Len() float64 { return math.Hypot(v.X, v.Y) }
+
+// Len2 returns |v|² without a square root.
+func (v Vec) Len2() float64 { return v.X*v.X + v.Y*v.Y }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec) Dist(w Vec) float64 { return v.Sub(w).Len() }
+
+// Dist2 returns the squared distance between v and w.
+func (v Vec) Dist2(w Vec) float64 { return v.Sub(w).Len2() }
+
+// Normalize returns v/|v|, or the zero vector if |v| == 0.
+func (v Vec) Normalize() Vec {
+	l := v.Len()
+	if l == 0 {
+		return Vec{}
+	}
+	return v.Scale(1 / l)
+}
+
+// Lerp returns the linear interpolation v + t·(w-v).
+func (v Vec) Lerp(w Vec, t float64) Vec {
+	return Vec{v.X + t*(w.X-v.X), v.Y + t*(w.Y-v.Y)}
+}
+
+// String formats the vector for diagnostics.
+func (v Vec) String() string { return fmt.Sprintf("(%.2f, %.2f)", v.X, v.Y) }
+
+// Disc is a circular region centered at C with radius R. It is the
+// deployment area of the network: the paper assumes nodes uniformly
+// distributed over a circle whose area grows linearly with |V| so that
+// density stays fixed.
+type Disc struct {
+	C Vec
+	R float64
+}
+
+// DiscForDensity returns a disc centered at the origin sized so that n
+// nodes yield the given node density (nodes per square meter).
+func DiscForDensity(n int, density float64) Disc {
+	if n <= 0 || density <= 0 {
+		panic("geom: DiscForDensity requires positive n and density")
+	}
+	area := float64(n) / density
+	return Disc{C: Vec{}, R: math.Sqrt(area / math.Pi)}
+}
+
+// Area returns the disc area.
+func (d Disc) Area() float64 { return math.Pi * d.R * d.R }
+
+// Contains reports whether p lies inside or on the disc boundary.
+func (d Disc) Contains(p Vec) bool {
+	return p.Dist2(d.C) <= d.R*d.R*(1+1e-12)
+}
+
+// Sample draws a uniform point inside the disc using the inverse-CDF
+// radius transform (r = R·√u).
+func (d Disc) Sample(src *rng.Source) Vec {
+	r := d.R * math.Sqrt(src.Float64())
+	theta := src.Range(0, 2*math.Pi)
+	return Vec{d.C.X + r*math.Cos(theta), d.C.Y + r*math.Sin(theta)}
+}
+
+// Clamp returns the point inside the disc nearest to p (p itself when
+// already inside).
+func (d Disc) Clamp(p Vec) Vec {
+	delta := p.Sub(d.C)
+	l := delta.Len()
+	if l <= d.R {
+		return p
+	}
+	return d.C.Add(delta.Scale(d.R / l))
+}
+
+// BoundingSquare returns the axis-aligned square [minX,minY,side]
+// enclosing the disc; the spatial index hashes into it.
+func (d Disc) BoundingSquare() (min Vec, side float64) {
+	return Vec{d.C.X - d.R, d.C.Y - d.R}, 2 * d.R
+}
+
+// SegmentCircleExit returns the parameter t in [0, 1] at which the
+// segment from a to b first leaves the disc, or 1 if it never does.
+// Used to truncate waypoint legs at the region boundary.
+func (d Disc) SegmentCircleExit(a, b Vec) float64 {
+	// Solve |a + t(b-a) - c|^2 = R^2 for the largest valid t <= 1.
+	dir := b.Sub(a)
+	f := a.Sub(d.C)
+	A := dir.Len2()
+	if A == 0 {
+		return 1
+	}
+	B := 2 * f.Dot(dir)
+	C := f.Len2() - d.R*d.R
+	disc := B*B - 4*A*C
+	if disc < 0 {
+		return 1
+	}
+	sq := math.Sqrt(disc)
+	t := (-B + sq) / (2 * A) // the exit root
+	if t < 0 {
+		return 1
+	}
+	if t > 1 {
+		return 1
+	}
+	return t
+}

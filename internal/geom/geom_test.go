@@ -1,0 +1,199 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVecArithmetic(t *testing.T) {
+	a := Vec{1, 2}
+	b := Vec{3, -4}
+	if got := a.Add(b); got != (Vec{4, -2}) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Vec{-2, 6}) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != (Vec{2, 4}) {
+		t.Fatalf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 3-8 {
+		t.Fatalf("Dot = %v", got)
+	}
+	if got := b.Len(); !approx(got, 5, 1e-12) {
+		t.Fatalf("Len = %v", got)
+	}
+	if got := b.Len2(); got != 25 {
+		t.Fatalf("Len2 = %v", got)
+	}
+}
+
+func TestDistConsistency(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a := Vec{math.Mod(ax, 1e6), math.Mod(ay, 1e6)}
+		b := Vec{math.Mod(bx, 1e6), math.Mod(by, 1e6)}
+		d := a.Dist(b)
+		d2 := a.Dist2(b)
+		return approx(d*d, d2, 1e-6*(1+d2)) && d >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if got := (Vec{}).Normalize(); got != (Vec{}) {
+		t.Fatalf("Normalize zero = %v", got)
+	}
+	v := Vec{3, 4}.Normalize()
+	if !approx(v.Len(), 1, 1e-12) {
+		t.Fatalf("normalized length %v", v.Len())
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a := Vec{0, 0}
+	b := Vec{10, 20}
+	if got := a.Lerp(b, 0); got != a {
+		t.Fatalf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Fatalf("Lerp(1) = %v", got)
+	}
+	if got := a.Lerp(b, 0.5); got != (Vec{5, 10}) {
+		t.Fatalf("Lerp(0.5) = %v", got)
+	}
+}
+
+func TestDiscForDensity(t *testing.T) {
+	d := DiscForDensity(1000, 0.001) // 1000 nodes at 0.001 /m² -> 1e6 m²
+	if !approx(d.Area(), 1e6, 1) {
+		t.Fatalf("area = %v, want 1e6", d.Area())
+	}
+	// Density invariance: doubling n doubles area.
+	d2 := DiscForDensity(2000, 0.001)
+	if !approx(d2.Area()/d.Area(), 2, 1e-9) {
+		t.Fatalf("area ratio = %v", d2.Area()/d.Area())
+	}
+}
+
+func TestDiscForDensityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for n=0")
+		}
+	}()
+	DiscForDensity(0, 1)
+}
+
+func TestDiscSampleUniform(t *testing.T) {
+	src := rng.New(5)
+	d := Disc{C: Vec{10, -5}, R: 100}
+	const n = 50000
+	inInner := 0
+	for i := 0; i < n; i++ {
+		p := d.Sample(src)
+		if !d.Contains(p) {
+			t.Fatalf("sample %v outside disc", p)
+		}
+		if p.Dist(d.C) <= d.R/2 {
+			inInner++
+		}
+	}
+	// Inner half-radius disc has 1/4 the area.
+	frac := float64(inInner) / n
+	if math.Abs(frac-0.25) > 0.01 {
+		t.Fatalf("inner fraction = %v, want ~0.25 (uniformity)", frac)
+	}
+}
+
+func TestDiscClamp(t *testing.T) {
+	d := Disc{C: Vec{}, R: 10}
+	inside := Vec{3, 4}
+	if got := d.Clamp(inside); got != inside {
+		t.Fatalf("Clamp moved interior point: %v", got)
+	}
+	out := Vec{30, 40}
+	got := d.Clamp(out)
+	if !approx(got.Dist(d.C), 10, 1e-9) {
+		t.Fatalf("clamped point at distance %v", got.Dist(d.C))
+	}
+	// Clamped point preserves direction.
+	if !approx(got.X/got.Y, out.X/out.Y, 1e-9) {
+		t.Fatalf("clamp changed direction: %v", got)
+	}
+}
+
+func TestClampIdempotent(t *testing.T) {
+	d := Disc{C: Vec{1, 2}, R: 7}
+	src := rng.New(9)
+	f := func(x, y float64) bool {
+		p := Vec{math.Mod(x, 1000), math.Mod(y, 1000)}
+		c := d.Clamp(p)
+		return d.Contains(c) && c.Dist(d.Clamp(c)) < 1e-9
+	}
+	_ = src
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundingSquare(t *testing.T) {
+	d := Disc{C: Vec{5, 5}, R: 3}
+	min, side := d.BoundingSquare()
+	if min != (Vec{2, 2}) || side != 6 {
+		t.Fatalf("bounding square = %v side %v", min, side)
+	}
+}
+
+func TestSegmentCircleExit(t *testing.T) {
+	d := Disc{C: Vec{}, R: 10}
+	// Segment fully inside: never exits.
+	if got := d.SegmentCircleExit(Vec{0, 0}, Vec{1, 1}); got != 1 {
+		t.Fatalf("inside segment exit t = %v", got)
+	}
+	// Segment from center straight out to (20,0): exits at t=0.5.
+	if got := d.SegmentCircleExit(Vec{0, 0}, Vec{20, 0}); !approx(got, 0.5, 1e-9) {
+		t.Fatalf("exit t = %v, want 0.5", got)
+	}
+	// Exit point lies on the boundary.
+	a, b := Vec{-5, 0}, Vec{25, 0}
+	tExit := d.SegmentCircleExit(a, b)
+	p := a.Lerp(b, tExit)
+	if !approx(p.Dist(d.C), d.R, 1e-9) {
+		t.Fatalf("exit point %v at distance %v", p, p.Dist(d.C))
+	}
+}
+
+func TestSegmentCircleExitProperty(t *testing.T) {
+	d := Disc{C: Vec{}, R: 50}
+	src := rng.New(77)
+	for i := 0; i < 2000; i++ {
+		a := d.Sample(src)
+		b := Vec{src.Range(-200, 200), src.Range(-200, 200)}
+		tExit := d.SegmentCircleExit(a, b)
+		if tExit < 0 || tExit > 1 {
+			t.Fatalf("exit t out of range: %v", tExit)
+		}
+		// Any point strictly before the exit stays inside (within tol).
+		mid := a.Lerp(b, tExit*0.999)
+		if mid.Dist(d.C) > d.R*(1+1e-6) {
+			t.Fatalf("point before exit is outside: dist %v", mid.Dist(d.C))
+		}
+	}
+}
+
+func BenchmarkDiscSample(b *testing.B) {
+	src := rng.New(1)
+	d := Disc{R: 1000}
+	var sink Vec
+	for i := 0; i < b.N; i++ {
+		sink = d.Sample(src)
+	}
+	_ = sink
+}

@@ -1,0 +1,286 @@
+package gls
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+func testGrid() *Grid {
+	// World square of side 800 starting at (-400,-400), cells of 100:
+	// levels: 100, 200, 400, 800 -> 4 levels.
+	return NewGrid(geom.Disc{R: 400}, 100)
+}
+
+func TestNewGridLevels(t *testing.T) {
+	g := testGrid()
+	if g.Levels != 4 {
+		t.Fatalf("Levels = %d, want 4", g.Levels)
+	}
+	if g.side(1) != 100 || g.side(4) != 800 {
+		t.Fatalf("sides = %v, %v", g.side(1), g.side(4))
+	}
+}
+
+func TestSquareOfNesting(t *testing.T) {
+	g := testGrid()
+	src := rng.New(1)
+	d := geom.Disc{R: 390}
+	for i := 0; i < 2000; i++ {
+		p := d.Sample(src)
+		chain := g.Chain(p)
+		if len(chain) != g.Levels {
+			t.Fatalf("chain length %d", len(chain))
+		}
+		// Nesting: each square's index halves (integer) at the next level.
+		for l := 1; l < len(chain); l++ {
+			if chain[l].Ix != chain[l-1].Ix/2 || chain[l].Iy != chain[l-1].Iy/2 {
+				t.Fatalf("chain not nested at level %d: %v", l, chain)
+			}
+		}
+		// Top square is (0,0).
+		top := chain[len(chain)-1]
+		if top.Ix != 0 || top.Iy != 0 {
+			t.Fatalf("top square = %v", top)
+		}
+	}
+}
+
+func TestSiblingsAreTheOtherThree(t *testing.T) {
+	g := testGrid()
+	src := rng.New(2)
+	d := geom.Disc{R: 390}
+	for i := 0; i < 500; i++ {
+		p := d.Sample(src)
+		for level := 1; level < g.Levels; level++ {
+			own := g.SquareOf(level, p)
+			sibs := g.Siblings(level, p)
+			seen := map[SquareID]bool{own: true}
+			for _, s := range sibs {
+				if s == own {
+					t.Fatalf("own square among siblings")
+				}
+				if seen[s] {
+					t.Fatalf("duplicate sibling %v", s)
+				}
+				seen[s] = true
+				// Sibling shares the parent square.
+				if s.Ix/2 != own.Ix/2 || s.Iy/2 != own.Iy/2 {
+					t.Fatalf("sibling %v outside parent of %v", s, own)
+				}
+			}
+		}
+	}
+}
+
+func layout(n int, seed uint64) ([]geom.Vec, *Index, *Grid) {
+	src := rng.New(seed)
+	d := geom.Disc{R: 390}
+	pos := make([]geom.Vec, n)
+	for i := range pos {
+		pos[i] = d.Sample(src)
+	}
+	g := testGrid()
+	return pos, NewIndex(g, pos), g
+}
+
+func TestNodesInAggregation(t *testing.T) {
+	pos, idx, g := layout(300, 3)
+	// Every node appears in exactly one square per level, and NodesIn
+	// of the containing square includes it.
+	for v, p := range pos {
+		for level := 1; level <= g.Levels; level++ {
+			sq := g.SquareOf(level, p)
+			found := false
+			for _, m := range idx.NodesIn(sq) {
+				if m == v {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("node %d missing from its %v", v, sq)
+			}
+		}
+	}
+	// Top square contains everyone.
+	top := SquareID{Level: g.Levels, Ix: 0, Iy: 0}
+	if got := len(idx.NodesIn(top)); got != 300 {
+		t.Fatalf("top square holds %d of 300", got)
+	}
+}
+
+func TestSuccessorRule(t *testing.T) {
+	if got := successor(10, 100, []int{5, 20, 40}); got != 20 {
+		t.Fatalf("successor = %d, want 20", got)
+	}
+	// Wrap.
+	if got := successor(50, 100, []int{5, 20, 40}); got != 5 {
+		t.Fatalf("wrap successor = %d, want 5", got)
+	}
+	// Owner excluded.
+	if got := successor(20, 100, []int{20, 30}); got != 30 {
+		t.Fatalf("self-excluding successor = %d", got)
+	}
+	if got := successor(7, 100, nil); got != -1 {
+		t.Fatalf("empty successor = %d", got)
+	}
+}
+
+func TestServersForStructure(t *testing.T) {
+	pos, idx, g := layout(400, 4)
+	sa := idx.ServersFor(42, 400)
+	if len(sa.Servers) != g.Levels-1 {
+		t.Fatalf("server rows = %d, want %d", len(sa.Servers), g.Levels-1)
+	}
+	// Every chosen server lies in the corresponding sibling square.
+	p := pos[42]
+	for level := 1; level < g.Levels; level++ {
+		sibs := g.Siblings(level, p)
+		for i, srv := range sa.Servers[level-1] {
+			if srv < 0 {
+				continue
+			}
+			if srv == 42 {
+				t.Fatal("owner serving itself")
+			}
+			sq := g.SquareOf(level, pos[srv])
+			if sq != sibs[i] {
+				t.Fatalf("server %d at %v, expected square %v", srv, sq, sibs[i])
+			}
+		}
+	}
+}
+
+func TestLoadRoughlyBalanced(t *testing.T) {
+	_, idx, _ := layout(500, 5)
+	table := BuildTable(idx, 500)
+	load := table.Load()
+	total, max := 0, 0
+	for _, c := range load {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	mean := float64(total) / 500
+	if mean <= 0 {
+		t.Fatal("no load")
+	}
+	if float64(max) > 20*mean {
+		t.Fatalf("max load %d vs mean %.2f", max, mean)
+	}
+}
+
+func TestDiffCountZeroForSame(t *testing.T) {
+	_, idx, _ := layout(200, 6)
+	table := BuildTable(idx, 200)
+	changed, cost := DiffCount(table, table, func(a, b int) int { return 1 })
+	if changed != 0 || cost != 0 {
+		t.Fatalf("self diff = %d changes, cost %d", changed, cost)
+	}
+}
+
+func TestDiffCountDetectsMovement(t *testing.T) {
+	pos, idx, g := layout(200, 7)
+	t1 := BuildTable(idx, 200)
+	// Move one node across the world.
+	pos2 := append([]geom.Vec(nil), pos...)
+	pos2[13] = geom.Vec{X: -pos[13].X, Y: -pos[13].Y}
+	idx2 := NewIndex(g, pos2)
+	t2 := BuildTable(idx2, 200)
+	changed, cost := DiffCount(t1, t2, func(a, b int) int { return 2 })
+	if changed == 0 || cost == 0 {
+		t.Fatal("teleporting a node changed nothing")
+	}
+	if cost < changed {
+		t.Fatalf("cost %d < changes %d at 2 hops each", cost, changed)
+	}
+}
+
+func BenchmarkBuildTable500(b *testing.B) {
+	_, idx, _ := layout(500, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildTable(idx, 500)
+	}
+}
+
+func TestQueryResolves(t *testing.T) {
+	pos, idx, g := layout(300, 8)
+	hop := func(a, b int) int {
+		d := pos[a].Dist(pos[b])
+		h := int(d / 100)
+		if h < 1 {
+			h = 1
+		}
+		return h
+	}
+	_ = g
+	resolved := 0
+	var totalPkts int
+	for q := 0; q < 100; q++ {
+		d := (q*37 + 13) % 300
+		if q == d {
+			continue
+		}
+		res := idx.Query(q, d, 300, hop)
+		if !res.Found {
+			t.Fatalf("query %d->%d failed inside one world square", q, d)
+		}
+		if res.Level < 1 || res.Level > g.Levels {
+			t.Fatalf("resolved at impossible level %d", res.Level)
+		}
+		resolved++
+		totalPkts += res.Packets
+	}
+	if resolved == 0 || totalPkts == 0 {
+		t.Fatal("no queries accounted")
+	}
+}
+
+func TestQuerySelf(t *testing.T) {
+	_, idx, _ := layout(50, 9)
+	res := idx.Query(7, 7, 50, func(a, b int) int { return 1 })
+	if !res.Found || res.Packets != 0 || res.Level != 0 {
+		t.Fatalf("self query = %+v", res)
+	}
+}
+
+func TestQueryCostGrowsWithDistance(t *testing.T) {
+	// Queries between far-apart nodes resolve at higher levels and
+	// cost more on average.
+	pos, idx, _ := layout(400, 10)
+	hop := func(a, b int) int {
+		h := int(pos[a].Dist(pos[b]) / 100)
+		if h < 1 {
+			h = 1
+		}
+		return h
+	}
+	var nearSum, farSum, nearN, farN float64
+	for q := 0; q < 400; q += 3 {
+		d := (q*53 + 29) % 400
+		if q == d {
+			continue
+		}
+		res := idx.Query(q, d, 400, hop)
+		if !res.Found {
+			continue
+		}
+		if pos[q].Dist(pos[d]) < 200 {
+			nearSum += float64(res.Packets)
+			nearN++
+		} else if pos[q].Dist(pos[d]) > 500 {
+			farSum += float64(res.Packets)
+			farN++
+		}
+	}
+	if nearN == 0 || farN == 0 {
+		t.Skip("not enough near/far pairs")
+	}
+	if farSum/farN <= nearSum/nearN {
+		t.Fatalf("far queries (%v) not costlier than near (%v)", farSum/farN, nearSum/nearN)
+	}
+}

@@ -1,0 +1,174 @@
+package lm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/geom"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// TestHashPropertyQuick: rendezvous selection is always a valid index
+// and permutation-invariant in candidate order.
+func TestHashPropertyQuick(t *testing.T) {
+	r := Rendezvous{Salt: 3}
+	f := func(owner uint32, raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		keys := make([]uint64, 0, len(raw))
+		seen := map[uint64]bool{}
+		for _, k := range raw {
+			if !seen[uint64(k)] {
+				keys = append(keys, uint64(k))
+				seen[uint64(k)] = true
+			}
+		}
+		idx := r.Select(uint64(owner), 2, keys)
+		if idx < 0 || idx >= len(keys) {
+			return false
+		}
+		winner := keys[idx]
+		// Reverse the candidate order: same winner.
+		rev := make([]uint64, len(keys))
+		for i, k := range keys {
+			rev[len(keys)-1-i] = k
+		}
+		return rev[r.Select(uint64(owner), 2, rev)] == winner
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuccessorPropertyQuick(t *testing.T) {
+	s := Successor{IDSpace: 1 << 16}
+	f := func(owner uint16, raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		keys := make([]uint64, len(raw))
+		for i, k := range raw {
+			keys[i] = uint64(k)
+		}
+		idx := s.Select(uint64(owner), 1, keys)
+		return idx >= 0 && idx < len(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestApplyDeterministic: identical table pairs must produce bitwise
+// identical totals (map iteration must not leak into float sums).
+func TestApplyDeterministic(t *testing.T) {
+	const n = 120
+	src := rng.New(41)
+	d := geom.Disc{R: 420}
+	pos := make([]geom.Vec, n)
+	for i := range pos {
+		pos[i] = d.Sample(src)
+	}
+	g1 := topology.BuildUnitDiskBrute(pos, 100)
+	for i := range pos {
+		pos[i] = d.Clamp(pos[i].Add(geom.Vec{X: src.Range(-25, 25), Y: src.Range(-25, 25)}))
+	}
+	g2 := topology.BuildUnitDiskBrute(pos, 100)
+
+	run := func() Totals {
+		tr := cluster.NewIdentityTracker()
+		h1, ids1 := cluster.BuildWithIdentities(g1, nodesUpTo(n), cluster.Config{}, nil, nil, tr, 0)
+		h2, ids2 := cluster.BuildWithIdentities(g2, nodesUpTo(n), cluster.Config{}, h1, ids1, tr, 1)
+		s := NewSelector(nil)
+		t1 := s.BuildTable(h1, ids1)
+		t2 := s.UpdateTable(t1, h1, ids1, h2, ids2)
+		hop := topology.NewBFSHops(g2, 50)
+		var tot Totals
+		NewAccountant(hop).Apply(t1, t2, &tot)
+		return tot
+	}
+	a, b := run(), run()
+	if a.PhiTotal() != b.PhiTotal() || a.GammaTotal() != b.GammaTotal() ||
+		a.UpdateTotal() != b.UpdateTotal() || a.RegTotal() != b.RegTotal() {
+		t.Fatalf("accountant not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestUpdatePacketsOnMigration: an owner that changes clusters sends a
+// location update to its server, even when the server stays put.
+func TestUpdatePacketsOnMigration(t *testing.T) {
+	g1 := graphOf(8, [2]int{0, 5}, [2]int{1, 5}, [2]int{2, 6}, [2]int{5, 6})
+	g2 := graphOf(8, [2]int{0, 5}, [2]int{1, 6}, [2]int{2, 6}, [2]int{5, 6})
+	totals, _, _, _ := evolve(t, []int{0, 1, 2, 5, 6}, g1, g2)
+	if totals.UpdateTotal() <= 0 {
+		t.Fatal("no location updates for a migration")
+	}
+	var events int64
+	for _, e := range totals.UpdateEvents {
+		events += e
+	}
+	if events == 0 {
+		t.Fatal("no update events counted")
+	}
+}
+
+// TestNoUpdatesWithoutChange: identical snapshots yield zero overhead
+// in every category.
+func TestNoUpdatesWithoutChange(t *testing.T) {
+	g := graphOf(8, [2]int{0, 5}, [2]int{1, 5}, [2]int{2, 6}, [2]int{5, 6})
+	totals, transfers, _, _ := evolve(t, []int{0, 1, 2, 5, 6}, g, g)
+	if len(transfers) != 0 {
+		t.Fatalf("transfers on identical snapshots: %+v", transfers)
+	}
+	if totals.PhiTotal() != 0 || totals.GammaTotal() != 0 ||
+		totals.RegTotal() != 0 || totals.UpdateTotal() != 0 {
+		t.Fatalf("overhead without change: %+v", totals)
+	}
+}
+
+// TestLiveAt enumerates live logical clusters from table chains.
+func TestLiveAt(t *testing.T) {
+	g := graphOf(8, [2]int{0, 5}, [2]int{1, 5}, [2]int{2, 6}, [2]int{5, 6})
+	h, ids, _ := tracked(g, []int{0, 1, 2, 5, 6})
+	s := NewSelector(nil)
+	tbl := s.BuildTable(h, ids)
+	live := tbl.LiveAt(1)
+	if len(live) == 0 {
+		t.Fatal("no live level-1 clusters")
+	}
+	// Every level-1 cluster's logical ID must appear.
+	for _, head := range h.LevelNodes(1) {
+		id, _ := ids.Logical(1, head)
+		if !live[id] {
+			t.Fatalf("cluster %d (logical %d) missing from LiveAt", head, id)
+		}
+	}
+	if len(tbl.LiveAt(0)) != 0 {
+		t.Fatal("LiveAt(0) should be empty")
+	}
+}
+
+// TestChainAccessors covers Table.Chain and Levels edge cases.
+func TestChainAccessors(t *testing.T) {
+	g := graphOf(8, [2]int{0, 5}, [2]int{1, 5})
+	h, ids, _ := tracked(g, []int{0, 1, 5})
+	s := NewSelector(nil)
+	tbl := s.BuildTable(h, ids)
+	if c := tbl.Chain(0); len(c) == 0 {
+		t.Fatal("empty chain for clustered node")
+	}
+	if c := tbl.Chain(99); c != nil {
+		t.Fatalf("chain for unknown owner: %v", c)
+	}
+	if l := tbl.Levels(99); l != 0 {
+		t.Fatalf("levels for unknown owner: %d", l)
+	}
+	if s := tbl.Server(99, 1); s != -1 {
+		t.Fatalf("server for unknown owner: %d", s)
+	}
+	if len(tbl.Owners()) != 3 {
+		t.Fatalf("owners = %v", tbl.Owners())
+	}
+}

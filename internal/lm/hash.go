@@ -1,0 +1,120 @@
+// Package lm implements the paper's primary contribution: clustered
+// hierarchy location management (CHLM, §3.2) and the accounting of its
+// handoff overhead (§4, §5).
+//
+// Each node v maintains one LM server per hierarchy level k = 1..L.
+// The level-k server is found by hashing v against the member clusters
+// of v's level-k cluster, then recursively against the members of the
+// chosen cluster, down to a single level-0 node — the CHLM adaptation
+// of GLS server selection. The paper's two requirements on the hash
+// (unambiguous selection, equitable load) are met by rendezvous
+// hashing; the GLS circular-successor rule of Eq. (5) is also
+// implemented to demonstrate the load skew the paper warns about.
+//
+// Hashing is keyed on *stable logical cluster IDs* (see
+// cluster.IdentityTracker), not on raw clusterhead IDs: a clusterhead
+// relabel must not re-home entries whose clusters persist. Ablation A4
+// measures the overhead explosion of naive head-ID keying.
+package lm
+
+import (
+	"fmt"
+)
+
+// HashFamily selects one candidate from a list, deterministically.
+// keys are the candidates' stable hash keys (logical cluster IDs, or
+// level-0 node IDs at the leaf step of the descent); Select returns
+// the index of the winner.
+type HashFamily interface {
+	// Select returns the winning index in keys (which must be
+	// non-empty) for the given owner and level.
+	Select(owner uint64, level int, keys []uint64) int
+	// Name identifies the family in reports.
+	Name() string
+}
+
+// Rendezvous is highest-random-weight hashing: the candidate
+// minimizing FNV-1a(owner, level, key, salt) wins. Changing one
+// candidate relocates only the owners that hashed to it, and load is
+// equitable because the hash is uniform in all arguments — exactly the
+// two CHLM requirements of §3.2.
+type Rendezvous struct {
+	Salt uint64
+}
+
+// Name implements HashFamily.
+func (r Rendezvous) Name() string { return "rendezvous" }
+
+// Select implements HashFamily.
+func (r Rendezvous) Select(owner uint64, level int, keys []uint64) int {
+	if len(keys) == 0 {
+		panic("lm: Select with no candidates")
+	}
+	best := 0
+	bestW := hash4(owner, uint64(level), keys[0], r.Salt)
+	for i := 1; i < len(keys); i++ {
+		w := hash4(owner, uint64(level), keys[i], r.Salt)
+		if w < bestW || (w == bestW && keys[i] < keys[best]) {
+			best, bestW = i, w
+		}
+	}
+	return best
+}
+
+// Successor is the GLS rule of Eq. (5): choose the candidate z
+// minimizing (z - owner - 1) mod IDSpace, i.e. the least key greater
+// than the owner, wrapping circularly. The paper notes (§3.2) that
+// applying this rule directly to CHLM's small, clustered candidate
+// sets concentrates load ("a disproportionately large number of nodes
+// ... selecting 45"); ablation A3 measures that skew.
+type Successor struct {
+	IDSpace int
+}
+
+// Name implements HashFamily.
+func (s Successor) Name() string { return "successor" }
+
+// Select implements HashFamily.
+func (s Successor) Select(owner uint64, level int, keys []uint64) int {
+	if len(keys) == 0 {
+		panic("lm: Select with no candidates")
+	}
+	m := uint64(s.IDSpace)
+	if s.IDSpace <= 0 {
+		panic(fmt.Sprintf("lm: Successor.IDSpace = %d", s.IDSpace))
+	}
+	best := 0
+	dist := func(k uint64) uint64 { return (k%m + m - owner%m - 1) % m }
+	bestD := dist(keys[0])
+	for i := 1; i < len(keys); i++ {
+		if d := dist(keys[i]); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// hash4 mixes four words with FNV-1a over their bytes followed by a
+// finalizer, giving a uniform 64-bit weight.
+func hash4(a, b, c, d uint64) uint64 {
+	const (
+		offset = 0xCBF29CE484222325
+		prime  = 0x00000100000001B3
+	)
+	h := uint64(offset)
+	for _, w := range [4]uint64{a, b, c, d} {
+		for i := 0; i < 8; i++ {
+			h ^= (w >> (8 * i)) & 0xFF
+			h *= prime
+		}
+	}
+	// Final avalanche (splitmix64 mixer).
+	h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9
+	h = (h ^ (h >> 27)) * 0x94D049BB133111EB
+	return h ^ (h >> 31)
+}
+
+var (
+	_ HashFamily = Rendezvous{}
+	_ HashFamily = Successor{}
+)

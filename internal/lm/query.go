@@ -1,0 +1,74 @@
+package lm
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/topology"
+)
+
+// Location query protocol (§3, and the query-cost remark in §6).
+//
+// A querier q looking for destination d does not know d's hierarchical
+// address; it asks, level by level, the node that *would* be d's
+// level-k server if d were in q's level-k cluster — computable from
+// d's ID and q's own cluster alone, exactly as in GLS. The query
+// succeeds at the first level k where q and d actually share a level-k
+// cluster (that server holds d's entry). The paper argues this cost is
+// of the same order as the q→d hop count and is absorbed into the
+// session; experiment code verifies that proportionality.
+
+// QueryResult describes one resolved location query.
+type QueryResult struct {
+	Found bool
+	// Level at which the query resolved (the common-cluster level).
+	Level int
+	// Packets is the total query cost in packet transmissions: the
+	// up-the-hierarchy probe chain plus the reply.
+	Packets int
+	// Server is the node that answered.
+	Server int
+}
+
+// Query resolves the location of d for querier q on hierarchy h,
+// costing transmissions with hop. Returns Found == false when q and d
+// share no cluster at any level (distinct partitions).
+func Query(s *Selector, h *cluster.Hierarchy, ids *cluster.Identities, hop topology.HopModel, q, d int) QueryResult {
+	if q == d {
+		return QueryResult{Found: true, Level: 0, Packets: 0, Server: q}
+	}
+	chainQ := h.AncestorChain(q)
+	chainD := h.AncestorChain(d)
+	packets := 0
+	for k := 1; k <= len(chainQ); k++ {
+		// The candidate server inside q's level-k cluster.
+		candidate := serverWithin(s, h, ids, chainQ[k-1], k, d)
+		if candidate < 0 {
+			continue
+		}
+		packets += hop.Hops(q, candidate)
+		if k <= len(chainD) && chainD[k-1] == chainQ[k-1] {
+			// Shared cluster: candidate is d's real level-k server and
+			// holds the entry; it replies to q.
+			packets += hop.Hops(candidate, q)
+			return QueryResult{Found: true, Level: k, Packets: packets, Server: candidate}
+		}
+		// Miss: the probe returns empty-handed (reply cost).
+		packets += hop.Hops(candidate, q)
+	}
+	return QueryResult{Found: false, Packets: packets}
+}
+
+// serverWithin resolves the level-0 node that serves owner's level-k
+// entry assuming owner's level-k cluster is the given cluster —
+// q-side speculative resolution.
+func serverWithin(s *Selector, h *cluster.Hierarchy, ids *cluster.Identities, clusterID, k, owner int) int {
+	cur := clusterID
+	for level := k; level >= 1; level-- {
+		members := h.MembersAt(level, cur)
+		if len(members) == 0 {
+			return -1
+		}
+		idx := s.Hash.Select(uint64(owner), level, memberKeys(h, ids, level, members))
+		cur = members[idx]
+	}
+	return cur
+}

@@ -1,0 +1,122 @@
+package lm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/topology"
+)
+
+func quickGraph(n int, raw []byte) *topology.Graph {
+	g := topology.NewGraph(n)
+	for i := 0; i+1 < len(raw); i += 2 {
+		g.AddEdge(int(raw[i])%n, int(raw[i+1])%n)
+	}
+	return g
+}
+
+// TestQuickIncrementalEqualsFull: for arbitrary topology evolutions,
+// the dirty-subtree incremental update must equal a full rebuild.
+// This is the load-bearing correctness property of the LM maintenance
+// path.
+func TestQuickIncrementalEqualsFull(t *testing.T) {
+	f := func(rawA, rawB []byte) bool {
+		const n = 36
+		tr := cluster.NewIdentityTracker()
+		s := NewSelector(nil)
+		g1 := quickGraph(n, rawA)
+		h1, ids1 := cluster.BuildWithIdentities(g1, nodesUpTo(n), cluster.Config{}, nil, nil, tr, 0)
+		t1 := s.BuildTable(h1, ids1)
+		g2 := quickGraph(n, rawB)
+		h2, ids2 := cluster.BuildWithIdentities(g2, nodesUpTo(n), cluster.Config{}, h1, ids1, tr, 1)
+		incr := s.UpdateTable(t1, h1, ids1, h2, ids2)
+		full := s.BuildTable(h2, ids2)
+		return len(DiffTables(full, incr)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickServerInOwnersCluster: every assignment lands inside the
+// owner's cluster at that level, for arbitrary graphs.
+func TestQuickServerInOwnersCluster(t *testing.T) {
+	f := func(raw []byte) bool {
+		const n = 32
+		tr := cluster.NewIdentityTracker()
+		g := quickGraph(n, raw)
+		h, ids := cluster.BuildWithIdentities(g, nodesUpTo(n), cluster.Config{}, nil, nil, tr, 0)
+		s := NewSelector(nil)
+		tbl := s.BuildTable(h, ids)
+		for _, v := range tbl.Owners() {
+			for k := 1; k <= tbl.Levels(v); k++ {
+				srv := tbl.Server(v, k)
+				if srv < 0 {
+					return false
+				}
+				anc := h.Ancestor(v, k)
+				found := false
+				for _, d := range h.Descendants(k, anc) {
+					if d == srv {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickApplyConservation: for arbitrary evolutions, every table
+// diff is accounted exactly once across the four cause categories.
+func TestQuickApplyConservation(t *testing.T) {
+	f := func(rawA, rawB []byte) bool {
+		const n = 30
+		tr := cluster.NewIdentityTracker()
+		s := NewSelector(nil)
+		g1 := quickGraph(n, rawA)
+		h1, ids1 := cluster.BuildWithIdentities(g1, nodesUpTo(n), cluster.Config{}, nil, nil, tr, 0)
+		t1 := s.BuildTable(h1, ids1)
+		g2 := quickGraph(n, rawB)
+		h2, ids2 := cluster.BuildWithIdentities(g2, nodesUpTo(n), cluster.Config{}, h1, ids1, tr, 1)
+		t2 := s.UpdateTable(t1, h1, ids1, h2, ids2)
+		hop := topology.NewBFSHops(g2, 20)
+		var tot Totals
+		transfers := NewAccountant(hop).Apply(t1, t2, &tot)
+		if len(transfers) != len(DiffTables(t1, t2)) {
+			return false
+		}
+		var phi, gamma, reg, drop int64
+		for _, tr := range transfers {
+			switch tr.Cause {
+			case CauseMigration:
+				phi++
+			case CauseReorg:
+				gamma++
+			case CauseRegistration:
+				reg++
+			case CauseDrop:
+				drop++
+			}
+		}
+		var accPhi, accGamma, accReg, accDrop int64
+		for k := 0; k <= tot.MaxLevel(); k++ {
+			accPhi += tot.PhiEntries[k]
+			accGamma += tot.GammaEntries[k]
+			accReg += tot.RegEntries[k]
+			accDrop += tot.DropEntries[k]
+		}
+		return phi == accPhi && gamma == accGamma && reg == accReg && drop == accDrop
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,409 @@
+package lm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+)
+
+// Table is the complete server-assignment snapshot: for every owner
+// node and hierarchy level k, the level-0 node currently serving the
+// owner's level-k location entry (-1 where the hierarchy does not
+// reach level k above the owner). It also records each owner's
+// *logical* ancestor chain, which the incremental update and the
+// handoff accountant consume: comparing logical chains distinguishes
+// real cluster membership changes from head relabels.
+type Table struct {
+	owners  []int       // sorted level-0 node IDs
+	index   map[int]int // owner -> row
+	servers [][]int32   // [row][k-1] -> server node, -1 if none
+	chains  [][]uint64  // [row][k-1] -> logical level-k ancestor
+}
+
+// Owners returns the sorted owner IDs covered by the table.
+func (t *Table) Owners() []int { return t.owners }
+
+// Server returns the level-k server of owner, or -1.
+func (t *Table) Server(owner, k int) int {
+	row, ok := t.index[owner]
+	if !ok || k < 1 || k > len(t.servers[row]) {
+		return -1
+	}
+	return int(t.servers[row][k-1])
+}
+
+// Chain returns owner's logical ancestor chain (shared slice; do not
+// mutate), or nil.
+func (t *Table) Chain(owner int) []uint64 {
+	row, ok := t.index[owner]
+	if !ok {
+		return nil
+	}
+	return t.chains[row]
+}
+
+// Levels returns the number of levels allocated for owner's row.
+func (t *Table) Levels(owner int) int {
+	row, ok := t.index[owner]
+	if !ok {
+		return 0
+	}
+	return len(t.servers[row])
+}
+
+// Load returns, for every node that serves at least one entry, the
+// number of (owner, level) entries it serves. This is the server-load
+// distribution whose equity the paper requires.
+func (t *Table) Load() map[int]int {
+	load := map[int]int{}
+	for _, row := range t.servers {
+		for _, s := range row {
+			if s >= 0 {
+				load[int(s)]++
+			}
+		}
+	}
+	return load
+}
+
+// EntryCount returns the total number of live (owner, level) entries.
+func (t *Table) EntryCount() int {
+	n := 0
+	for _, row := range t.servers {
+		for _, s := range row {
+			if s >= 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// LiveAt returns the set of logical cluster IDs appearing at level k
+// in any owner's chain (every live cluster has at least one level-0
+// descendant, so this enumerates the live clusters).
+func (t *Table) LiveAt(k int) map[uint64]bool {
+	out := map[uint64]bool{}
+	if k < 1 {
+		return out
+	}
+	for _, chain := range t.chains {
+		if k <= len(chain) {
+			out[chain[k-1]] = true
+		}
+	}
+	return out
+}
+
+// Selector computes CHLM server assignments over a hierarchy with
+// cluster identities.
+type Selector struct {
+	Hash HashFamily
+}
+
+// NewSelector returns a selector using the given hash family (nil
+// means Rendezvous{}).
+func NewSelector(h HashFamily) *Selector {
+	if h == nil {
+		h = Rendezvous{}
+	}
+	return &Selector{Hash: h}
+}
+
+// ServerFor resolves the level-0 node serving owner's level-k entry in
+// hierarchy h: starting from the owner's level-k cluster, hash-select
+// one member cluster per level down to a level-0 node (§3.2). Hash
+// keys are logical cluster IDs (node IDs at the leaf step). Returns -1
+// when the hierarchy does not reach level k above owner.
+func (s *Selector) ServerFor(h *cluster.Hierarchy, ids *cluster.Identities, owner, k int) int {
+	anc := h.Ancestor(owner, k)
+	if anc < 0 {
+		return -1
+	}
+	cur := anc
+	for level := k; level >= 1; level-- {
+		members := h.MembersAt(level, cur)
+		if len(members) == 0 {
+			// Structurally impossible in a valid hierarchy; fail loud.
+			panic(fmt.Sprintf("lm: level-%d cluster %d has no members", level, cur))
+		}
+		idx := s.Hash.Select(uint64(owner), level, memberKeys(h, ids, level, members))
+		cur = members[idx]
+	}
+	return cur
+}
+
+// memberKeys returns the hash keys of the level-(level-1) members of a
+// level-`level` cluster: logical IDs for clusters, node IDs at level 1.
+func memberKeys(h *cluster.Hierarchy, ids *cluster.Identities, level int, members []int) []uint64 {
+	keys := make([]uint64, len(members))
+	for i, m := range members {
+		if level == 1 {
+			keys[i] = uint64(m)
+			continue
+		}
+		if id, ok := ids.Logical(level-1, m); ok {
+			keys[i] = id
+		} else {
+			// Identity missing (should not happen for a tracked
+			// snapshot); degrade to the physical ID.
+			keys[i] = uint64(m)
+		}
+	}
+	return keys
+}
+
+// BuildTable computes the full assignment table for h.
+func (s *Selector) BuildTable(h *cluster.Hierarchy, ids *cluster.Identities) *Table {
+	owners := h.LevelNodes(0)
+	t := &Table{
+		owners:  owners,
+		index:   make(map[int]int, len(owners)),
+		servers: make([][]int32, len(owners)),
+		chains:  make([][]uint64, len(owners)),
+	}
+	for row, v := range owners {
+		t.index[v] = row
+		chain := ids.ChainOf(h, v)
+		srv := make([]int32, len(chain))
+		for i := range chain {
+			srv[i] = int32(s.ServerFor(h, ids, v, i+1))
+		}
+		t.servers[row] = srv
+		t.chains[row] = chain
+	}
+	return t
+}
+
+// UpdateTable computes the assignment table for next incrementally:
+// rows are recomputed only for (owner, k) pairs whose logical level-k
+// ancestor changed or whose ancestor's subtree had any membership
+// change (the hash descent only inspects members lists inside that
+// subtree, so everything else is provably unchanged). The result is
+// always identical to BuildTable(nextH, nextIDs).
+func (s *Selector) UpdateTable(
+	prev *Table,
+	prevH *cluster.Hierarchy, prevIDs *cluster.Identities,
+	nextH *cluster.Hierarchy, nextIDs *cluster.Identities,
+) *Table {
+	dirty := dirtySubtrees(prevH, prevIDs, nextH, nextIDs)
+	owners := nextH.LevelNodes(0)
+	t := &Table{
+		owners:  owners,
+		index:   make(map[int]int, len(owners)),
+		servers: make([][]int32, len(owners)),
+		chains:  make([][]uint64, len(owners)),
+	}
+	for row, v := range owners {
+		t.index[v] = row
+		chain := nextIDs.ChainOf(nextH, v)
+		srv := make([]int32, len(chain))
+		var prevChain []uint64
+		var prevSrv []int32
+		if prev != nil {
+			if r, ok := prev.index[v]; ok {
+				prevChain = prev.chains[r]
+				prevSrv = prev.servers[r]
+			}
+		}
+		for i, c := range chain {
+			k := i + 1
+			if i < len(prevChain) && prevChain[i] == c && !dirty.is(k, c) {
+				srv[i] = prevSrv[i]
+				continue
+			}
+			srv[i] = int32(s.ServerFor(nextH, nextIDs, v, k))
+		}
+		t.servers[row] = srv
+		t.chains[row] = chain
+	}
+	return t
+}
+
+// dirtySet tracks logical clusters whose subtree membership changed,
+// per level.
+type dirtySet []map[uint64]bool
+
+func (d dirtySet) is(k int, id uint64) bool {
+	if k < 0 || k >= len(d) {
+		return true // unknown level: be conservative
+	}
+	return d[k][id]
+}
+
+func (d dirtySet) mark(k int, id uint64) bool {
+	if k < 0 || k >= len(d) {
+		return false
+	}
+	if d[k][id] {
+		return false
+	}
+	d[k][id] = true
+	return true
+}
+
+// dirtySubtrees returns the logical clusters whose member-key sets
+// differ between the two snapshots (including clusters present in only
+// one), with dirtiness propagated to all ancestors in both snapshots.
+func dirtySubtrees(
+	prevH *cluster.Hierarchy, prevIDs *cluster.Identities,
+	nextH *cluster.Hierarchy, nextIDs *cluster.Identities,
+) dirtySet {
+	maxL := prevH.L()
+	if nextH.L() > maxL {
+		maxL = nextH.L()
+	}
+	dirty := make(dirtySet, maxL+1)
+	for k := range dirty {
+		dirty[k] = map[uint64]bool{}
+	}
+	for k := 1; k <= maxL; k++ {
+		pm := memberKeySets(prevH, prevIDs, k)
+		nm := memberKeySets(nextH, nextIDs, k)
+		for id, keys := range pm {
+			nk, ok := nm[id]
+			if !ok || !equalUints(keys, nk) {
+				dirty.mark(k, id)
+			}
+		}
+		for id := range nm {
+			if _, ok := pm[id]; !ok {
+				dirty.mark(k, id)
+			}
+		}
+	}
+	// Propagate upward in both snapshots: a descent from an ancestor
+	// may pass through a dirty cluster.
+	for k := 1; k <= maxL; k++ {
+		for id := range dirty[k] {
+			propagateUp(prevH, prevIDs, k, id, dirty)
+			propagateUp(nextH, nextIDs, k, id, dirty)
+		}
+	}
+	return dirty
+}
+
+// memberKeySets maps each live logical level-k cluster to its sorted
+// member hash keys.
+func memberKeySets(h *cluster.Hierarchy, ids *cluster.Identities, k int) map[uint64][]uint64 {
+	out := map[uint64][]uint64{}
+	if k > h.L() {
+		return out
+	}
+	for _, head := range h.LevelNodes(k) {
+		id, ok := ids.Logical(k, head)
+		if !ok {
+			continue
+		}
+		members := h.MembersAt(k, head)
+		keys := memberKeys(h, ids, k, members)
+		sorted := append([]uint64(nil), keys...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		out[id] = sorted
+	}
+	return out
+}
+
+// propagateUp marks the ancestors of the level-k cluster with the
+// given logical ID dirty, within one snapshot.
+func propagateUp(h *cluster.Hierarchy, ids *cluster.Identities, k int, id uint64, dirty dirtySet) {
+	// Find the physical head carrying this logical ID.
+	head := -1
+	for _, hd := range h.LevelNodes(k) {
+		if lid, ok := ids.Logical(k, hd); ok && lid == id {
+			head = hd
+			break
+		}
+	}
+	if head < 0 {
+		return
+	}
+	cur := head
+	for j := k; j < h.L(); j++ {
+		lvl := h.Level(j)
+		if lvl == nil || lvl.Member == nil {
+			return
+		}
+		parent, ok := lvl.Member[cur]
+		if !ok {
+			return
+		}
+		pid, ok := ids.Logical(j+1, parent)
+		if !ok {
+			return
+		}
+		if !dirty.mark(j+1, pid) {
+			return // already propagated through here
+		}
+		cur = parent
+	}
+}
+
+func equalUints(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TableDiff reports every (owner, level) assignment change between two
+// tables, ordered by (owner, level).
+type TableDiff struct {
+	Owner, Level         int
+	OldServer, NewServer int // -1 when absent on that side
+}
+
+// DiffTables lists all assignment changes from prev to next.
+func DiffTables(prev, next *Table) []TableDiff {
+	var out []TableDiff
+	seen := map[int]bool{}
+	for _, v := range next.owners {
+		seen[v] = true
+		nRow := next.index[v]
+		maxK := len(next.servers[nRow])
+		inPrev := false
+		if prev != nil {
+			if r, ok := prev.index[v]; ok {
+				inPrev = true
+				if len(prev.servers[r]) > maxK {
+					maxK = len(prev.servers[r])
+				}
+			}
+		}
+		for k := 1; k <= maxK; k++ {
+			oldS := -1
+			if inPrev {
+				oldS = prev.Server(v, k)
+			}
+			newS := next.Server(v, k)
+			if oldS != newS {
+				out = append(out, TableDiff{Owner: v, Level: k, OldServer: oldS, NewServer: newS})
+			}
+		}
+	}
+	if prev != nil {
+		for _, v := range prev.owners {
+			if seen[v] {
+				continue
+			}
+			for k := 1; k <= prev.Levels(v); k++ {
+				if s := prev.Server(v, k); s >= 0 {
+					out = append(out, TableDiff{Owner: v, Level: k, OldServer: s, NewServer: -1})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Owner != out[j].Owner {
+			return out[i].Owner < out[j].Owner
+		}
+		return out[i].Level < out[j].Level
+	})
+	return out
+}

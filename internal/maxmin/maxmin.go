@@ -1,0 +1,173 @@
+// Package maxmin implements max-min d-cluster formation (Amis,
+// Prakash, Vuong & Huynh, INFOCOM 2000), the generalization of the
+// linked cluster algorithm the paper cites in §2.2: clusterheads are
+// elected so that every node is within d hops of its head, using 2d
+// flooding rounds (d of floodmax, d of floodmin) and O(d) messages per
+// node.
+//
+// It plugs into the hierarchy builder as a cluster.Elector (ablation
+// A2), with cluster.Config.Reach set to D.
+package maxmin
+
+import (
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/topology"
+)
+
+// Clusterer elects clusterheads with the max-min d-hop rules.
+type Clusterer struct {
+	// D is the hop radius; every node ends up within D hops of its
+	// clusterhead. D = 1 degenerates to an LCA-like election.
+	D int
+}
+
+// Name implements cluster.Elector.
+func (c Clusterer) Name() string { return "maxmin" }
+
+// Elect implements cluster.Elector. prevHead is ignored: max-min as
+// published is memoryless.
+func (c Clusterer) Elect(nodes []int, g *topology.Graph, prevHead func(int) int) map[int]int {
+	d := c.D
+	if d < 1 {
+		d = 1
+	}
+	n := len(nodes)
+	idx := make(map[int]int, n)
+	for i, v := range nodes {
+		idx[v] = i
+	}
+
+	// Phase 1: floodmax for d rounds. maxLog[r][i] is node i's winner
+	// after round r (round 0 = own id).
+	maxLog := make([][]int, d+1)
+	maxLog[0] = append([]int(nil), nodes...)
+	for r := 1; r <= d; r++ {
+		prev := maxLog[r-1]
+		cur := make([]int, n)
+		for i, v := range nodes {
+			best := prev[i]
+			for _, w := range g.Neighbors(v) {
+				if j, ok := idx[w]; ok && prev[j] > best {
+					best = prev[j]
+				}
+			}
+			cur[i] = best
+		}
+		maxLog[r] = cur
+	}
+
+	// Phase 2: floodmin for d rounds, seeded with the floodmax result.
+	minLog := make([][]int, d+1)
+	minLog[0] = maxLog[d]
+	for r := 1; r <= d; r++ {
+		prev := minLog[r-1]
+		cur := make([]int, n)
+		for i, v := range nodes {
+			best := prev[i]
+			for _, w := range g.Neighbors(v) {
+				if j, ok := idx[w]; ok && prev[j] < best {
+					best = prev[j]
+				}
+			}
+			cur[i] = best
+		}
+		minLog[r] = cur
+	}
+
+	// Selection rules, per node.
+	head := make(map[int]int, n)
+	for i, v := range nodes {
+		// Rule 1: v saw its own id during floodmin -> v is a head.
+		rule1 := false
+		for r := 1; r <= d; r++ {
+			if minLog[r][i] == v {
+				rule1 = true
+				break
+			}
+		}
+		if rule1 {
+			head[v] = v
+			continue
+		}
+		// Rule 2: "node pairs" — ids that appeared at v in both
+		// phases; elect the minimum such id.
+		seenMax := map[int]bool{}
+		for r := 1; r <= d; r++ {
+			seenMax[maxLog[r][i]] = true
+		}
+		pair := -1
+		for r := 1; r <= d; r++ {
+			w := minLog[r][i]
+			if seenMax[w] && (pair == -1 || w < pair) {
+				pair = w
+			}
+		}
+		if pair != -1 {
+			head[v] = pair
+			continue
+		}
+		// Rule 3: the floodmax winner.
+		head[v] = maxLog[d][i]
+	}
+
+	c.repair(nodes, g, idx, head)
+	return head
+}
+
+// repair enforces the structural properties the hierarchy builder
+// needs: every elected head heads itself, and every member can reach
+// its head within D hops. Violations (possible on adversarial
+// topologies for the textbook rules) fall back to the nearest
+// self-elected head within D hops, or self-election.
+func (c Clusterer) repair(nodes []int, g *topology.Graph, idx map[int]int, head map[int]int) {
+	d := c.D
+	if d < 1 {
+		d = 1
+	}
+	heads := map[int]bool{}
+	for _, v := range nodes {
+		if head[v] == v {
+			heads[v] = true
+		}
+	}
+	// Heads elected by others must self-head.
+	for _, v := range nodes {
+		if h := head[v]; h != v && !heads[h] {
+			head[h] = h
+			heads[h] = true
+		}
+	}
+	// Members must reach their head within d hops through the node
+	// set; otherwise re-home.
+	inSet := func(w int) bool { _, ok := idx[w]; return ok }
+	scratch := topology.NewBFSScratch(g.IDSpace())
+	sorted := append([]int(nil), nodes...)
+	sort.Ints(sorted)
+	for _, v := range sorted {
+		h := head[v]
+		if h == v {
+			continue
+		}
+		if hops := scratch.HopCount(g, v, h, inSet); hops >= 0 && hops <= d {
+			continue
+		}
+		// Find nearest head within d hops.
+		dists := scratch.DistancesFrom(g, v, inSet)
+		best, bestD := -1, d+1
+		for w, dist := range dists {
+			if heads[w] && dist <= d && (best == -1 || dist < bestD || (dist == bestD && w < best)) {
+				best, bestD = w, dist
+			}
+		}
+		if best >= 0 {
+			head[v] = best
+		} else {
+			head[v] = v
+			heads[v] = true
+		}
+	}
+}
+
+var _ cluster.Elector = Clusterer{}

@@ -1,0 +1,326 @@
+// Package mobility implements the node mobility models used by the
+// paper. The primary model is random waypoint (Broch et al., MobiCom
+// '98) with zero pause time and fixed speed μ, exactly as assumed in
+// §1.2 of the paper; a random-direction model and a stationary model
+// are provided for ablations and tests.
+//
+// Models expose piecewise-linear kinematics: a node's position is an
+// analytic function of time between waypoint decisions, so the
+// simulator can advance all nodes to an arbitrary instant without
+// accumulating per-tick integration error.
+package mobility
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+// Model drives the motion of a set of nodes inside a disc region.
+type Model interface {
+	// Init places n nodes and returns their initial positions.
+	Init(n int) []geom.Vec
+	// AdvanceTo moves all nodes to absolute time t (monotonically
+	// increasing across calls) and writes positions into pos.
+	AdvanceTo(t float64, pos []geom.Vec)
+	// Speed returns the configured node speed μ in m/s (mean speed for
+	// models with varying speed).
+	Speed() float64
+}
+
+// leg is one linear segment of travel: from origin at time t0 toward
+// dest, arriving at time t1.
+type leg struct {
+	origin geom.Vec
+	dest   geom.Vec
+	t0, t1 float64
+}
+
+func (l *leg) at(t float64) geom.Vec {
+	if t >= l.t1 {
+		return l.dest
+	}
+	if l.t1 == l.t0 {
+		return l.dest
+	}
+	frac := (t - l.t0) / (l.t1 - l.t0)
+	return l.origin.Lerp(l.dest, frac)
+}
+
+// Waypoint is the random waypoint model: each node repeatedly picks a
+// uniform destination in the disc and travels there in a straight line
+// at speed μ with zero pause, per the paper's assumption.
+type Waypoint struct {
+	Region geom.Disc
+	Mu     float64 // node speed, m/s
+	Pause  float64 // pause at each waypoint, s (paper: 0)
+
+	src  *rng.Source
+	legs []leg
+	now  float64
+}
+
+// NewWaypoint builds a random waypoint model over region at speed mu
+// m/s with zero pause, drawing randomness from src.
+func NewWaypoint(region geom.Disc, mu float64, src *rng.Source) *Waypoint {
+	if mu <= 0 {
+		panic("mobility: waypoint speed must be positive")
+	}
+	return &Waypoint{Region: region, Mu: mu, src: src}
+}
+
+// Speed returns μ.
+func (w *Waypoint) Speed() float64 { return w.Mu }
+
+// Init samples n uniform initial positions and initial waypoints.
+//
+// Note: sampling the initial position uniformly (rather than from the
+// RWP stationary distribution) means the spatial distribution drifts
+// toward the well-known center-weighted RWP steady state during a
+// warm-up period; experiment runners discard that warm-up.
+func (w *Waypoint) Init(n int) []geom.Vec {
+	pos := make([]geom.Vec, n)
+	w.legs = make([]leg, n)
+	for i := range pos {
+		pos[i] = w.Region.Sample(w.src)
+		w.legs[i] = w.newLeg(pos[i], 0)
+	}
+	w.now = 0
+	return pos
+}
+
+func (w *Waypoint) newLeg(from geom.Vec, t float64) leg {
+	dest := w.Region.Sample(w.src)
+	dist := from.Dist(dest)
+	depart := t + w.Pause
+	return leg{origin: from, dest: dest, t0: depart, t1: depart + dist/w.Mu}
+}
+
+// AdvanceTo moves every node to time t.
+func (w *Waypoint) AdvanceTo(t float64, pos []geom.Vec) {
+	if t < w.now {
+		panic("mobility: AdvanceTo moved backwards")
+	}
+	for i := range w.legs {
+		l := &w.legs[i]
+		for t >= l.t1 {
+			*l = w.newLeg(l.dest, l.t1)
+		}
+		if t < l.t0 {
+			pos[i] = l.origin // pausing at the waypoint
+		} else {
+			pos[i] = l.at(t)
+		}
+	}
+	w.now = t
+}
+
+// RandomDirection is the random direction model: each node travels in
+// a uniformly random heading for an exponentially distributed duration,
+// reflecting off the region boundary. Unlike random waypoint it has a
+// uniform stationary spatial distribution, so it serves as a robustness
+// check that results are not artifacts of RWP center-weighting.
+type RandomDirection struct {
+	Region   geom.Disc
+	Mu       float64
+	MeanLegT float64 // mean leg duration, s
+
+	src      *rng.Source
+	dirs     []geom.Vec
+	until    []float64 // time current heading expires
+	position []geom.Vec
+	now      float64
+}
+
+// NewRandomDirection builds a random-direction model. meanLegT is the
+// mean duration between heading changes.
+func NewRandomDirection(region geom.Disc, mu, meanLegT float64, src *rng.Source) *RandomDirection {
+	if mu <= 0 || meanLegT <= 0 {
+		panic("mobility: random direction needs positive mu and meanLegT")
+	}
+	return &RandomDirection{Region: region, Mu: mu, MeanLegT: meanLegT, src: src}
+}
+
+// Speed returns μ.
+func (r *RandomDirection) Speed() float64 { return r.Mu }
+
+// Init places n nodes uniformly with random headings.
+func (r *RandomDirection) Init(n int) []geom.Vec {
+	r.position = make([]geom.Vec, n)
+	r.dirs = make([]geom.Vec, n)
+	r.until = make([]float64, n)
+	for i := range r.position {
+		r.position[i] = r.Region.Sample(r.src)
+		r.dirs[i] = r.randomHeading()
+		r.until[i] = r.src.Exp(1 / r.MeanLegT)
+	}
+	r.now = 0
+	out := make([]geom.Vec, n)
+	copy(out, r.position)
+	return out
+}
+
+func (r *RandomDirection) randomHeading() geom.Vec {
+	theta := r.src.Range(0, 2*math.Pi)
+	return geom.Vec{X: math.Cos(theta), Y: math.Sin(theta)}
+}
+
+// AdvanceTo integrates motion to time t with boundary reflection.
+func (r *RandomDirection) AdvanceTo(t float64, pos []geom.Vec) {
+	if t < r.now {
+		panic("mobility: AdvanceTo moved backwards")
+	}
+	for i := range r.position {
+		cur := r.now
+		for cur < t {
+			step := t - cur
+			if r.until[i] < cur+step {
+				step = r.until[i] - cur
+				if step < 0 {
+					step = 0
+				}
+			}
+			next := r.position[i].Add(r.dirs[i].Scale(r.Mu * step))
+			if !r.Region.Contains(next) {
+				// Reflect: clamp to boundary, reverse with a random
+				// inward perturbation to avoid boundary cycling.
+				next = r.Region.Clamp(next)
+				inward := r.Region.C.Sub(next).Normalize()
+				r.dirs[i] = inward.Add(r.randomHeading().Scale(0.5)).Normalize()
+			}
+			r.position[i] = next
+			cur += step
+			if cur >= r.until[i] {
+				r.dirs[i] = r.randomHeading()
+				r.until[i] = cur + r.src.Exp(1/r.MeanLegT)
+			}
+			if step == 0 && cur < t {
+				// Heading change fired exactly at cur; continue the
+				// remaining interval with the fresh heading.
+				continue
+			}
+		}
+		pos[i] = r.position[i]
+	}
+	r.now = t
+}
+
+// Stationary keeps all nodes fixed; useful for static-topology
+// experiments (hierarchy structure, hop-count scaling) and tests.
+type Stationary struct {
+	Region geom.Disc
+	src    *rng.Source
+	fixed  []geom.Vec
+}
+
+// NewStationary builds a stationary placement model.
+func NewStationary(region geom.Disc, src *rng.Source) *Stationary {
+	return &Stationary{Region: region, src: src}
+}
+
+// Speed returns 0.
+func (s *Stationary) Speed() float64 { return 0 }
+
+// Init places n nodes uniformly.
+func (s *Stationary) Init(n int) []geom.Vec {
+	s.fixed = make([]geom.Vec, n)
+	for i := range s.fixed {
+		s.fixed[i] = s.Region.Sample(s.src)
+	}
+	out := make([]geom.Vec, n)
+	copy(out, s.fixed)
+	return out
+}
+
+// AdvanceTo copies the fixed positions.
+func (s *Stationary) AdvanceTo(t float64, pos []geom.Vec) {
+	copy(pos, s.fixed)
+}
+
+// compile-time interface checks
+var (
+	_ Model = (*Waypoint)(nil)
+	_ Model = (*RandomDirection)(nil)
+	_ Model = (*Stationary)(nil)
+)
+
+// GroupMobility is the reference-point group mobility model (RPGM,
+// Hong et al. '99): nodes are partitioned into groups; each group's
+// reference point travels by random waypoint, and members wander
+// within GroupRadius of it. The paper's §2.1 cites HSR's group
+// mobility support as a motivation for hierarchical routing — under
+// RPGM, clusters align with groups, so cluster membership churn is
+// driven by group meetings rather than individual crossings (ablation
+// A6 measures the effect on handoff overhead).
+type GroupMobility struct {
+	Region      geom.Disc
+	Mu          float64 // reference-point speed, m/s
+	GroupSize   int     // nodes per group (last group may be smaller)
+	GroupRadius float64 // member wander radius around the reference point
+	MemberMu    float64 // member wander speed (default Mu/2)
+
+	src     *rng.Source
+	refs    *Waypoint // reference points
+	refPos  []geom.Vec
+	offsets *Waypoint // member offsets, in a zero-centered disc
+	offPos  []geom.Vec
+	group   []int // node -> group index
+	n       int
+}
+
+// NewGroupMobility builds an RPGM model: ceil(n/groupSize) groups over
+// region with reference speed mu.
+func NewGroupMobility(region geom.Disc, mu, groupRadius float64, groupSize int, src *rng.Source) *GroupMobility {
+	if mu <= 0 || groupRadius <= 0 || groupSize <= 0 {
+		panic("mobility: group mobility needs positive mu, radius and size")
+	}
+	return &GroupMobility{
+		Region: region, Mu: mu, GroupSize: groupSize, GroupRadius: groupRadius,
+		MemberMu: mu / 2, src: src,
+	}
+}
+
+// Speed returns the reference-point speed μ.
+func (g *GroupMobility) Speed() float64 { return g.Mu }
+
+// Init places groups and members.
+func (g *GroupMobility) Init(n int) []geom.Vec {
+	g.n = n
+	groups := (n + g.GroupSize - 1) / g.GroupSize
+	// Reference points roam a slightly shrunken region so member
+	// offsets rarely clamp at the boundary.
+	refRegion := g.Region
+	if refRegion.R > g.GroupRadius*2 {
+		refRegion.R -= g.GroupRadius
+	}
+	g.refs = NewWaypoint(refRegion, g.Mu, g.src.Split())
+	g.refPos = g.refs.Init(groups)
+	memberMu := g.MemberMu
+	if memberMu <= 0 {
+		memberMu = g.Mu / 2
+	}
+	g.offsets = NewWaypoint(geom.Disc{R: g.GroupRadius}, memberMu, g.src.Split())
+	g.offPos = g.offsets.Init(n)
+	g.group = make([]int, n)
+	out := make([]geom.Vec, n)
+	for i := 0; i < n; i++ {
+		g.group[i] = i / g.GroupSize
+		out[i] = g.Region.Clamp(g.refPos[g.group[i]].Add(g.offPos[i]))
+	}
+	return out
+}
+
+// AdvanceTo moves reference points and member offsets to time t.
+func (g *GroupMobility) AdvanceTo(t float64, pos []geom.Vec) {
+	g.refs.AdvanceTo(t, g.refPos)
+	g.offsets.AdvanceTo(t, g.offPos)
+	for i := 0; i < g.n; i++ {
+		pos[i] = g.Region.Clamp(g.refPos[g.group[i]].Add(g.offPos[i]))
+	}
+}
+
+// GroupOf reports the group index of a node (for tests and analysis).
+func (g *GroupMobility) GroupOf(v int) int { return g.group[v] }
+
+var _ Model = (*GroupMobility)(nil)

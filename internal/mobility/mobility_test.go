@@ -1,0 +1,289 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+func testDisc() geom.Disc { return geom.Disc{R: 1000} }
+
+func TestWaypointStaysInRegion(t *testing.T) {
+	d := testDisc()
+	w := NewWaypoint(d, 10, rng.New(1))
+	pos := w.Init(100)
+	for step := 1; step <= 500; step++ {
+		w.AdvanceTo(float64(step), pos)
+		for i, p := range pos {
+			if !d.Contains(p) {
+				t.Fatalf("step %d: node %d at %v escaped region", step, i, p)
+			}
+		}
+	}
+}
+
+func TestWaypointSpeedExact(t *testing.T) {
+	// Between waypoint arrivals, displacement per unit time must be
+	// exactly mu. Sample with a fine dt and check |Δp|/dt <= mu, with
+	// equality when no waypoint was reached inside the interval.
+	d := testDisc()
+	mu := 7.0
+	w := NewWaypoint(d, mu, rng.New(2))
+	const n = 50
+	pos := w.Init(n)
+	prev := make([]geom.Vec, n)
+	copy(prev, pos)
+	const dt = 0.25
+	atSpeed := 0
+	total := 0
+	for step := 1; step <= 2000; step++ {
+		w.AdvanceTo(float64(step)*dt, pos)
+		for i := range pos {
+			v := pos[i].Dist(prev[i]) / dt
+			if v > mu*(1+1e-9) {
+				t.Fatalf("node %d moved at %v > mu %v", i, v, mu)
+			}
+			total++
+			if math.Abs(v-mu) < 1e-9 {
+				atSpeed++
+			}
+		}
+		copy(prev, pos)
+	}
+	// The vast majority of intervals contain no waypoint arrival.
+	if frac := float64(atSpeed) / float64(total); frac < 0.95 {
+		t.Fatalf("only %.3f of intervals at exact speed", frac)
+	}
+}
+
+func TestWaypointDeterminism(t *testing.T) {
+	d := testDisc()
+	run := func() []geom.Vec {
+		w := NewWaypoint(d, 12, rng.New(42))
+		pos := w.Init(30)
+		for s := 1; s <= 100; s++ {
+			w.AdvanceTo(float64(s), pos)
+		}
+		return pos
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("node %d diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestWaypointBackwardsPanics(t *testing.T) {
+	w := NewWaypoint(testDisc(), 5, rng.New(3))
+	pos := w.Init(1)
+	w.AdvanceTo(10, pos)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards AdvanceTo did not panic")
+		}
+	}()
+	w.AdvanceTo(5, pos)
+}
+
+func TestWaypointPause(t *testing.T) {
+	d := testDisc()
+	w := NewWaypoint(d, 1000, rng.New(4)) // fast: reaches waypoints quickly
+	w.Pause = 5
+	pos := w.Init(20)
+	// With a large pause and high speed, nodes spend most time parked;
+	// verify at least some node is exactly at its leg origin at some
+	// sampled instant (i.e. pausing works and position is stable).
+	stable := 0
+	prev := make([]geom.Vec, len(pos))
+	for s := 1; s <= 400; s++ {
+		copy(prev, pos)
+		w.AdvanceTo(float64(s)*0.5, pos)
+		for i := range pos {
+			if pos[i] == prev[i] {
+				stable++
+			}
+		}
+	}
+	if stable == 0 {
+		t.Fatal("no paused intervals observed with Pause=5")
+	}
+}
+
+func TestWaypointLongHorizonSkip(t *testing.T) {
+	// Jumping far ahead in one call must land inside the region and
+	// remain deterministic with respect to fine-grained stepping of a
+	// separate identical model? (Not required: consuming randomness
+	// differs.) We only require region containment and no panic.
+	d := testDisc()
+	w := NewWaypoint(d, 20, rng.New(5))
+	pos := w.Init(10)
+	w.AdvanceTo(1e5, pos)
+	for i, p := range pos {
+		if !d.Contains(p) {
+			t.Fatalf("node %d escaped after long skip: %v", i, p)
+		}
+	}
+}
+
+func TestRandomDirectionStaysInRegion(t *testing.T) {
+	d := testDisc()
+	m := NewRandomDirection(d, 15, 30, rng.New(6))
+	pos := m.Init(60)
+	for s := 1; s <= 1000; s++ {
+		m.AdvanceTo(float64(s), pos)
+		for i, p := range pos {
+			if !d.Contains(p) {
+				t.Fatalf("step %d: node %d at %v outside", s, i, p)
+			}
+		}
+	}
+}
+
+func TestRandomDirectionMoves(t *testing.T) {
+	d := testDisc()
+	m := NewRandomDirection(d, 15, 30, rng.New(7))
+	pos := m.Init(10)
+	start := make([]geom.Vec, len(pos))
+	copy(start, pos)
+	m.AdvanceTo(100, pos)
+	moved := 0
+	for i := range pos {
+		if pos[i].Dist(start[i]) > 1 {
+			moved++
+		}
+	}
+	if moved < 8 {
+		t.Fatalf("only %d/10 nodes moved", moved)
+	}
+}
+
+func TestStationary(t *testing.T) {
+	d := testDisc()
+	m := NewStationary(d, rng.New(8))
+	pos := m.Init(25)
+	orig := make([]geom.Vec, len(pos))
+	copy(orig, pos)
+	m.AdvanceTo(1000, pos)
+	for i := range pos {
+		if pos[i] != orig[i] {
+			t.Fatalf("stationary node %d moved", i)
+		}
+		if !d.Contains(pos[i]) {
+			t.Fatalf("stationary node %d outside region", i)
+		}
+	}
+	if m.Speed() != 0 {
+		t.Fatalf("stationary speed = %v", m.Speed())
+	}
+}
+
+func TestWaypointMeanDisplacementMatchesMu(t *testing.T) {
+	// Over a long window the path length per node equals mu*T; sampled
+	// displacement integrated over fine steps approximates it.
+	d := testDisc()
+	mu := 10.0
+	w := NewWaypoint(d, mu, rng.New(9))
+	const n = 40
+	pos := w.Init(n)
+	prev := make([]geom.Vec, n)
+	copy(prev, pos)
+	var pathLen float64
+	const dt = 0.5
+	const T = 500.0
+	for s := 1; float64(s)*dt <= T; s++ {
+		w.AdvanceTo(float64(s)*dt, pos)
+		for i := range pos {
+			pathLen += pos[i].Dist(prev[i])
+		}
+		copy(prev, pos)
+	}
+	perNodeRate := pathLen / n / T
+	// Sampling under-counts slightly at waypoint turns; allow 3%.
+	if perNodeRate < mu*0.97 || perNodeRate > mu*1.001 {
+		t.Fatalf("measured path rate %v, want ~%v", perNodeRate, mu)
+	}
+}
+
+func BenchmarkWaypointAdvance1000(b *testing.B) {
+	d := testDisc()
+	w := NewWaypoint(d, 10, rng.New(1))
+	pos := w.Init(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.AdvanceTo(float64(i+1), pos)
+	}
+}
+
+func TestGroupMobilityStaysInRegion(t *testing.T) {
+	d := testDisc()
+	m := NewGroupMobility(d, 10, 120, 16, rng.New(31))
+	pos := m.Init(100)
+	for s := 1; s <= 400; s++ {
+		m.AdvanceTo(float64(s), pos)
+		for i, p := range pos {
+			if !d.Contains(p) {
+				t.Fatalf("step %d: node %d at %v outside", s, i, p)
+			}
+		}
+	}
+}
+
+func TestGroupMobilityCohesion(t *testing.T) {
+	// Members stay within ~2*GroupRadius of their group mates (ref
+	// offset is bounded by the radius on both sides).
+	d := testDisc()
+	const radius = 100.0
+	m := NewGroupMobility(d, 10, radius, 10, rng.New(32))
+	pos := m.Init(60)
+	for s := 1; s <= 200; s++ {
+		m.AdvanceTo(float64(s), pos)
+	}
+	for i := 0; i < 60; i++ {
+		for j := i + 1; j < 60; j++ {
+			if m.GroupOf(i) != m.GroupOf(j) {
+				continue
+			}
+			if dd := pos[i].Dist(pos[j]); dd > 2*radius+1e-6 {
+				t.Fatalf("groupmates %d,%d separated by %v", i, j, dd)
+			}
+		}
+	}
+}
+
+func TestGroupMobilityGroupsMove(t *testing.T) {
+	d := testDisc()
+	m := NewGroupMobility(d, 15, 80, 12, rng.New(33))
+	pos := m.Init(48)
+	start := append([]geom.Vec(nil), pos...)
+	m.AdvanceTo(120, pos)
+	moved := 0
+	for i := range pos {
+		if pos[i].Dist(start[i]) > 50 {
+			moved++
+		}
+	}
+	if moved < 40 {
+		t.Fatalf("only %d/48 nodes moved substantially", moved)
+	}
+}
+
+func TestGroupMobilityDeterminism(t *testing.T) {
+	d := testDisc()
+	run := func() []geom.Vec {
+		m := NewGroupMobility(d, 10, 100, 8, rng.New(34))
+		pos := m.Init(32)
+		for s := 1; s <= 60; s++ {
+			m.AdvanceTo(float64(s), pos)
+		}
+		return pos
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("node %d diverged", i)
+		}
+	}
+}

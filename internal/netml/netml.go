@@ -1,0 +1,132 @@
+// Package netml is a message-level network layer on top of the
+// discrete-event engine: packets traverse the level-0 graph hop by
+// hop, each transmission taking PerHopDelay seconds, with the route
+// recomputed at every hop against the *current* topology (so mobility
+// during flight reroutes or strands packets, as in a real MANET).
+//
+// The packet-count accounting of the lm package answers "how much
+// traffic"; this layer answers "how long does a handoff take" —
+// experiment E19 measures LM entry-transfer latency per hierarchy
+// level, which the paper's model implies is Θ(h_k · per-hop delay).
+package netml
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Delivery reports the fate of one message.
+type Delivery struct {
+	OK      bool
+	Hops    int
+	Latency float64 // seconds from send to delivery (or failure)
+}
+
+// Network forwards messages over a mutable topology.
+type Network struct {
+	PerHopDelay float64
+	// MaxHops bounds forwarding to catch routing loops or unreachable
+	// destinations under churn (default 4·diameter estimate).
+	MaxHops int
+
+	engine  *sim.Engine
+	graph   *topology.Graph
+	scratch *topology.BFSScratch
+
+	sent      int
+	delivered int
+	failed    int
+}
+
+// New builds a network layer over engine and an initial graph.
+func New(engine *sim.Engine, g *topology.Graph, perHopDelay float64, maxHops int) *Network {
+	if perHopDelay <= 0 {
+		panic("netml: per-hop delay must be positive")
+	}
+	if maxHops <= 0 {
+		maxHops = 256
+	}
+	return &Network{
+		PerHopDelay: perHopDelay,
+		MaxHops:     maxHops,
+		engine:      engine,
+		graph:       g,
+		scratch:     topology.NewBFSScratch(g.IDSpace()),
+	}
+}
+
+// Rebind points the layer at a new topology snapshot (same ID space).
+// In-flight messages reroute from their current position.
+func (nw *Network) Rebind(g *topology.Graph) { nw.graph = g }
+
+// Stats reports sent/delivered/failed message counts.
+func (nw *Network) Stats() (sent, delivered, failed int) {
+	return nw.sent, nw.delivered, nw.failed
+}
+
+// Send schedules hop-by-hop delivery of one message from src to dst
+// and invokes done exactly once on delivery or failure. done runs in
+// engine context at the virtual completion time.
+func (nw *Network) Send(src, dst int, done func(Delivery)) {
+	nw.sent++
+	start := nw.engine.Now()
+	if src == dst {
+		nw.delivered++
+		done(Delivery{OK: true})
+		return
+	}
+	var step func(cur, hops int)
+	step = func(cur, hops int) {
+		if hops >= nw.MaxHops {
+			nw.failed++
+			done(Delivery{OK: false, Hops: hops, Latency: nw.engine.Now() - start})
+			return
+		}
+		next := nw.nextHop(cur, dst)
+		if next < 0 {
+			nw.failed++
+			done(Delivery{OK: false, Hops: hops, Latency: nw.engine.Now() - start})
+			return
+		}
+		nw.engine.ScheduleAfter(nw.PerHopDelay, "netml-hop", func(*sim.Engine) {
+			if next == dst {
+				nw.delivered++
+				done(Delivery{OK: true, Hops: hops + 1, Latency: nw.engine.Now() - start})
+				return
+			}
+			step(next, hops+1)
+		})
+	}
+	step(src, 0)
+}
+
+// nextHop returns the neighbor of cur on a shortest path to dst in the
+// current graph, or -1 when unreachable. Deterministic: the smallest
+// qualifying neighbor wins.
+func (nw *Network) nextHop(cur, dst int) int {
+	if nw.graph.HasEdge(cur, dst) {
+		return dst
+	}
+	// Distance field from dst; pick the neighbor strictly closer.
+	dists := nw.scratch.DistancesFrom(nw.graph, dst, nil)
+	dCur, ok := dists[cur]
+	if !ok {
+		return -1
+	}
+	best := -1
+	for _, nb := range nw.graph.Neighbors(cur) {
+		if d, ok := dists[nb]; ok && d == dCur-1 {
+			if best == -1 || nb < best {
+				best = nb
+			}
+		}
+	}
+	return best
+}
+
+// String renders counters for diagnostics.
+func (nw *Network) String() string {
+	return fmt.Sprintf("netml{sent %d delivered %d failed %d}", nw.sent, nw.delivered, nw.failed)
+}

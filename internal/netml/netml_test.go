@@ -1,0 +1,162 @@
+package netml
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func pathGraph(n int) *topology.Graph {
+	g := topology.NewGraph(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestDeliveryAlongPath(t *testing.T) {
+	e := sim.NewEngine()
+	nw := New(e, pathGraph(6), 0.5, 0)
+	var got Delivery
+	nw.Send(0, 5, func(d Delivery) { got = d })
+	e.Run()
+	if !got.OK || got.Hops != 5 {
+		t.Fatalf("delivery = %+v", got)
+	}
+	if math.Abs(got.Latency-2.5) > 1e-9 {
+		t.Fatalf("latency = %v, want 2.5", got.Latency)
+	}
+	sent, delivered, failed := nw.Stats()
+	if sent != 1 || delivered != 1 || failed != 0 {
+		t.Fatalf("stats = %d/%d/%d", sent, delivered, failed)
+	}
+}
+
+func TestSelfDelivery(t *testing.T) {
+	e := sim.NewEngine()
+	nw := New(e, pathGraph(3), 1, 0)
+	var got Delivery
+	nw.Send(2, 2, func(d Delivery) { got = d })
+	e.Run()
+	if !got.OK || got.Hops != 0 || got.Latency != 0 {
+		t.Fatalf("self delivery = %+v", got)
+	}
+}
+
+func TestUnreachableFails(t *testing.T) {
+	g := topology.NewGraph(4)
+	g.AddEdge(0, 1) // 2,3 disconnected
+	e := sim.NewEngine()
+	nw := New(e, g, 1, 0)
+	var got Delivery
+	ran := false
+	nw.Send(0, 3, func(d Delivery) { got = d; ran = true })
+	e.Run()
+	if !ran || got.OK {
+		t.Fatalf("unreachable delivery = %+v (ran=%v)", got, ran)
+	}
+}
+
+func TestMaxHopsBound(t *testing.T) {
+	e := sim.NewEngine()
+	nw := New(e, pathGraph(50), 0.1, 10)
+	var got Delivery
+	nw.Send(0, 49, func(d Delivery) { got = d })
+	e.Run()
+	if got.OK {
+		t.Fatal("delivery beyond MaxHops")
+	}
+	if got.Hops != 10 {
+		t.Fatalf("gave up after %d hops, want 10", got.Hops)
+	}
+}
+
+func TestReroutingMidFlight(t *testing.T) {
+	// Start on a long path; mid-flight, a shortcut appears and the
+	// packet uses it.
+	g1 := pathGraph(8) // 0..7
+	e := sim.NewEngine()
+	nw := New(e, g1, 1.0, 0)
+	var got Delivery
+	nw.Send(0, 7, func(d Delivery) { got = d })
+	// Before the packet reaches node 2 (it decides its next hop on
+	// arrival at t=2.0), rebind to a graph with shortcut edge 2-7.
+	e.ScheduleAt(1.5, "shortcut", func(*sim.Engine) {
+		g2 := pathGraph(8)
+		g2.AddEdge(2, 7)
+		nw.Rebind(g2)
+	})
+	e.Run()
+	if !got.OK {
+		t.Fatalf("delivery failed: %+v", got)
+	}
+	if got.Hops != 3 {
+		t.Fatalf("hops = %d, want 3 (2 on the path + shortcut)", got.Hops)
+	}
+}
+
+func TestStrandedByPartitionMidFlight(t *testing.T) {
+	g1 := pathGraph(6)
+	e := sim.NewEngine()
+	nw := New(e, g1, 1.0, 0)
+	var got Delivery
+	ran := false
+	nw.Send(0, 5, func(d Delivery) { got = d; ran = true })
+	// Cut the path ahead of the packet at t=1.5 (packet at node 1).
+	e.ScheduleAt(1.5, "cut", func(*sim.Engine) {
+		g2 := topology.NewGraph(6)
+		g2.AddEdge(0, 1)
+		g2.AddEdge(1, 2)
+		// 3-4-5 separated.
+		g2.AddEdge(3, 4)
+		g2.AddEdge(4, 5)
+		nw.Rebind(g2)
+	})
+	e.Run()
+	if !ran || got.OK {
+		t.Fatalf("stranded packet delivered: %+v", got)
+	}
+}
+
+func TestConcurrentMessages(t *testing.T) {
+	e := sim.NewEngine()
+	nw := New(e, pathGraph(20), 0.25, 0)
+	delivered := 0
+	for i := 0; i < 10; i++ {
+		src, dst := i, 19-i
+		nw.Send(src, dst, func(d Delivery) {
+			if d.OK {
+				delivered++
+			}
+		})
+	}
+	e.Run()
+	if delivered != 10 {
+		t.Fatalf("delivered %d of 10", delivered)
+	}
+}
+
+func TestDeterministicNextHop(t *testing.T) {
+	// Diamond: 0-1-3, 0-2-3. Smallest qualifying neighbor (1) wins.
+	g := topology.NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	e := sim.NewEngine()
+	nw := New(e, g, 1, 0)
+	if next := nw.nextHop(0, 3); next != 1 {
+		t.Fatalf("nextHop = %d, want 1", next)
+	}
+}
+
+func TestBadDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero delay accepted")
+		}
+	}()
+	New(sim.NewEngine(), pathGraph(2), 0, 0)
+}

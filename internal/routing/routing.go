@@ -1,0 +1,316 @@
+// Package routing implements strict hierarchical routing over the
+// clustered hierarchy (§2.1, following Steenstrup's description the
+// paper cites as [14]) and a flat link-state baseline. It measures the
+// two quantities the paper's motivation rests on: per-node routing
+// table size — Θ(log|V|) hierarchical vs Θ(|V|) flat, the
+// Kleinrock–Kamoun reduction — and the path stretch hierarchical
+// forwarding pays for it.
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/topology"
+)
+
+// FlatTableSize returns the per-node routing table entry count of a
+// flat link-state protocol: one entry per other destination.
+func FlatTableSize(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return n - 1
+}
+
+// HierTableSize returns node v's routing table entry count under
+// strict hierarchical routing: one entry per sibling cluster at every
+// level of v's ancestor chain (the node's "hierarchical map", §2.1),
+// plus its level-0 neighbors.
+func HierTableSize(h *cluster.Hierarchy, v int) int {
+	entries := len(h.Level(0).Graph.Neighbors(v))
+	chain := h.AncestorChain(v)
+	for k := 1; k <= len(chain); k++ {
+		// All members of the level-k cluster except v's own
+		// level-(k-1) cluster.
+		entries += len(h.MembersAt(k, chain[k-1])) - 1
+	}
+	return entries
+}
+
+// MeanHierTableSize averages HierTableSize over all nodes.
+func MeanHierTableSize(h *cluster.Hierarchy) float64 {
+	nodes := h.LevelNodes(0)
+	if len(nodes) == 0 {
+		return 0
+	}
+	total := 0
+	for _, v := range nodes {
+		total += HierTableSize(h, v)
+	}
+	return float64(total) / float64(len(nodes))
+}
+
+// Router computes concrete forwarding paths.
+type Router struct {
+	h       *cluster.Hierarchy
+	g       *topology.Graph // level-0 graph
+	scratch *topology.BFSScratch
+}
+
+// NewRouter builds a router over one hierarchy snapshot.
+func NewRouter(h *cluster.Hierarchy) *Router {
+	g := h.Level(0).Graph
+	return &Router{h: h, g: g, scratch: topology.NewBFSScratch(g.IDSpace())}
+}
+
+// FlatPathLen returns the true shortest-path hop count, or -1 when
+// unreachable.
+func (r *Router) FlatPathLen(s, d int) int {
+	return r.scratch.HopCount(r.g, s, d, nil)
+}
+
+// HierPath computes the path a strictly hierarchically routed packet
+// takes from s to d: at each stage the packet is routed toward the
+// destination's highest differing cluster, descending the hierarchy as
+// it enters shared clusters, with intra-cluster segments confined to
+// the cluster being traversed. Returns nil when s and d share no
+// cluster.
+func (r *Router) HierPath(s, d int) []int {
+	if s == d {
+		return []int{s}
+	}
+	common := r.commonLevel(s, d)
+	if common < 0 {
+		return nil
+	}
+	path := []int{s}
+	cur := s
+	for level := common; level >= 1; level-- {
+		// Inside the shared level-`level` cluster, walk the
+		// level-(level-1) cluster graph from cur's cluster to d's
+		// cluster, crossing border edges.
+		target := r.ancestorAt(d, level-1)
+		curCluster := r.ancestorAt(cur, level-1)
+		if curCluster == target {
+			continue
+		}
+		shared := r.ancestorAt(d, level)
+		cpath := r.clusterGraphPath(level-1, shared, level, curCluster, target)
+		if cpath == nil {
+			return nil // transient inconsistency; treat as unreachable
+		}
+		for i := 0; i+1 < len(cpath); i++ {
+			from, to := cpath[i], cpath[i+1]
+			a, b := r.borderEdge(level-1, from, to)
+			if a < 0 {
+				return nil
+			}
+			// Walk inside the current cluster to the border node.
+			seg := r.intraClusterPath(cur, a, level-1, from)
+			if seg == nil {
+				return nil
+			}
+			path = append(path, seg[1:]...)
+			if a != b {
+				path = append(path, b)
+			}
+			cur = b
+		}
+	}
+	// Final intra-level-1-cluster leg (or same-node).
+	if cur != d {
+		seg := r.intraClusterPath(cur, d, 0, -1)
+		if seg == nil {
+			return nil
+		}
+		path = append(path, seg[1:]...)
+	}
+	return path
+}
+
+// HierPathLen returns the hierarchical path hop count, or -1.
+func (r *Router) HierPathLen(s, d int) int {
+	p := r.HierPath(s, d)
+	if p == nil {
+		return -1
+	}
+	return len(p) - 1
+}
+
+// Stretch returns the ratio of hierarchical to shortest path length
+// for a reachable pair, or -1 when either is unreachable.
+func (r *Router) Stretch(s, d int) float64 {
+	flat := r.FlatPathLen(s, d)
+	hier := r.HierPathLen(s, d)
+	if flat <= 0 || hier < 0 {
+		return -1
+	}
+	return float64(hier) / float64(flat)
+}
+
+// commonLevel returns the smallest k with shared level-k cluster, or -1.
+func (r *Router) commonLevel(s, d int) int {
+	cs := r.h.AncestorChain(s)
+	cd := r.h.AncestorChain(d)
+	min := len(cs)
+	if len(cd) < min {
+		min = len(cd)
+	}
+	for k := 1; k <= min; k++ {
+		if cs[k-1] == cd[k-1] {
+			return k
+		}
+	}
+	return -1
+}
+
+// ancestorAt returns v's level-j cluster; for j == 0 it is v itself.
+func (r *Router) ancestorAt(v, j int) int {
+	if j == 0 {
+		return v
+	}
+	return r.h.Ancestor(v, j)
+}
+
+// clusterGraphPath BFS-walks the level-j cluster graph restricted to
+// members of the shared level-(j+1) cluster, from cluster a to b.
+func (r *Router) clusterGraphPath(j, shared, sharedLevel, a, b int) []int {
+	lvl := r.h.Level(j)
+	if lvl == nil || lvl.Graph == nil {
+		return nil
+	}
+	allowed := map[int]bool{}
+	for _, m := range r.h.MembersAt(sharedLevel, shared) {
+		allowed[m] = true
+	}
+	if !allowed[a] || !allowed[b] {
+		return nil
+	}
+	// BFS with parent tracking over the level-j graph.
+	parent := map[int]int{a: a}
+	queue := []int{a}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		if v == b {
+			break
+		}
+		for _, w := range lvl.Graph.Neighbors(v) {
+			if !allowed[w] {
+				continue
+			}
+			if _, seen := parent[w]; seen {
+				continue
+			}
+			parent[w] = v
+			queue = append(queue, w)
+		}
+	}
+	if _, ok := parent[b]; !ok {
+		return nil
+	}
+	var rev []int
+	for v := b; ; v = parent[v] {
+		rev = append(rev, v)
+		if v == parent[v] {
+			break
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// borderEdge finds a level-0 edge (a, b) with a inside cluster `from`
+// and b inside cluster `to` (both level-j clusters); returns the
+// smallest such pair, or (-1, -1).
+func (r *Router) borderEdge(j, from, to int) (int, int) {
+	descFrom := r.h.Descendants(j, from)
+	inTo := map[int]bool{}
+	for _, v := range r.h.Descendants(j, to) {
+		inTo[v] = true
+	}
+	bestA, bestB := -1, -1
+	for _, a := range descFrom {
+		for _, b := range r.g.Neighbors(a) {
+			if inTo[b] {
+				if bestA == -1 || a < bestA || (a == bestA && b < bestB) {
+					bestA, bestB = a, b
+				}
+			}
+		}
+	}
+	return bestA, bestB
+}
+
+// intraClusterPath walks level-0 hops from s to d restricted to the
+// level-0 descendants of the level-j cluster c (j == 0 or c == -1
+// means no restriction).
+func (r *Router) intraClusterPath(s, d, j, c int) []int {
+	if s == d {
+		return []int{s}
+	}
+	var restrict func(int) bool
+	if j >= 1 && c >= 0 {
+		allowed := map[int]bool{}
+		for _, v := range r.h.Descendants(j, c) {
+			allowed[v] = true
+		}
+		if !allowed[s] || !allowed[d] {
+			return nil
+		}
+		restrict = func(v int) bool { return allowed[v] }
+	}
+	// BFS with parents on the level-0 graph.
+	parent := map[int]int{s: s}
+	queue := []int{s}
+	found := false
+	for head := 0; head < len(queue) && !found; head++ {
+		v := queue[head]
+		for _, w := range r.g.Neighbors(v) {
+			if _, seen := parent[w]; seen {
+				continue
+			}
+			if w != d && restrict != nil && !restrict(w) {
+				continue
+			}
+			parent[w] = v
+			if w == d {
+				found = true
+				break
+			}
+			queue = append(queue, w)
+		}
+	}
+	if !found {
+		return nil
+	}
+	var rev []int
+	for v := d; ; v = parent[v] {
+		rev = append(rev, v)
+		if v == parent[v] {
+			break
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// ValidatePath checks that p is a connected level-0 walk from s to d.
+func (r *Router) ValidatePath(p []int, s, d int) error {
+	if len(p) == 0 {
+		return fmt.Errorf("routing: empty path")
+	}
+	if p[0] != s || p[len(p)-1] != d {
+		return fmt.Errorf("routing: path endpoints %d..%d, want %d..%d", p[0], p[len(p)-1], s, d)
+	}
+	for i := 0; i+1 < len(p); i++ {
+		if !r.g.HasEdge(p[i], p[i+1]) {
+			return fmt.Errorf("routing: hop %d: no edge (%d,%d)", i, p[i], p[i+1])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,482 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/analytic"
+	"repro/internal/cluster"
+	"repro/internal/geom"
+	"repro/internal/gls"
+	"repro/internal/lm"
+	"repro/internal/maxmin"
+	"repro/internal/routing"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// --- E7: φ(N) scaling ---
+
+func runE7(w io.Writer, sc Scale) error {
+	spec := SweepSpec{Ns: sc.Ns, Seeds: sc.Seeds, Base: baseConfig(sc), Parallelism: sc.Par, SeedBase: 700}
+	rows, errs := Aggregate(Sweep(spec))
+	if len(errs) > 0 {
+		return errs[0]
+	}
+	fmt.Fprintln(w, "E7 (Eq. 6): migration handoff overhead φ, packets/node/s")
+	tw := NewTable("N", "φ", "±95%", "φ1", "φ2", "φ3", "φ4")
+	for _, r := range rows {
+		cells := []any{r.N, r.Phi.Mean(), r.Phi.CI95()}
+		for k := 1; k <= 4; k++ {
+			v := 0.0
+			if k < len(r.PhiByLevel) {
+				v = r.PhiByLevel[k].Mean()
+			}
+			cells = append(cells, v)
+		}
+		tw.Rowf(cells...)
+	}
+	fmt.Fprint(w, tw.String())
+	ns, ys := Series(rows, func(r *AggRow) float64 { return r.Phi.Mean() })
+	fprintFits(w, "φ(N)", ns, ys)
+	fmt.Fprintln(w, "PAPER: φ = Θ(log²N); a sub-√N power exponent confirms the polylog shape.")
+	return nil
+}
+
+// --- E8: g'_k = O(1/h_k) ---
+
+func runE8(w io.Writer, sc Scale) error {
+	base := baseConfig(sc)
+	base.SampleHops = 25
+	spec := SweepSpec{Ns: sc.Ns, Seeds: sc.Seeds, Base: base, Parallelism: sc.Par, SeedBase: 800}
+	rows, errs := Aggregate(Sweep(spec))
+	if len(errs) > 0 {
+		return errs[0]
+	}
+	fmt.Fprintln(w, "E8 (Eq. 14): cluster-migration link events per level-k link per second")
+	tw := NewTable("N", "k", "|E_k|", "g'_k", "h_k", "g'_k·h_k")
+	for _, r := range rows {
+		for k := 1; k < len(r.GPrimeByLevel); k++ {
+			gp := r.GPrimeByLevel[k].Mean()
+			hk := 0.0
+			if k < len(r.HopByLevel) {
+				hk = r.HopByLevel[k].Mean()
+			}
+			if gp == 0 || hk == 0 {
+				continue
+			}
+			tw.Rowf(r.N, k, r.EdgesByLevel[k].Mean(), gp, hk, gp*hk)
+		}
+	}
+	fmt.Fprint(w, tw.String())
+	fmt.Fprintln(w, "PAPER: g'_k·h_k ≈ constant across k (Eq. 14), so γ_k = O(log N).")
+	return nil
+}
+
+// --- E9: γ(N) scaling ---
+
+func runE9(w io.Writer, sc Scale) error {
+	spec := SweepSpec{Ns: sc.Ns, Seeds: sc.Seeds, Base: baseConfig(sc), Parallelism: sc.Par, SeedBase: 900}
+	rows, errs := Aggregate(Sweep(spec))
+	if len(errs) > 0 {
+		return errs[0]
+	}
+	fmt.Fprintln(w, "E9 (Eqs. 10-11): reorganization handoff overhead γ, packets/node/s")
+	tw := NewTable("N", "γ", "±95%", "γ1", "γ2", "γ3", "γ4")
+	for _, r := range rows {
+		cells := []any{r.N, r.Gamma.Mean(), r.Gamma.CI95()}
+		for k := 1; k <= 4; k++ {
+			v := 0.0
+			if k < len(r.GammaByLevel) {
+				v = r.GammaByLevel[k].Mean()
+			}
+			cells = append(cells, v)
+		}
+		tw.Rowf(cells...)
+	}
+	fmt.Fprint(w, tw.String())
+	ns, ys := Series(rows, func(r *AggRow) float64 { return r.Gamma.Mean() })
+	fprintFits(w, "γ(N)", ns, ys)
+	fmt.Fprintln(w, "PAPER: γ = Θ(log²N).")
+	return nil
+}
+
+// --- E10: event class breakdown ---
+
+func runE10(w io.Writer, sc Scale) error {
+	cfg := baseConfig(sc)
+	cfg.N = sc.BigN
+	cfg.Seed = 10
+	cfg.TrackClasses = true
+	r, err := simnet.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "E10 (§5.2): reorganization trigger classes, events/s at N=%d over %.0fs\n", cfg.N, r.Duration)
+	tw := NewTable("k", "i:link-up", "ii:link-down", "iii:elec", "iv:rej", "v:rec-elec", "vi:rec-rej", "vii:nbr-elec")
+	levels := make([]int, 0, len(r.Classes))
+	for k := range r.Classes {
+		levels = append(levels, k)
+	}
+	sort.Ints(levels)
+	for _, k := range levels {
+		cells := []any{k}
+		for _, c := range lm.EventClasses() {
+			cells = append(cells, float64(r.Classes[k][c])/r.Duration)
+		}
+		tw.Rowf(cells...)
+	}
+	fmt.Fprint(w, tw.String())
+	fmt.Fprintln(w, "PAPER: every class frequency decays with level (Θ(1/h_k) per link);")
+	fmt.Fprintln(w, "       election and rejection rates balance in steady state (Eq. 24).")
+	// Steady-state balance check.
+	var elec, rej float64
+	for _, k := range levels {
+		elec += float64(r.Classes[k][lm.EventElection] + r.Classes[k][lm.EventRecursiveElec])
+		rej += float64(r.Classes[k][lm.EventRejection] + r.Classes[k][lm.EventRecursiveRej])
+	}
+	fmt.Fprintf(w, "election/rejection balance: %.0f vs %.0f (ratio %.3f)\n", elec, rej, elec/math.Max(rej, 1))
+	return nil
+}
+
+// --- E11: q1 estimation (the paper's future work) ---
+
+func runE11(w io.Writer, sc Scale) error {
+	fmt.Fprintln(w, "E11 (Eq. 22): critical-state probabilities p_j and q_1 — the paper defers")
+	fmt.Fprintln(w, "this measurement to future work; Eq. 22 needs q_1 bounded away from 0.")
+	tw := NewTable("N", "p_1", "p_2", "p_3", "q_1(k=2)", "q_1(k=3)", "q_1(k=4)")
+	base := baseConfig(sc)
+	base.TrackStates = true
+	for _, n := range sc.Ns {
+		cfg := base
+		cfg.N = n
+		cfg.Seed = uint64(1100 + n)
+		r, err := simnet.Run(cfg)
+		if err != nil {
+			return err
+		}
+		p := func(j int) float64 { v, _ := r.States.P1(j); return v }
+		tw.Rowf(n, p(1), p(2), p(3),
+			r.States.Q1(2), r.States.Q1(3), r.States.Q1(4))
+	}
+	fmt.Fprint(w, tw.String())
+	fmt.Fprintln(w, "CHECK: q_1 columns stay > ε > 0 as N grows (supports Eq. 22/23).")
+	return nil
+}
+
+// --- E12: |E_k| scaling ---
+
+func runE12(w io.Writer, sc Scale) error {
+	fmt.Fprintln(w, "E12 (Eq. 13): level-k link counts vs 1/c_k (static layouts)")
+	tw := NewTable("N", "k", "|V_k|", "|E_k|", "c_k", "|E_k|·c_k/N")
+	for _, n := range sc.Ns {
+		h, _ := staticHierarchy(n, uint64(1200+n))
+		n0 := float64(len(h.LevelNodes(0)))
+		for k := 0; k <= h.L(); k++ {
+			lvl := h.Level(k)
+			ck := h.Aggregation(k)
+			tw.Rowf(n, k, len(lvl.Nodes), lvl.Graph.EdgeCount(), ck,
+				float64(lvl.Graph.EdgeCount())*ck/n0)
+		}
+	}
+	fmt.Fprint(w, tw.String())
+	fmt.Fprintln(w, "PAPER: |E_k|·c_k/|V| ≈ constant (Eq. 13b): links thin out as fast as clusters grow.")
+	return nil
+}
+
+// --- E13: routing tables and stretch ---
+
+func runE13(w io.Writer, sc Scale) error {
+	fmt.Fprintln(w, "E13 (§2.1): routing state and path stretch, hierarchical vs flat")
+	tw := NewTable("N", "flat entries", "hier entries", "reduction", "mean stretch")
+	for _, n := range sc.Ns {
+		h, _ := staticHierarchy(n, uint64(1300+n))
+		r := routing.NewRouter(h)
+		nodes := h.LevelNodes(0)
+		hier := routing.MeanHierTableSize(h)
+		flat := float64(routing.FlatTableSize(len(nodes)))
+		var stretch stats.Welford
+		srcIdx := 0
+		for i := 0; i < 250; i++ {
+			s := nodes[(srcIdx*7919+i*104729)%len(nodes)]
+			d := nodes[(srcIdx*7907+i*130363)%len(nodes)]
+			if s == d {
+				continue
+			}
+			if st := r.Stretch(s, d); st > 0 {
+				stretch.Add(st)
+			}
+		}
+		tw.Rowf(n, flat, hier, flat/hier, stretch.Mean())
+	}
+	fmt.Fprint(w, tw.String())
+	fmt.Fprintln(w, "PAPER ([7], [14]): hierarchical state = Θ(log N) per node at bounded stretch.")
+	return nil
+}
+
+// --- E14: CHLM vs GLS ---
+
+func runE14(w io.Writer, sc Scale) error {
+	fmt.Fprintln(w, "E14 (§3): LM maintenance traffic, CHLM vs GLS, packets/node/s")
+	tw := NewTable("N", "CHLM φ+γ", "GLS updates", "GLS changes/node/s")
+	for _, n := range sc.Ns {
+		cfg := baseConfig(sc)
+		cfg.N = n
+		cfg.Seed = uint64(1400 + n)
+		region := cfg.Region()
+		grid := gls.NewGrid(region, 100)
+		var (
+			prevTable *gls.Table
+			glsCost   float64
+			glsCount  float64
+			ticks     int
+		)
+		posCopy := make([]geom.Vec, n)
+		cfg.Observer = func(ev simnet.ObsEvent) {
+			if ev.Time <= cfg.Warmup {
+				return
+			}
+			copy(posCopy, ev.Positions)
+			idx := gls.NewIndex(grid, posCopy)
+			table := gls.BuildTable(idx, n)
+			if prevTable != nil {
+				hop := topology.NewEuclideanHops(posCopy, 100, 1.3)
+				changed, cost := gls.DiffCount(prevTable, table, hop.Hops)
+				glsCost += float64(cost)
+				glsCount += float64(changed)
+				ticks++
+			}
+			prevTable = table
+		}
+		r, err := simnet.Run(cfg)
+		if err != nil {
+			return err
+		}
+		T := float64(ticks) * 1.0 // observer ticks at the scan interval (1 s default)
+		if r.Config.ScanInterval != 0 {
+			T = float64(ticks) * r.Config.ScanInterval
+		}
+		if T == 0 {
+			T = 1
+		}
+		tw.Rowf(n, r.TotalRate(), glsCost/(float64(n)*T), glsCount/(float64(n)*T))
+	}
+	fmt.Fprint(w, tw.String())
+	fmt.Fprintln(w, "PAPER: both are polylogarithmic designs; CHLM follows the cluster structure")
+	fmt.Fprintln(w, "       (no fixed grid), so absolute constants differ — compare the growth shape.")
+	return nil
+}
+
+// --- E15: headline total ---
+
+func runE15(w io.Writer, sc Scale) error {
+	// Two regimes: the paper's literal memoryless ALCA, and the
+	// stabilized clustering stack (debounced elections + forced top)
+	// under which the paper's event-frequency premises hold best.
+	literal := SweepSpec{Ns: sc.Ns, Seeds: sc.Seeds, Base: baseConfig(sc), Parallelism: sc.Par, SeedBase: 1500}
+	rowsLit, errs := Aggregate(Sweep(literal))
+	if len(errs) > 0 {
+		return errs[0]
+	}
+	stab := literal
+	stab.Base = StabilizedConfig(stab.Base)
+	stab.SeedBase = 1550
+	rowsStab, errs := Aggregate(Sweep(stab))
+	if len(errs) > 0 {
+		return errs[0]
+	}
+	if len(rowsLit) == 0 || len(rowsStab) == 0 {
+		return fmt.Errorf("no results")
+	}
+	// Calibrate the analytic model at the smallest N of the stabilized
+	// series (the regime the analysis describes).
+	first := rowsStab[0]
+	alpha := 3.5
+	if len(first.NodesByLevel) > 1 && first.NodesByLevel[1].Mean() > 0 {
+		alpha = float64(first.N) / first.NodesByLevel[1].Mean()
+	}
+	model := analytic.Default(alpha)
+	model.F0 = first.F0.Mean()
+	model = model.Calibrate(float64(first.N), first.Phi.Mean(), first.Gamma.Mean())
+
+	fmt.Fprintln(w, "E15 (headline): total LM handoff overhead φ+γ vs N — paper-literal ALCA")
+	fmt.Fprintln(w, "vs stabilized clustering, the paper's Θ(log²N) model calibrated at the")
+	fmt.Fprintln(w, "smallest stabilized point, and a flat-LM Θ(√N) strawman.")
+	tw := NewTable("N", "ALCA φ+γ", "stabilized φ+γ", "±95%", "model log²N", "flat √N", "L̄(stab)")
+	for i, r := range rowsStab {
+		lit := 0.0
+		if i < len(rowsLit) {
+			lit = rowsLit[i].Total.Mean()
+		}
+		tw.Rowf(r.N, lit, r.Total.Mean(), r.Total.CI95(),
+			model.Total(float64(r.N)), model.FlatLMUpdate(float64(r.N)), r.MeanLevels.Mean())
+	}
+	fmt.Fprint(w, tw.String())
+	nsL, ysL := Series(rowsLit, func(r *AggRow) float64 { return r.Total.Mean() })
+	fprintFits(w, "ALCA total(N)", nsL, ysL)
+	nsS, ysS := Series(rowsStab, func(r *AggRow) float64 { return r.Total.Mean() })
+	fprintFits(w, "stabilized total(N)", nsS, ysS)
+	fmt.Fprintln(w, "PAPER: link capacity need only grow polylogarithmically (conclusion, §6).")
+	fmt.Fprintln(w, "Both regimes stay an order of magnitude below the flat-LM strawman; the")
+	fmt.Fprintln(w, "stabilized stack also shrinks the absolute constants several-fold.")
+	return nil
+}
+
+// --- A1: sticky ALCA ablation ---
+
+func runA1(w io.Writer, sc Scale) error {
+	fmt.Fprintln(w, "A1 (ablation): election hysteresis ladder — the paper's memoryless LCA,")
+	fmt.Fprintln(w, "LCC-style sticky elections, and debounced elections with level-scaled grace.")
+	tw := NewTable("N", "elector", "φ", "γ", "total", "L̄")
+	for _, n := range sc.Ns {
+		electors := []func() cluster.Elector{
+			func() cluster.Elector { return cluster.MemorylessLCA{} },
+			func() cluster.Elector { return cluster.StickyLCA{} },
+			func() cluster.Elector { return &cluster.DebouncedLCA{Grace: 10, LevelScale: 1.9} },
+		}
+		for _, mk := range electors {
+			el := mk() // fresh elector state per run
+			cfg := baseConfig(sc)
+			cfg.N = n
+			cfg.Seed = uint64(2100 + n)
+			cfg.Elector = el
+			r, err := simnet.Run(cfg)
+			if err != nil {
+				return err
+			}
+			tw.Rowf(n, el.Name(), r.PhiRate, r.GammaRate, r.TotalRate(), r.MeanLevels)
+		}
+	}
+	fmt.Fprint(w, tw.String())
+	fmt.Fprintln(w, "CHECK: each hysteresis rung cuts reorganization churn; the hierarchy also")
+	fmt.Fprintln(w, "gets shallower and steadier as clusters live longer.")
+	return nil
+}
+
+// --- A4: naive head-ID naming ---
+
+func runA4(w io.Writer, sc Scale) error {
+	fmt.Fprintln(w, "A4 (ablation): cluster identity continuity vs naive head-ID naming.")
+	fmt.Fprintln(w, "With naive naming every clusterhead relabel re-homes the subtree's entries.")
+	tw := NewTable("N", "naming", "φ", "γ", "total")
+	for _, n := range sc.Ns {
+		for _, naive := range []bool{false, true} {
+			cfg := baseConfig(sc)
+			cfg.N = n
+			cfg.Seed = uint64(2400 + n)
+			cfg.NaiveNaming = naive
+			r, err := simnet.Run(cfg)
+			if err != nil {
+				return err
+			}
+			name := "logical-ids"
+			if naive {
+				name = "head-ids"
+			}
+			tw.Rowf(n, name, r.PhiRate, r.GammaRate, r.TotalRate())
+		}
+	}
+	fmt.Fprint(w, tw.String())
+	fmt.Fprintln(w, "CHECK: head-ID naming inflates γ — the identity-churn artifact the paper's")
+	fmt.Fprintln(w, "persistent-cluster model implicitly assumes away (DESIGN.md §5).")
+	return nil
+}
+
+// --- A5: uncapped hierarchy top ---
+
+func runA5(w io.Writer, sc Scale) error {
+	fmt.Fprintln(w, "A5 (ablation): forced-top cap vs recursing to a single elected top.")
+	fmt.Fprintln(w, "Without the cap, the top levels have arity 2-3 and their member lists churn;")
+	fmt.Fprintln(w, "each top event re-homes Θ(N/m) entries across Θ(√N) hops.")
+	tw := NewTable("N", "top", "φ", "γ", "total", "L̄")
+	for _, n := range sc.Ns {
+		for _, capped := range []bool{true, false} {
+			cfg := baseConfig(sc)
+			cfg.N = n
+			cfg.Seed = uint64(2500 + n)
+			if !capped {
+				cfg.TopArity = -1
+			}
+			r, err := simnet.Run(cfg)
+			if err != nil {
+				return err
+			}
+			name := "forced@12"
+			if !capped {
+				name = "uncapped"
+			}
+			tw.Rowf(n, name, r.PhiRate, r.GammaRate, r.TotalRate(), r.MeanLevels)
+		}
+	}
+	fmt.Fprint(w, tw.String())
+	fmt.Fprintln(w, "CHECK: the cap removes the tiny-arity top levels and their γ contribution.")
+	return nil
+}
+
+// --- A2: max-min d=2 ablation ---
+
+func runA2(w io.Writer, sc Scale) error {
+	fmt.Fprintln(w, "A2 (ablation): max-min d=2 clustering vs LCA (d=1)")
+	tw := NewTable("N", "clusterer", "L̄", "φ", "γ", "total")
+	for _, n := range sc.Ns {
+		type variant struct {
+			name    string
+			elector cluster.Elector
+			reach   int
+		}
+		for _, v := range []variant{
+			{"lca", cluster.MemorylessLCA{}, 1},
+			{"maxmin-d2", maxmin.Clusterer{D: 2}, 2},
+		} {
+			cfg := baseConfig(sc)
+			cfg.N = n
+			cfg.Seed = uint64(2200 + n)
+			cfg.Elector = v.elector
+			r, err := simnet.Run(cfg)
+			if err != nil {
+				return err
+			}
+			tw.Rowf(n, v.name, r.MeanLevels, r.PhiRate, r.GammaRate, r.TotalRate())
+		}
+	}
+	fmt.Fprint(w, tw.String())
+	fmt.Fprintln(w, "CHECK: d=2 aggregates faster (fewer levels); overhead stays polylog-shaped.")
+	return nil
+}
+
+// --- A3: hash family load equity ---
+
+func runA3(w io.Writer, sc Scale) error {
+	fmt.Fprintln(w, "A3 (ablation, §3.2 remark): server-load equity by hash family")
+	tw := NewTable("N", "hash", "mean load", "max load", "max/mean")
+	for _, n := range sc.Ns {
+		h, _ := staticHierarchy(n, uint64(2300+n))
+		n0 := len(h.LevelNodes(0))
+		// Head-ID (passthrough) identities: the skew the paper warns
+		// about arises from Eq. (5) applied to clustered head IDs.
+		tracker := cluster.NewIdentityTracker()
+		tracker.Passthrough = true
+		ids := tracker.Init(h)
+		for _, hf := range []lm.HashFamily{lm.Rendezvous{}, lm.Successor{IDSpace: n}} {
+			sel := lm.NewSelector(hf)
+			table := sel.BuildTable(h, ids)
+			load := table.Load()
+			total, max := 0, 0
+			for _, c := range load {
+				total += c
+				if c > max {
+					max = c
+				}
+			}
+			mean := float64(total) / float64(n0)
+			tw.Rowf(n, hf.Name(), mean, max, float64(max)/math.Max(mean, 1e-9))
+		}
+	}
+	fmt.Fprint(w, tw.String())
+	fmt.Fprintln(w, "PAPER: Eq. (5) applied directly would load low-ID clusters disproportionately;")
+	fmt.Fprintln(w, "       CHLM needs the equitable family (rendezvous).")
+	return nil
+}

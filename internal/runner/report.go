@@ -1,0 +1,104 @@
+package runner
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TableWriter accumulates rows and renders an aligned text table, the
+// output format of every experiment report.
+type TableWriter struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable starts a table with the given column headers.
+func NewTable(header ...string) *TableWriter {
+	return &TableWriter{header: header}
+}
+
+// Row appends one row; cells beyond the header width are dropped,
+// missing cells render empty.
+func (t *TableWriter) Row(cells ...string) *TableWriter {
+	row := make([]string, len(t.header))
+	for i := 0; i < len(row) && i < len(cells); i++ {
+		row[i] = cells[i]
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// Rowf appends one row of formatted cells: each argument is rendered
+// with %v unless it is a float64, which renders compactly.
+func (t *TableWriter) Rowf(cells ...any) *TableWriter {
+	out := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			out = append(out, FormatFloat(v))
+		case string:
+			out = append(out, v)
+		default:
+			out = append(out, fmt.Sprintf("%v", v))
+		}
+	}
+	return t.Row(out...)
+}
+
+// FormatFloat renders a float compactly with sensible precision.
+func FormatFloat(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.2f", v)
+	case av >= 0.01:
+		return fmt.Sprintf("%.4f", v)
+	default:
+		return fmt.Sprintf("%.2e", v)
+	}
+}
+
+// String renders the aligned table.
+func (t *TableWriter) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			for pad := len(c); pad < widths[i]; pad++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

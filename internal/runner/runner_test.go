@@ -1,0 +1,173 @@
+package runner
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+func tinyScale() Scale {
+	return Scale{Ns: []int{48, 80}, Seeds: 1, Duration: 20, Warmup: 5, BigN: 64}
+}
+
+func TestSweepDeterministicOrder(t *testing.T) {
+	spec := SweepSpec{
+		Ns: []int{40, 60}, Seeds: 2,
+		Base:        simnet.Config{Duration: 15, Warmup: 5},
+		Parallelism: 2,
+	}
+	a := Sweep(spec)
+	b := Sweep(spec)
+	if len(a) != 4 || len(b) != 4 {
+		t.Fatalf("cell counts: %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].N != b[i].N || a[i].Seed != b[i].Seed {
+			t.Fatal("sweep order not deterministic")
+		}
+		if a[i].Err != nil {
+			t.Fatal(a[i].Err)
+		}
+		if a[i].R.PhiRate != b[i].R.PhiRate {
+			t.Fatal("sweep results not deterministic")
+		}
+	}
+	// N-major ordering.
+	if a[0].N != 40 || a[1].N != 40 || a[2].N != 60 {
+		t.Fatalf("order: %v %v %v %v", a[0].N, a[1].N, a[2].N, a[3].N)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	spec := SweepSpec{
+		Ns: []int{40, 60}, Seeds: 2,
+		Base: simnet.Config{Duration: 15, Warmup: 5},
+	}
+	rows, errs := Aggregate(Sweep(spec))
+	if len(errs) != 0 {
+		t.Fatal(errs)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].N != 40 || rows[1].N != 60 {
+		t.Fatal("row order wrong")
+	}
+	for _, r := range rows {
+		if r.Phi.N() != 2 {
+			t.Fatalf("N=%d aggregated %d seeds", r.N, r.Phi.N())
+		}
+		if r.Total.Mean() <= 0 {
+			t.Fatalf("N=%d zero total", r.N)
+		}
+	}
+	ns, ys := Series(rows, func(r *AggRow) float64 { return r.Total.Mean() })
+	if len(ns) != 2 || len(ys) != 2 || ns[0] != 40 {
+		t.Fatal("series extraction wrong")
+	}
+}
+
+func TestAggregateCollectsErrors(t *testing.T) {
+	cells := []CellResult{{N: 10, Seed: 1, Err: errTest}}
+	rows, errs := Aggregate(cells)
+	if len(rows) != 0 || len(errs) != 1 {
+		t.Fatalf("rows=%d errs=%d", len(rows), len(errs))
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "boom" }
+
+func TestTableWriter(t *testing.T) {
+	tw := NewTable("a", "bb", "c")
+	tw.Row("1", "2", "3")
+	tw.Rowf(42, 3.14159, "x")
+	out := tw.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// All lines equal width (aligned).
+	for _, l := range lines[1:] {
+		if len(l) > len(lines[0])+2 {
+			t.Fatalf("misaligned table:\n%s", out)
+		}
+	}
+	if !strings.Contains(out, "3.1416") {
+		t.Fatalf("float formatting missing: %s", out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		12345:   "12345",
+		12.3456: "12.35",
+		0.5:     "0.5000",
+		1e-5:    "1.00e-05",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Fatalf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
+		"E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "A1", "A2", "A3", "A4", "A5", "A6"}
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
+	}
+	for i, id := range want {
+		if reg[i].ID != id {
+			t.Fatalf("registry[%d] = %s, want %s", i, reg[i].ID, id)
+		}
+		if reg[i].Title == "" || reg[i].Paper == "" || reg[i].Run == nil {
+			t.Fatalf("experiment %s incomplete", id)
+		}
+	}
+	if _, ok := Find("E7"); !ok {
+		t.Fatal("Find(E7) failed")
+	}
+	if _, ok := Find("E99"); ok {
+		t.Fatal("Find(E99) succeeded")
+	}
+}
+
+// TestExperimentsSmoke runs every experiment at tiny scale and checks
+// it produces output without error. This is the end-to-end integration
+// test of the entire harness.
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration smoke test")
+	}
+	sc := tinyScale()
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, sc); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestRenderHierarchy(t *testing.T) {
+	h, _ := staticHierarchy(25, 1)
+	var buf bytes.Buffer
+	RenderHierarchy(&buf, h)
+	if !strings.Contains(buf.String(), "level 0") || !strings.Contains(buf.String(), "cluster") {
+		t.Fatalf("render output:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,159 @@
+// Package runner drives the experiment harness: multi-seed parameter
+// sweeps executed on a bounded worker pool, aggregation of per-cell
+// results, text-table rendering, and the experiment registry that maps
+// the paper's figures and claims (E1–E15, ablations A1–A3; see
+// DESIGN.md §4) to runnable code.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+// SweepSpec describes a (N × seed) sweep of simulations.
+type SweepSpec struct {
+	Ns    []int
+	Seeds int
+	// Base is the configuration template; N and Seed are overwritten
+	// per cell.
+	Base simnet.Config
+	// Parallelism bounds concurrent simulations (default GOMAXPROCS).
+	Parallelism int
+	// SeedBase offsets the seeds so different experiments decorrelate.
+	SeedBase uint64
+}
+
+// CellResult is one simulation outcome within a sweep.
+type CellResult struct {
+	N    int
+	Seed uint64
+	R    *simnet.Results
+	Err  error
+}
+
+// Sweep runs every (N, seed) cell on a worker pool and returns results
+// in deterministic (N-major, seed-minor) order regardless of
+// completion order.
+func Sweep(spec SweepSpec) []CellResult {
+	par := spec.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	type job struct {
+		idx  int
+		n    int
+		seed uint64
+	}
+	var jobs []job
+	for _, n := range spec.Ns {
+		for s := 0; s < spec.Seeds; s++ {
+			jobs = append(jobs, job{idx: len(jobs), n: n, seed: spec.SeedBase + uint64(s) + uint64(n)*1000003})
+		}
+	}
+	out := make([]CellResult, len(jobs))
+	ch := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				cfg := spec.Base
+				cfg.N = j.n
+				cfg.Seed = j.seed
+				r, err := simnet.Run(cfg)
+				out[j.idx] = CellResult{N: j.n, Seed: j.seed, R: r, Err: err}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	return out
+}
+
+// AggRow aggregates all seeds of one N.
+type AggRow struct {
+	N          int
+	Phi        stats.Welford
+	Gamma      stats.Welford
+	Total      stats.Welford
+	F0         stats.Welford
+	MeanLevels stats.Welford
+	Giant      stats.Welford
+
+	PhiByLevel    []stats.Welford
+	GammaByLevel  []stats.Welford
+	FMigByLevel   []stats.Welford
+	GPrimeByLevel []stats.Welford
+	HopByLevel    []stats.Welford
+	NodesByLevel  []stats.Welford
+	EdgesByLevel  []stats.Welford
+}
+
+func addAt(ws *[]stats.Welford, k int, v float64) {
+	for len(*ws) <= k {
+		*ws = append(*ws, stats.Welford{})
+	}
+	(*ws)[k].Add(v)
+}
+
+// Aggregate groups cells by N (in first-seen order) and averages.
+// Cells with errors are returned in errs.
+func Aggregate(cells []CellResult) (rows []*AggRow, errs []error) {
+	byN := map[int]*AggRow{}
+	var order []int
+	for _, c := range cells {
+		if c.Err != nil {
+			errs = append(errs, fmt.Errorf("N=%d seed=%d: %w", c.N, c.Seed, c.Err))
+			continue
+		}
+		row := byN[c.N]
+		if row == nil {
+			row = &AggRow{N: c.N}
+			byN[c.N] = row
+			order = append(order, c.N)
+		}
+		r := c.R
+		row.Phi.Add(r.PhiRate)
+		row.Gamma.Add(r.GammaRate)
+		row.Total.Add(r.TotalRate())
+		row.F0.Add(r.F0)
+		row.MeanLevels.Add(r.MeanLevels)
+		row.Giant.Add(r.GiantFraction)
+		for k := range r.PhiRateByLevel {
+			addAt(&row.PhiByLevel, k, r.PhiRateByLevel[k])
+			addAt(&row.GammaByLevel, k, r.GammaRateByLevel[k])
+			addAt(&row.FMigByLevel, k, r.FMigByLevel[k])
+		}
+		for k := range r.GPrimeByLevel {
+			addAt(&row.GPrimeByLevel, k, r.GPrimeByLevel[k])
+			addAt(&row.NodesByLevel, k, r.NodesByLevel[k])
+			addAt(&row.EdgesByLevel, k, r.EdgesByLevel[k])
+		}
+		for k := range r.HopMeanByLevel {
+			if r.HopMeanByLevel[k] > 0 {
+				addAt(&row.HopByLevel, k, r.HopMeanByLevel[k])
+			}
+		}
+	}
+	for _, n := range order {
+		rows = append(rows, byN[n])
+	}
+	return rows, errs
+}
+
+// Series extracts (N, value) pairs from aggregated rows for fitting.
+func Series(rows []*AggRow, get func(*AggRow) float64) (ns, ys []float64) {
+	for _, r := range rows {
+		ns = append(ns, float64(r.N))
+		ys = append(ys, get(r))
+	}
+	return
+}

@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	src := rng.New(1)
+	var fired []float64
+	for i := 0; i < 500; i++ {
+		tm := src.Range(0, 100)
+		e.ScheduleAt(tm, "x", func(en *Engine) {
+			fired = append(fired, en.Now())
+		})
+	}
+	e.Run()
+	if len(fired) != 500 {
+		t.Fatalf("fired %d events", len(fired))
+	}
+	if !sort.Float64sAreSorted(fired) {
+		t.Fatal("events fired out of time order")
+	}
+}
+
+func TestFIFOAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.ScheduleAt(5, "same", func(*Engine) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events fired out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	e := NewEngine()
+	e.ScheduleAt(3, "a", func(en *Engine) {
+		if en.Now() != 3 {
+			t.Fatalf("Now = %v inside event at 3", en.Now())
+		}
+		en.ScheduleAfter(2, "b", func(en2 *Engine) {
+			if en2.Now() != 5 {
+				t.Fatalf("Now = %v, want 5", en2.Now())
+			}
+		})
+	})
+	e.Run()
+	if e.Now() != 5 {
+		t.Fatalf("final Now = %v", e.Now())
+	}
+	if e.Fired() != 2 {
+		t.Fatalf("Fired = %d", e.Fired())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.ScheduleAt(10, "a", func(en *Engine) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("scheduling in the past did not panic")
+			}
+		}()
+		en.ScheduleAt(5, "past", func(*Engine) {})
+	})
+	e.Run()
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.ScheduleAt(1, "victim", func(*Engine) { fired = true })
+	if !ev.Pending() {
+		t.Fatal("event not pending after schedule")
+	}
+	if !e.Cancel(ev) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if ev.Pending() {
+		t.Fatal("event still pending after cancel")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("double cancel returned true")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var fired []string
+	e.ScheduleAt(1, "a", func(*Engine) { fired = append(fired, "a") })
+	b := e.ScheduleAt(2, "b", func(*Engine) { fired = append(fired, "b") })
+	e.ScheduleAt(3, "c", func(*Engine) { fired = append(fired, "c") })
+	e.Cancel(b)
+	e.Run()
+	if len(fired) != 2 || fired[0] != "a" || fired[1] != "c" {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	e := NewEngine()
+	var fired []float64
+	for _, tm := range []float64{1, 5, 9, 11, 20} {
+		tm := tm
+		e.ScheduleAt(tm, "x", func(en *Engine) { fired = append(fired, tm) })
+	}
+	e.RunUntil(10)
+	if len(fired) != 3 {
+		t.Fatalf("fired %v before horizon 10", fired)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock = %v after RunUntil(10)", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	// Continue past horizon.
+	e.RunUntil(25)
+	if len(fired) != 5 {
+		t.Fatalf("fired %v after horizon 25", fired)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.ScheduleAt(float64(i), "x", func(en *Engine) {
+			count++
+			if count == 3 {
+				en.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("count = %d after Stop", count)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	var ticks []float64
+	stop := e.Ticker(0, 2, "tick", func(en *Engine) {
+		ticks = append(ticks, en.Now())
+	})
+	e.RunUntil(9)
+	stop()
+	e.RunUntil(20)
+	want := []float64{0, 2, 4, 6, 8}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestTickerStopMidRun(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var stop func()
+	stop = e.Ticker(1, 1, "tick", func(en *Engine) {
+		count++
+		if count == 4 {
+			stop()
+		}
+	})
+	e.RunUntil(100)
+	if count != 4 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestHeavyChurnDeterminism(t *testing.T) {
+	run := func(seed uint64) []float64 {
+		e := NewEngine()
+		src := rng.New(seed)
+		var log []float64
+		var spawn func(*Engine)
+		spawn = func(en *Engine) {
+			log = append(log, en.Now())
+			if en.Fired() < 2000 {
+				en.ScheduleAfter(src.Exp(1.0), "spawn", spawn)
+				if src.Float64() < 0.3 {
+					ev := en.ScheduleAfter(src.Exp(2.0), "victim", func(en2 *Engine) {
+						log = append(log, -en2.Now())
+					})
+					if src.Float64() < 0.5 {
+						en.Cancel(ev)
+					}
+				}
+			}
+		}
+		e.ScheduleAt(0, "seed", spawn)
+		e.Run()
+		return log
+	}
+	a := run(7)
+	b := run(7)
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic event count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func BenchmarkScheduleAndFire(b *testing.B) {
+	e := NewEngine()
+	src := rng.New(1)
+	// Keep a rolling queue of ~1000 events.
+	for i := 0; i < 1000; i++ {
+		e.ScheduleAt(src.Range(0, 1000), "x", func(*Engine) {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleAt(e.Now()+src.Range(0, 10), "x", func(*Engine) {})
+		e.Step()
+	}
+}

@@ -1,0 +1,331 @@
+// Package simnet assembles the full simulation: mobility drives node
+// positions, the unit-disk graph is rescanned at a fixed interval, the
+// clustered hierarchy is recomputed to its ALCA fixed point, the CHLM
+// server table is updated incrementally, and every change is fed to
+// the handoff accountant and the event classifiers. One Run produces
+// the per-level overhead rates the paper's analysis predicts.
+package simnet
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/geom"
+	"repro/internal/lm"
+	"repro/internal/mobility"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/spatial"
+	"repro/internal/topology"
+)
+
+// Mobility model names accepted by Config.
+const (
+	MobilityWaypoint  = "waypoint"
+	MobilityDirection = "direction"
+	MobilityStatic    = "static"
+	MobilityGroup     = "group" // RPGM (ablation A6)
+)
+
+// Hop model names accepted by Config.
+const (
+	HopEuclidean = "euclid"
+	HopBFS       = "bfs"
+)
+
+// Config parameterizes one simulation run. Zero fields take the
+// defaults documented on each field.
+type Config struct {
+	N    int    // node count (required)
+	Seed uint64 // experiment seed
+
+	RTX    float64 // transmission radius, m (default 100)
+	Degree float64 // target mean node degree; fixes density (default 9)
+	Mu     float64 // node speed, m/s (default 10)
+
+	// ScanInterval is the link-scan period. Default: enough that a
+	// node moves at most RTX/10 per tick, capped at 1 s.
+	ScanInterval float64
+	Duration     float64 // measured sim time, s (default 300)
+	Warmup       float64 // discarded leading sim time, s (default 60)
+
+	Mobility string  // waypoint (default) | direction | static | group
+	HopModel string  // euclid (default) | bfs
+	Detour   float64 // Euclidean hop detour factor (default 1.3)
+
+	// Group-mobility parameters (Mobility == "group"): nodes per group
+	// and the wander radius around the group reference point.
+	GroupSize   int     // default 16
+	GroupRadius float64 // default 2·RTX
+
+	Elector   cluster.Elector // default MemorylessLCA
+	Hash      lm.HashFamily   // default Rendezvous
+	MaxLevels int             // hierarchy depth cap (default 24)
+
+	// NaiveNaming disables cluster identity continuity: LM hashing and
+	// handoff classification key on raw clusterhead IDs, so every head
+	// relabel re-homes its subtree's entries (ablation A4).
+	NaiveNaming bool
+
+	// TopArity stops the clustering recursion once a level has at most
+	// this many clusters and closes the hierarchy with one stable
+	// forced top cluster (the paper's "desired number of cluster
+	// levels"). 0 selects the default (12); -1 disables the cap and
+	// recurses to a single elected top (ablation A5).
+	TopArity int
+
+	// ChurnRate enables node death/birth — the case the paper's §1
+	// explicitly assumes away ("extremely rare ... not evaluated") and
+	// experiment E18 evaluates. Each alive node dies with this rate
+	// (per second); dead nodes rejoin after an exponential downtime of
+	// mean MeanDowntime seconds, re-registering from scratch.
+	ChurnRate    float64
+	MeanDowntime float64 // default 30 s
+
+	TrackStates  bool // accumulate ALCA state statistics (E3, E11)
+	TrackClasses bool // classify reorg triggers i–vii (E10)
+	// SampleHops measures intra-cluster hop counts h_k by BFS every
+	// SampleHops ticks (0 = off). Expensive; used by E5.
+	SampleHops int
+	// HopPairs bounds the sampled pairs per cluster level per sample.
+	HopPairs int
+	// Paranoid validates every hierarchy snapshot (tests).
+	Paranoid bool
+
+	// Observer, when non-nil, is invoked after every scan tick with
+	// the live state. Used by examples and the trace tool.
+	Observer func(ObsEvent)
+}
+
+// ObsEvent is the per-tick observer payload.
+type ObsEvent struct {
+	Time      float64
+	Hierarchy *cluster.Hierarchy
+	Diff      *cluster.Diff
+	Transfers []lm.Transfer
+	Positions []geom.Vec
+}
+
+func (c Config) withDefaults() Config {
+	if c.RTX == 0 {
+		c.RTX = 100
+	}
+	if c.Degree == 0 {
+		c.Degree = 9
+	}
+	if c.Mu == 0 {
+		c.Mu = 10
+	}
+	if c.ScanInterval == 0 {
+		c.ScanInterval = math.Min(1, 0.1*c.RTX/c.Mu)
+	}
+	if c.Duration == 0 {
+		c.Duration = 300
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 60
+	}
+	if c.Mobility == "" {
+		c.Mobility = MobilityWaypoint
+	}
+	if c.HopModel == "" {
+		c.HopModel = HopEuclidean
+	}
+	if c.Detour == 0 {
+		c.Detour = 1.3
+	}
+	if c.Hash == nil {
+		c.Hash = lm.Rendezvous{}
+	}
+	if c.HopPairs == 0 {
+		c.HopPairs = 64
+	}
+	if c.TopArity == 0 {
+		c.TopArity = 12
+	}
+	if c.MeanDowntime == 0 {
+		c.MeanDowntime = 30
+	}
+	return c
+}
+
+// Region returns the deployment disc this configuration implies (after
+// defaults): sized so the target mean degree holds at the given N.
+func (c Config) Region() geom.Disc {
+	c = c.withDefaults()
+	density := c.Degree / (math.Pi * c.RTX * c.RTX)
+	return geom.DiscForDensity(c.N, density)
+}
+
+// Run executes one simulation and returns its measurements.
+func Run(cfg Config) (*Results, error) {
+	cfg = cfg.withDefaults()
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("simnet: N = %d too small", cfg.N)
+	}
+
+	root := rng.NewRoot(cfg.Seed)
+	density := cfg.Degree / (math.Pi * cfg.RTX * cfg.RTX)
+	region := geom.DiscForDensity(cfg.N, density)
+
+	var model mobility.Model
+	switch cfg.Mobility {
+	case MobilityWaypoint:
+		model = mobility.NewWaypoint(region, cfg.Mu, root.Stream("mobility"))
+	case MobilityDirection:
+		model = mobility.NewRandomDirection(region, cfg.Mu, 30, root.Stream("mobility"))
+	case MobilityStatic:
+		model = mobility.NewStationary(region, root.Stream("mobility"))
+	case MobilityGroup:
+		size := cfg.GroupSize
+		if size <= 0 {
+			size = 16
+		}
+		radius := cfg.GroupRadius
+		if radius <= 0 {
+			radius = 2 * cfg.RTX
+		}
+		model = mobility.NewGroupMobility(region, cfg.Mu, radius, size, root.Stream("mobility"))
+	default:
+		return nil, fmt.Errorf("simnet: unknown mobility model %q", cfg.Mobility)
+	}
+
+	pos := model.Init(cfg.N)
+	grid := spatial.NewGridForDisc(region, cfg.RTX, cfg.N)
+	for i, p := range pos {
+		grid.Insert(i, p)
+	}
+	nodes := make([]int, cfg.N)
+	for i := range nodes {
+		nodes[i] = i
+	}
+
+	clusterCfg := cluster.Config{MaxLevels: cfg.MaxLevels, Elector: cfg.Elector}
+	if cfg.TopArity > 0 {
+		clusterCfg.ForceTopAt = cfg.TopArity
+	}
+	if _, stateful := cfg.Elector.(cluster.StatefulElector); stateful {
+		// Grace-period electors transiently detach members from heads;
+		// disable the reach invariant.
+		clusterCfg.Reach = -1
+	}
+	selector := lm.NewSelector(cfg.Hash)
+
+	// The paper's analysis assumes a connected network (§1.2). The
+	// clustered hierarchy and LM therefore cover the giant component;
+	// stragglers outside it re-register when they rejoin (counted as
+	// registration overhead, not handoff).
+	graph := topology.BuildUnitDisk(cfg.N, pos, cfg.RTX, grid)
+	tracker := cluster.NewIdentityTracker()
+	tracker.Passthrough = cfg.NaiveNaming
+	hier, idents := cluster.BuildWithIdentities(
+		graph, topology.GiantComponent(graph, nodes), clusterCfg, nil, nil, tracker, 0)
+	table := selector.BuildTable(hier, idents)
+
+	var hop topology.HopModel
+	var bfsHop *topology.BFSHops
+	switch cfg.HopModel {
+	case HopEuclidean:
+		hop = topology.NewEuclideanHops(pos, cfg.RTX, cfg.Detour)
+	case HopBFS:
+		fallback := int(2*region.R/cfg.RTX) + 2
+		bfsHop = topology.NewBFSHops(graph, fallback)
+		hop = bfsHop
+	default:
+		return nil, fmt.Errorf("simnet: unknown hop model %q", cfg.HopModel)
+	}
+	accountant := lm.NewAccountant(hop)
+
+	st := newStateRun(cfg, region)
+	st.observe(hier, graph, 0)
+
+	// Churn state (E18): alive flags and pending revivals.
+	alive := make([]bool, cfg.N)
+	for i := range alive {
+		alive[i] = true
+	}
+	reviveAt := make([]float64, cfg.N)
+	churnSrc := root.Stream("churn")
+	aliveNodes := make([]int, 0, cfg.N)
+
+	engine := sim.NewEngine()
+	horizon := cfg.Warmup + cfg.Duration
+	tick := 0
+	engine.Ticker(cfg.ScanInterval, cfg.ScanInterval, "scan", func(e *sim.Engine) {
+		now := e.Now()
+		tick++
+		model.AdvanceTo(now, pos)
+		if cfg.ChurnRate > 0 {
+			pDeath := cfg.ChurnRate * cfg.ScanInterval
+			for i := range alive {
+				if alive[i] {
+					if churnSrc.Float64() < pDeath {
+						alive[i] = false
+						reviveAt[i] = now + churnSrc.Exp(1/cfg.MeanDowntime)
+						grid.Remove(i)
+						if now > cfg.Warmup {
+							st.deaths++
+						}
+					}
+				} else if now >= reviveAt[i] {
+					alive[i] = true
+				}
+			}
+		}
+		aliveNodes = aliveNodes[:0]
+		for i, p := range pos {
+			if alive[i] {
+				grid.Update(i, p)
+				aliveNodes = append(aliveNodes, i)
+			}
+		}
+		newGraph := topology.BuildUnitDisk(cfg.N, pos, cfg.RTX, grid)
+		if bfsHop != nil {
+			bfsHop.Rebind(newGraph)
+		}
+		newHier, newIdents := cluster.BuildWithIdentities(
+			newGraph, topology.GiantComponent(newGraph, aliveNodes), clusterCfg, hier, idents, tracker, now)
+		if cfg.Paranoid {
+			if err := newHier.Validate(); err != nil {
+				panic(fmt.Sprintf("simnet: t=%.2f: %v", now, err))
+			}
+		}
+		diff := cluster.ComputeDiff(hier, newHier)
+		newTable := selector.UpdateTable(table, hier, idents, newHier, newIdents)
+
+		measuring := now > cfg.Warmup
+		var transfers []lm.Transfer
+		if measuring {
+			st.measuredTicks++
+			st.countLinkEvents(graph, newGraph)
+			transfers = accountant.Apply(table, newTable, &st.totals)
+			st.observe(newHier, newGraph, tick)
+			if cfg.TrackStates {
+				st.states.Observe(newHier)
+				st.states.ObserveDiff(diff)
+			}
+			if cfg.TrackClasses {
+				st.classes.Merge(lm.ClassifyReorg(hier, newHier, diff))
+			}
+			st.countClusterLinkEvents(hier, idents, newHier, newIdents, table, newTable)
+			if cfg.SampleHops > 0 && tick%cfg.SampleHops == 0 {
+				st.sampleHops(newHier, newGraph)
+			}
+		} else {
+			_ = transfers
+		}
+
+		if cfg.Observer != nil {
+			cfg.Observer(ObsEvent{
+				Time: now, Hierarchy: newHier, Diff: diff,
+				Transfers: transfers, Positions: pos,
+			})
+		}
+
+		graph, hier, idents, table = newGraph, newHier, newIdents, newTable
+	})
+	engine.RunUntil(horizon)
+
+	return st.results(cfg)
+}

@@ -1,0 +1,229 @@
+// Package spatial provides a uniform-grid spatial index over node
+// positions. With cell side equal to the transmission radius R_TX, the
+// neighbors of a node within R_TX are all found in its 3×3 cell
+// neighborhood, so a full link scan over |V| nodes costs O(|V|·d̄)
+// instead of O(|V|²).
+package spatial
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Grid is a uniform spatial hash of node IDs (0..n-1) to cells.
+// Positions are supplied by the caller on every operation so the grid
+// never holds stale coordinates.
+type Grid struct {
+	min      geom.Vec // lower-left corner of the indexed square
+	cell     float64  // cell side length
+	cols     int
+	rows     int
+	cells    [][]int32 // cell -> node IDs
+	location []int32   // node -> cell index, -1 if absent
+}
+
+// NewGrid creates a grid covering the square with lower corner min and
+// the given side, using cells of side cell, sized for capacity nodes.
+func NewGrid(min geom.Vec, side, cell float64, capacity int) *Grid {
+	if side <= 0 || cell <= 0 {
+		panic("spatial: side and cell must be positive")
+	}
+	cols := int(side/cell) + 1
+	g := &Grid{
+		min:      min,
+		cell:     cell,
+		cols:     cols,
+		rows:     cols,
+		cells:    make([][]int32, cols*cols),
+		location: make([]int32, capacity),
+	}
+	for i := range g.location {
+		g.location[i] = -1
+	}
+	return g
+}
+
+// NewGridForDisc sizes a grid to cover disc with cells of side cell.
+func NewGridForDisc(d geom.Disc, cell float64, capacity int) *Grid {
+	min, side := d.BoundingSquare()
+	return NewGrid(min, side, cell, capacity)
+}
+
+// cellIndex maps a position to its (clamped) cell index.
+func (g *Grid) cellIndex(p geom.Vec) int32 {
+	cx := int((p.X - g.min.X) / g.cell)
+	cy := int((p.Y - g.min.Y) / g.cell)
+	if cx < 0 {
+		cx = 0
+	} else if cx >= g.cols {
+		cx = g.cols - 1
+	}
+	if cy < 0 {
+		cy = 0
+	} else if cy >= g.rows {
+		cy = g.rows - 1
+	}
+	return int32(cy*g.cols + cx)
+}
+
+// Insert places node id at position p. The id must not already be
+// present and must be < capacity.
+func (g *Grid) Insert(id int, p geom.Vec) {
+	if g.location[id] != -1 {
+		panic(fmt.Sprintf("spatial: node %d inserted twice", id))
+	}
+	c := g.cellIndex(p)
+	g.cells[c] = append(g.cells[c], int32(id))
+	g.location[id] = c
+}
+
+// Update moves node id to position p, relocating it across cells if
+// needed. It is a no-op when the cell is unchanged.
+func (g *Grid) Update(id int, p geom.Vec) {
+	old := g.location[id]
+	if old == -1 {
+		g.Insert(id, p)
+		return
+	}
+	c := g.cellIndex(p)
+	if c == old {
+		return
+	}
+	g.removeFromCell(id, old)
+	g.cells[c] = append(g.cells[c], int32(id))
+	g.location[id] = c
+}
+
+// Remove deletes node id from the index.
+func (g *Grid) Remove(id int) {
+	c := g.location[id]
+	if c == -1 {
+		return
+	}
+	g.removeFromCell(id, c)
+	g.location[id] = -1
+}
+
+func (g *Grid) removeFromCell(id int, c int32) {
+	cell := g.cells[c]
+	for i, v := range cell {
+		if v == int32(id) {
+			cell[i] = cell[len(cell)-1]
+			g.cells[c] = cell[:len(cell)-1]
+			return
+		}
+	}
+	panic(fmt.Sprintf("spatial: node %d not found in its cell", id))
+}
+
+// Contains reports whether id is currently indexed.
+func (g *Grid) Contains(id int) bool { return g.location[id] != -1 }
+
+// Neighbors appends to dst the IDs of all indexed nodes other than id
+// whose position (per pos) is within radius r of p, and returns dst.
+// Correct only when r <= cell side.
+func (g *Grid) Neighbors(dst []int, id int, p geom.Vec, r float64, pos func(int) geom.Vec) []int {
+	r2 := r * r
+	c := g.cellIndex(p)
+	cx := int(c) % g.cols
+	cy := int(c) / g.cols
+	for dy := -1; dy <= 1; dy++ {
+		y := cy + dy
+		if y < 0 || y >= g.rows {
+			continue
+		}
+		for dx := -1; dx <= 1; dx++ {
+			x := cx + dx
+			if x < 0 || x >= g.cols {
+				continue
+			}
+			for _, other := range g.cells[y*g.cols+x] {
+				o := int(other)
+				if o == id {
+					continue
+				}
+				if p.Dist2(pos(o)) <= r2 {
+					dst = append(dst, o)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// ForEachPair invokes fn once for every unordered pair (a, b), a < b,
+// of indexed nodes within radius r of each other. This is the bulk
+// link-scan primitive. Correct only when r <= cell side.
+func (g *Grid) ForEachPair(r float64, pos func(int) geom.Vec, fn func(a, b int)) {
+	r2 := r * r
+	// For each cell, pair within the cell and with the 4 "forward"
+	// neighbor cells (E, SW, S, SE) so each cell pair is visited once.
+	offsets := [...][2]int{{1, 0}, {-1, 1}, {0, 1}, {1, 1}}
+	for cy := 0; cy < g.rows; cy++ {
+		for cx := 0; cx < g.cols; cx++ {
+			cell := g.cells[cy*g.cols+cx]
+			if len(cell) == 0 {
+				continue
+			}
+			// Intra-cell pairs.
+			for i := 0; i < len(cell); i++ {
+				pi := pos(int(cell[i]))
+				for j := i + 1; j < len(cell); j++ {
+					if pi.Dist2(pos(int(cell[j]))) <= r2 {
+						a, b := int(cell[i]), int(cell[j])
+						if a > b {
+							a, b = b, a
+						}
+						fn(a, b)
+					}
+				}
+			}
+			// Cross-cell pairs.
+			for _, off := range offsets {
+				x, y := cx+off[0], cy+off[1]
+				if x < 0 || x >= g.cols || y < 0 || y >= g.rows {
+					continue
+				}
+				other := g.cells[y*g.cols+x]
+				for _, a := range cell {
+					pa := pos(int(a))
+					for _, b := range other {
+						if pa.Dist2(pos(int(b))) <= r2 {
+							u, v := int(a), int(b)
+							if u > v {
+								u, v = v, u
+							}
+							fn(u, v)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Len reports the number of indexed nodes.
+func (g *Grid) Len() int {
+	n := 0
+	for _, l := range g.location {
+		if l != -1 {
+			n++
+		}
+	}
+	return n
+}
+
+// CellStats returns the number of non-empty cells and the maximum
+// occupancy, for diagnostics.
+func (g *Grid) CellStats() (nonEmpty, maxOccupancy int) {
+	for _, c := range g.cells {
+		if len(c) > 0 {
+			nonEmpty++
+			if len(c) > maxOccupancy {
+				maxOccupancy = len(c)
+			}
+		}
+	}
+	return
+}

@@ -1,0 +1,249 @@
+package spatial
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+// randomLayout places n nodes uniformly in a disc and returns positions.
+func randomLayout(n int, r float64, seed uint64) []geom.Vec {
+	src := rng.New(seed)
+	d := geom.Disc{R: r}
+	ps := make([]geom.Vec, n)
+	for i := range ps {
+		ps[i] = d.Sample(src)
+	}
+	return ps
+}
+
+// bruteNeighbors is the O(n²) oracle.
+func bruteNeighbors(ps []geom.Vec, id int, r float64) []int {
+	var out []int
+	for i, p := range ps {
+		if i != id && ps[id].Dist(p) <= r {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func buildGrid(ps []geom.Vec, r float64) *Grid {
+	d := geom.Disc{R: 1000}
+	g := NewGridForDisc(d, r, len(ps))
+	for i, p := range ps {
+		g.Insert(i, p)
+	}
+	return g
+}
+
+func TestNeighborsMatchesBrute(t *testing.T) {
+	const n = 300
+	const r = 120.0
+	ps := randomLayout(n, 900, 1)
+	g := buildGrid(ps, r)
+	pos := func(i int) geom.Vec { return ps[i] }
+	for id := 0; id < n; id++ {
+		got := g.Neighbors(nil, id, ps[id], r, pos)
+		want := bruteNeighbors(ps, id, r)
+		sort.Ints(got)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			t.Fatalf("node %d: got %d neighbors, want %d", id, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("node %d: neighbors %v != %v", id, got, want)
+			}
+		}
+	}
+}
+
+func TestForEachPairMatchesBrute(t *testing.T) {
+	const n = 250
+	const r = 100.0
+	ps := randomLayout(n, 800, 2)
+	g := buildGrid(ps, r)
+	pos := func(i int) geom.Vec { return ps[i] }
+
+	type pair struct{ a, b int }
+	got := map[pair]int{}
+	g.ForEachPair(r, pos, func(a, b int) {
+		if a >= b {
+			t.Fatalf("pair not ordered: (%d,%d)", a, b)
+		}
+		got[pair{a, b}]++
+	})
+	want := map[pair]bool{}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if ps[i].Dist(ps[j]) <= r {
+				want[pair{i, j}] = true
+			}
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("pair count %d, want %d", len(got), len(want))
+	}
+	for p, c := range got {
+		if c != 1 {
+			t.Fatalf("pair %v visited %d times", p, c)
+		}
+		if !want[p] {
+			t.Fatalf("spurious pair %v", p)
+		}
+	}
+}
+
+func TestUpdateRelocates(t *testing.T) {
+	ps := []geom.Vec{{X: 0, Y: 0}, {X: 500, Y: 500}}
+	g := buildGrid(ps, 100)
+	pos := func(i int) geom.Vec { return ps[i] }
+
+	// Initially not neighbors.
+	if nbrs := g.Neighbors(nil, 0, ps[0], 100, pos); len(nbrs) != 0 {
+		t.Fatalf("unexpected neighbors %v", nbrs)
+	}
+	// Move node 1 next to node 0.
+	ps[1] = geom.Vec{X: 50, Y: 0}
+	g.Update(1, ps[1])
+	nbrs := g.Neighbors(nil, 0, ps[0], 100, pos)
+	if len(nbrs) != 1 || nbrs[0] != 1 {
+		t.Fatalf("after update neighbors = %v, want [1]", nbrs)
+	}
+}
+
+func TestUpdateSameCellNoop(t *testing.T) {
+	ps := []geom.Vec{{X: 0, Y: 0}}
+	g := buildGrid(ps, 100)
+	// Small move within the same cell must keep the node findable.
+	ps[0] = geom.Vec{X: 1, Y: 1}
+	g.Update(0, ps[0])
+	if !g.Contains(0) {
+		t.Fatal("node lost after same-cell update")
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	ps := randomLayout(50, 400, 3)
+	g := buildGrid(ps, 100)
+	for i := 0; i < 50; i += 2 {
+		g.Remove(i)
+	}
+	if g.Len() != 25 {
+		t.Fatalf("Len after removal = %d", g.Len())
+	}
+	pos := func(i int) geom.Vec { return ps[i] }
+	g.ForEachPair(100, pos, func(a, b int) {
+		if a%2 == 0 || b%2 == 0 {
+			t.Fatalf("removed node in pair (%d,%d)", a, b)
+		}
+	})
+	// Removing twice is a no-op.
+	g.Remove(0)
+}
+
+func TestInsertTwicePanics(t *testing.T) {
+	g := NewGrid(geom.Vec{}, 100, 10, 4)
+	g.Insert(1, geom.Vec{X: 5, Y: 5})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double insert did not panic")
+		}
+	}()
+	g.Insert(1, geom.Vec{X: 6, Y: 6})
+}
+
+func TestOutOfBoundsClamped(t *testing.T) {
+	// Points outside the indexed square are clamped to edge cells and
+	// must remain findable.
+	g := NewGrid(geom.Vec{}, 100, 10, 2)
+	p0 := geom.Vec{X: -50, Y: -50}
+	p1 := geom.Vec{X: -45, Y: -52}
+	g.Insert(0, p0)
+	g.Insert(1, p1)
+	ps := []geom.Vec{p0, p1}
+	pos := func(i int) geom.Vec { return ps[i] }
+	nbrs := g.Neighbors(nil, 0, p0, 10, pos)
+	if len(nbrs) != 1 || nbrs[0] != 1 {
+		t.Fatalf("out-of-bounds neighbors = %v", nbrs)
+	}
+}
+
+func TestBoundaryDistanceExactlyR(t *testing.T) {
+	// Pairs at exactly distance r are included (<= semantics).
+	ps := []geom.Vec{{X: 0, Y: 0}, {X: 100, Y: 0}}
+	g := buildGrid(ps, 100)
+	pos := func(i int) geom.Vec { return ps[i] }
+	count := 0
+	g.ForEachPair(100, pos, func(a, b int) { count++ })
+	if count != 1 {
+		t.Fatalf("pair at exactly r counted %d times", count)
+	}
+}
+
+func TestCellStats(t *testing.T) {
+	ps := randomLayout(100, 400, 4)
+	g := buildGrid(ps, 100)
+	nonEmpty, maxOcc := g.CellStats()
+	if nonEmpty == 0 || maxOcc == 0 {
+		t.Fatalf("CellStats = %d, %d", nonEmpty, maxOcc)
+	}
+	if maxOcc > 100 {
+		t.Fatalf("impossible occupancy %d", maxOcc)
+	}
+}
+
+func TestManyUpdatesConsistency(t *testing.T) {
+	// Random walk all nodes; index must always match brute force.
+	const n = 120
+	const r = 80.0
+	ps := randomLayout(n, 500, 5)
+	g := buildGrid(ps, r)
+	src := rng.New(6)
+	pos := func(i int) geom.Vec { return ps[i] }
+	for step := 0; step < 20; step++ {
+		for i := range ps {
+			ps[i] = ps[i].Add(geom.Vec{X: src.Range(-60, 60), Y: src.Range(-60, 60)})
+			g.Update(i, ps[i])
+		}
+		for id := 0; id < n; id += 7 {
+			got := g.Neighbors(nil, id, ps[id], r, pos)
+			want := bruteNeighbors(ps, id, r)
+			if len(got) != len(want) {
+				t.Fatalf("step %d node %d: %d vs %d neighbors", step, id, len(got), len(want))
+			}
+		}
+	}
+}
+
+func BenchmarkForEachPair1000(b *testing.B) {
+	const n = 1000
+	const r = 100.0
+	// Density chosen for ~8 neighbors each.
+	ps := randomLayout(n, 600, 7)
+	g := buildGrid(ps, r)
+	pos := func(i int) geom.Vec { return ps[i] }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cnt := 0
+		g.ForEachPair(r, pos, func(a, b int) { cnt++ })
+	}
+}
+
+func BenchmarkNeighbors(b *testing.B) {
+	const n = 1000
+	ps := randomLayout(n, 600, 8)
+	g := buildGrid(ps, 100)
+	pos := func(i int) geom.Vec { return ps[i] }
+	buf := make([]int, 0, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = g.Neighbors(buf[:0], i%n, ps[i%n], 100, pos)
+	}
+}

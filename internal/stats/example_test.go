@@ -1,0 +1,45 @@
+package stats_test
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// ExampleFitAll shows the scaling-law discrimination the harness uses
+// for the paper's Θ(log²N) claims: on clean log² data, the log² model
+// wins and the free power-law exponent is far below 0.5.
+func ExampleFitAll() {
+	var ns, ys []float64
+	for _, n := range []float64{64, 256, 1024, 4096, 16384} {
+		l := math.Log(n)
+		ns = append(ns, n)
+		ys = append(ys, 0.5*l*l)
+	}
+	best := stats.FitAll(ns, ys)[0]
+	fmt.Println("best model:", best.Model)
+	p, _ := stats.PowerExponent(ns, ys)
+	fmt.Println("power exponent below 0.5:", p < 0.5)
+	// Output:
+	// best model: a+b·log²N
+	// power exponent below 0.5: true
+}
+
+// ExampleWelford demonstrates streaming moments with merging, the
+// parallel-reduction primitive of the sweep harness.
+func ExampleWelford() {
+	var a, b stats.Welford
+	for i := 1; i <= 4; i++ {
+		a.Add(float64(i))
+	}
+	for i := 5; i <= 8; i++ {
+		b.Add(float64(i))
+	}
+	a.Merge(b)
+	fmt.Println("n:", a.N())
+	fmt.Println("mean:", a.Mean())
+	// Output:
+	// n: 8
+	// mean: 4.5
+}

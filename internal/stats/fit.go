@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Scaling-law fitting. The paper's headline claims are asymptotic
+// (φ, γ = Θ(log²|V|)); the harness tests them by fitting measured
+// overhead y(N) against a family of candidate growth models and
+// comparing goodness of fit. The models are linear in their
+// parameters, so ordinary least squares suffices:
+//
+//	log2:   y = a + b·(log N)²        — the paper's claim
+//	log:    y = a + b·log N           — under-estimate
+//	sqrt:   y = a + b·√N              — e.g. flat-LM update cost
+//	linear: y = a + b·N               — e.g. flooding-based LM
+//	power:  log y = a + b·log N       — free-exponent power law
+//
+// For asymptotic shape comparison, R² on its own favors models with
+// heavier tails, so the harness reports every fit and the per-model
+// residuals, and EXPERIMENTS.md records which model wins.
+
+// Model identifies a candidate scaling law.
+type Model string
+
+// Candidate models.
+const (
+	ModelLog2   Model = "a+b·log²N"
+	ModelLog    Model = "a+b·logN"
+	ModelSqrt   Model = "a+b·√N"
+	ModelLinear Model = "a+b·N"
+	ModelPower  Model = "c·N^p"
+)
+
+// Fit is a fitted two-parameter model.
+type Fit struct {
+	Model Model
+	A, B  float64 // intercept and slope in the transformed space
+	R2    float64 // coefficient of determination in the fitted space
+	RMSE  float64 // root-mean-square error in the original y space
+}
+
+// Eval evaluates the fitted model at n.
+func (f Fit) Eval(n float64) float64 {
+	switch f.Model {
+	case ModelLog2:
+		l := math.Log(n)
+		return f.A + f.B*l*l
+	case ModelLog:
+		return f.A + f.B*math.Log(n)
+	case ModelSqrt:
+		return f.A + f.B*math.Sqrt(n)
+	case ModelLinear:
+		return f.A + f.B*n
+	case ModelPower:
+		return math.Exp(f.A) * math.Pow(n, f.B)
+	default:
+		return math.NaN()
+	}
+}
+
+// String renders the fit for reports.
+func (f Fit) String() string {
+	if f.Model == ModelPower {
+		return fmt.Sprintf("%s: c=%.4g p=%.3f (R²=%.4f, RMSE=%.4g)",
+			f.Model, math.Exp(f.A), f.B, f.R2, f.RMSE)
+	}
+	return fmt.Sprintf("%s: a=%.4g b=%.4g (R²=%.4f, RMSE=%.4g)",
+		f.Model, f.A, f.B, f.R2, f.RMSE)
+}
+
+// leastSquares fits y = a + b·x and returns a, b, R².
+func leastSquares(x, y []float64) (a, b, r2 float64) {
+	n := float64(len(x))
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return sy / n, 0, 0
+	}
+	b = (n*sxy - sx*sy) / den
+	a = (sy - b*sx) / n
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i := range x {
+		pred := a + b*x[i]
+		ssRes += (y[i] - pred) * (y[i] - pred)
+		ssTot += (y[i] - meanY) * (y[i] - meanY)
+	}
+	if ssTot == 0 {
+		r2 = 1
+	} else {
+		r2 = 1 - ssRes/ssTot
+	}
+	return a, b, r2
+}
+
+// FitModel fits one candidate model to (n, y) points. Points with
+// non-positive n (or non-positive y for the power model) are rejected
+// with an error.
+func FitModel(m Model, ns, ys []float64) (Fit, error) {
+	if len(ns) != len(ys) || len(ns) < 3 {
+		return Fit{}, fmt.Errorf("stats: need >=3 points, got %d/%d", len(ns), len(ys))
+	}
+	x := make([]float64, len(ns))
+	y := make([]float64, len(ys))
+	for i, n := range ns {
+		if n <= 0 {
+			return Fit{}, fmt.Errorf("stats: non-positive N %v", n)
+		}
+		switch m {
+		case ModelLog2:
+			l := math.Log(n)
+			x[i] = l * l
+			y[i] = ys[i]
+		case ModelLog:
+			x[i] = math.Log(n)
+			y[i] = ys[i]
+		case ModelSqrt:
+			x[i] = math.Sqrt(n)
+			y[i] = ys[i]
+		case ModelLinear:
+			x[i] = n
+			y[i] = ys[i]
+		case ModelPower:
+			if ys[i] <= 0 {
+				return Fit{}, fmt.Errorf("stats: power fit needs positive y, got %v", ys[i])
+			}
+			x[i] = math.Log(n)
+			y[i] = math.Log(ys[i])
+		default:
+			return Fit{}, fmt.Errorf("stats: unknown model %q", m)
+		}
+	}
+	a, b, r2 := leastSquares(x, y)
+	f := Fit{Model: m, A: a, B: b, R2: r2}
+	var ss float64
+	for i := range ns {
+		d := f.Eval(ns[i]) - ys[i]
+		ss += d * d
+	}
+	f.RMSE = math.Sqrt(ss / float64(len(ns)))
+	return f, nil
+}
+
+// FitAll fits every candidate model and returns the fits sorted by
+// ascending RMSE in the original space (best first). Models that fail
+// (e.g. power law on zero data) are skipped.
+func FitAll(ns, ys []float64) []Fit {
+	var out []Fit
+	for _, m := range []Model{ModelLog2, ModelLog, ModelSqrt, ModelLinear, ModelPower} {
+		if f, err := FitModel(m, ns, ys); err == nil {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].RMSE < out[j].RMSE })
+	return out
+}
+
+// PowerExponent is a convenience: the fitted exponent p of y ≈ c·N^p.
+// A polylogarithmic quantity has p → 0 as N grows; a Θ(√N) one has
+// p ≈ 0.5. Returns an error when the fit is impossible.
+func PowerExponent(ns, ys []float64) (float64, error) {
+	f, err := FitModel(ModelPower, ns, ys)
+	if err != nil {
+		return 0, err
+	}
+	return f.B, nil
+}

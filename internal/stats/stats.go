@@ -1,0 +1,205 @@
+// Package stats provides the statistical machinery for the benchmark
+// harness: streaming moments (Welford), histograms, per-level counter
+// tables, and least-squares fitting of candidate scaling laws used to
+// test the paper's Θ(log²|V|) claims against power-law alternatives.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Welford accumulates mean and variance in one pass, numerically
+// stably. The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add accumulates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the observation count.
+func (w Welford) N() int { return w.n }
+
+// Mean returns the sample mean (0 when empty).
+func (w Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 when n < 2).
+func (w Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (w Welford) StdErr() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.StdDev() / math.Sqrt(float64(w.n))
+}
+
+// CI95 returns the half-width of the normal-approximation 95%
+// confidence interval for the mean.
+func (w Welford) CI95() float64 { return 1.96 * w.StdErr() }
+
+// Merge combines another accumulator into w (parallel reduction).
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	mean := w.mean + d*float64(o.n)/float64(n)
+	m2 := w.m2 + o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.n, w.mean, w.m2 = n, mean, m2
+}
+
+// Histogram is a fixed-width bucket histogram over [0, width*buckets),
+// with an overflow bucket.
+type Histogram struct {
+	width    float64
+	counts   []int64
+	overflow int64
+	total    int64
+	sum      float64
+}
+
+// NewHistogram creates a histogram with the given bucket width and
+// bucket count.
+func NewHistogram(width float64, buckets int) *Histogram {
+	if width <= 0 || buckets <= 0 {
+		panic("stats: histogram needs positive width and buckets")
+	}
+	return &Histogram{width: width, counts: make([]int64, buckets)}
+}
+
+// Add records one observation (negative values clamp to bucket 0).
+func (h *Histogram) Add(x float64) {
+	h.total++
+	h.sum += x
+	if x < 0 {
+		h.counts[0]++
+		return
+	}
+	i := int(x / h.width)
+	if i >= len(h.counts) {
+		h.overflow++
+		return
+	}
+	h.counts[i]++
+}
+
+// Total returns the observation count.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Mean returns the mean of all observations.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Quantile returns an approximate quantile (q in [0,1]) using bucket
+// midpoints; overflow observations return +Inf.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.total))
+	if target >= h.total {
+		target = h.total - 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum > target {
+			return (float64(i) + 0.5) * h.width
+		}
+	}
+	return math.Inf(1)
+}
+
+// Counts returns a copy of the bucket counts plus the overflow count.
+func (h *Histogram) Counts() (buckets []int64, overflow int64) {
+	return append([]int64(nil), h.counts...), h.overflow
+}
+
+// Counter is a labeled monotone counter set with deterministic
+// iteration order.
+type Counter struct {
+	m map[string]float64
+}
+
+// NewCounter returns an empty counter set.
+func NewCounter() *Counter { return &Counter{m: map[string]float64{}} }
+
+// Add increments label by delta.
+func (c *Counter) Add(label string, delta float64) { c.m[label] += delta }
+
+// Get returns the current value of label.
+func (c *Counter) Get(label string) float64 { return c.m[label] }
+
+// Labels returns all labels, sorted.
+func (c *Counter) Labels() []string {
+	out := make([]string, 0, len(c.m))
+	for k := range c.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PerLevel accumulates a Welford series indexed by small non-negative
+// integers (hierarchy levels).
+type PerLevel struct {
+	levels []Welford
+}
+
+// Add accumulates x at level k, growing as needed.
+func (p *PerLevel) Add(k int, x float64) {
+	for len(p.levels) <= k {
+		p.levels = append(p.levels, Welford{})
+	}
+	p.levels[k].Add(x)
+}
+
+// Level returns the accumulator for level k (zero value when absent).
+func (p *PerLevel) Level(k int) Welford {
+	if k < 0 || k >= len(p.levels) {
+		return Welford{}
+	}
+	return p.levels[k]
+}
+
+// Max returns the highest level with data.
+func (p *PerLevel) Max() int { return len(p.levels) - 1 }
+
+// String renders means per level for diagnostics.
+func (p *PerLevel) String() string {
+	s := "["
+	for k, w := range p.levels {
+		if k > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%d:%.4g", k, w.Mean())
+	}
+	return s + "]"
+}

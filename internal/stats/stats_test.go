@@ -1,0 +1,305 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestWelfordAgainstNaive(t *testing.T) {
+	src := rng.New(1)
+	var w Welford
+	var xs []float64
+	for i := 0; i < 10000; i++ {
+		x := src.Norm()*3 + 7
+		xs = append(xs, x)
+		w.Add(x)
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	variance := ss / float64(len(xs)-1)
+	if math.Abs(w.Mean()-mean) > 1e-9 {
+		t.Fatalf("mean %v vs %v", w.Mean(), mean)
+	}
+	if math.Abs(w.Variance()-variance) > 1e-6 {
+		t.Fatalf("variance %v vs %v", w.Variance(), variance)
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.StdErr() != 0 {
+		t.Fatal("zero-value Welford not zeroed")
+	}
+	w.Add(5)
+	if w.Mean() != 5 || w.Variance() != 0 {
+		t.Fatalf("single obs: mean %v var %v", w.Mean(), w.Variance())
+	}
+}
+
+func TestWelfordMerge(t *testing.T) {
+	src := rng.New(2)
+	var all, a, b Welford
+	for i := 0; i < 5000; i++ {
+		x := src.Float64() * 100
+		all.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if a.N() != all.N() {
+		t.Fatalf("merged N = %d", a.N())
+	}
+	if math.Abs(a.Mean()-all.Mean()) > 1e-9 {
+		t.Fatalf("merged mean %v vs %v", a.Mean(), all.Mean())
+	}
+	if math.Abs(a.Variance()-all.Variance()) > 1e-6 {
+		t.Fatalf("merged variance %v vs %v", a.Variance(), all.Variance())
+	}
+	// Merging into empty copies.
+	var empty Welford
+	empty.Merge(all)
+	if empty.Mean() != all.Mean() || empty.N() != all.N() {
+		t.Fatal("merge into empty broken")
+	}
+}
+
+func TestWelfordMergeProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		var whole, left, right Welford
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			x = math.Mod(x, 1e6)
+			whole.Add(x)
+			if i < len(xs)/2 {
+				left.Add(x)
+			} else {
+				right.Add(x)
+			}
+		}
+		left.Merge(right)
+		return left.N() == whole.N() &&
+			math.Abs(left.Mean()-whole.Mean()) < 1e-6 &&
+			math.Abs(left.Variance()-whole.Variance()) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(1.0, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(100) // overflow
+	h.Add(-1)  // clamps to bucket 0
+	buckets, overflow := h.Counts()
+	if overflow != 1 {
+		t.Fatalf("overflow = %d", overflow)
+	}
+	if buckets[0] != 2 {
+		t.Fatalf("bucket 0 = %d", buckets[0])
+	}
+	if h.Total() != 12 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	// Median lands near 5.
+	q := h.Quantile(0.5)
+	if q < 3 || q > 7 {
+		t.Fatalf("median = %v", q)
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := NewHistogram(0.5, 100)
+	src := rng.New(3)
+	for i := 0; i < 10000; i++ {
+		h.Add(src.Exp(0.2))
+	}
+	prev := -1.0
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantiles not monotone at %v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Add("b", 2)
+	c.Add("a", 1)
+	c.Add("b", 3)
+	if c.Get("b") != 5 || c.Get("a") != 1 || c.Get("zz") != 0 {
+		t.Fatal("counter values wrong")
+	}
+	labels := c.Labels()
+	if len(labels) != 2 || labels[0] != "a" || labels[1] != "b" {
+		t.Fatalf("labels = %v", labels)
+	}
+}
+
+func TestPerLevel(t *testing.T) {
+	var p PerLevel
+	p.Add(2, 10)
+	p.Add(2, 20)
+	p.Add(0, 1)
+	if p.Max() != 2 {
+		t.Fatalf("Max = %d", p.Max())
+	}
+	if got := p.Level(2).Mean(); got != 15 {
+		t.Fatalf("level-2 mean = %v", got)
+	}
+	if got := p.Level(1).N(); got != 0 {
+		t.Fatalf("level-1 N = %d", got)
+	}
+	if got := p.Level(9).N(); got != 0 {
+		t.Fatalf("absent level N = %d", got)
+	}
+}
+
+// --- fit tests ---
+
+func genSeries(f func(n float64) float64) (ns, ys []float64) {
+	for _, n := range []float64{64, 128, 256, 512, 1024, 2048, 4096} {
+		ns = append(ns, n)
+		ys = append(ys, f(n))
+	}
+	return
+}
+
+func TestFitRecoversLog2(t *testing.T) {
+	ns, ys := genSeries(func(n float64) float64 {
+		l := math.Log(n)
+		return 3 + 0.7*l*l
+	})
+	f, err := FitModel(ModelLog2, ns, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.A-3) > 1e-6 || math.Abs(f.B-0.7) > 1e-6 {
+		t.Fatalf("recovered a=%v b=%v", f.A, f.B)
+	}
+	if f.R2 < 0.999999 {
+		t.Fatalf("R² = %v", f.R2)
+	}
+}
+
+func TestFitRecoversPower(t *testing.T) {
+	ns, ys := genSeries(func(n float64) float64 { return 2 * math.Pow(n, 0.5) })
+	f, err := FitModel(ModelPower, ns, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.B-0.5) > 1e-9 {
+		t.Fatalf("exponent = %v", f.B)
+	}
+	if math.Abs(f.Eval(256)-2*16) > 1e-6 {
+		t.Fatalf("Eval(256) = %v", f.Eval(256))
+	}
+}
+
+func TestFitAllPrefersTrueModel(t *testing.T) {
+	// Pure log² data: the log² model must beat sqrt and linear.
+	ns, ys := genSeries(func(n float64) float64 {
+		l := math.Log(n)
+		return 0.5 * l * l
+	})
+	fits := FitAll(ns, ys)
+	if len(fits) < 4 {
+		t.Fatalf("only %d fits", len(fits))
+	}
+	rank := map[Model]int{}
+	for i, f := range fits {
+		rank[f.Model] = i
+	}
+	if rank[ModelLog2] > rank[ModelSqrt] || rank[ModelLog2] > rank[ModelLinear] {
+		t.Fatalf("log² ranked %d, sqrt %d, linear %d", rank[ModelLog2], rank[ModelSqrt], rank[ModelLinear])
+	}
+	// And the converse: sqrt data is not best-fit by log².
+	ns2, ys2 := genSeries(func(n float64) float64 { return 2 * math.Sqrt(n) })
+	fits2 := FitAll(ns2, ys2)
+	if fits2[0].Model == ModelLog2 {
+		t.Fatal("log² spuriously won on √N data")
+	}
+}
+
+func TestPowerExponentDiscriminates(t *testing.T) {
+	// Polylog data yields a small exponent; linear data yields ~1.
+	ns, ys := genSeries(func(n float64) float64 {
+		l := math.Log(n)
+		return l * l
+	})
+	p, err := PowerExponent(ns, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 0.45 {
+		t.Fatalf("polylog exponent = %v, want small", p)
+	}
+	ns2, ys2 := genSeries(func(n float64) float64 { return 3 * n })
+	p2, _ := PowerExponent(ns2, ys2)
+	if math.Abs(p2-1) > 1e-9 {
+		t.Fatalf("linear exponent = %v", p2)
+	}
+}
+
+func TestFitModelErrors(t *testing.T) {
+	if _, err := FitModel(ModelLog2, []float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Fatal("too few points accepted")
+	}
+	if _, err := FitModel(ModelPower, []float64{1, 2, 3}, []float64{1, 0, 2}); err == nil {
+		t.Fatal("power fit accepted non-positive y")
+	}
+	if _, err := FitModel(ModelLog, []float64{-1, 2, 3}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("non-positive N accepted")
+	}
+	if _, err := FitModel(Model("bogus"), []float64{1, 2, 3}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestFitNoisyLog2StillWins(t *testing.T) {
+	src := rng.New(4)
+	var ns, ys []float64
+	for _, n := range []float64{64, 128, 256, 512, 1024, 2048, 4096, 8192} {
+		l := math.Log(n)
+		for rep := 0; rep < 5; rep++ {
+			ns = append(ns, n)
+			ys = append(ys, (1+0.05*src.Norm())*0.8*l*l)
+		}
+	}
+	fits := FitAll(ns, ys)
+	best := fits[0].Model
+	if best != ModelLog2 && best != ModelLog && best != ModelPower {
+		t.Fatalf("noisy log² best fit = %v", best)
+	}
+	// The power exponent must be clearly sub-sqrt.
+	p, _ := PowerExponent(ns, ys)
+	if p > 0.4 {
+		t.Fatalf("noisy log² exponent = %v", p)
+	}
+}
+
+func BenchmarkWelfordAdd(b *testing.B) {
+	var w Welford
+	for i := 0; i < b.N; i++ {
+		w.Add(float64(i % 1000))
+	}
+}

@@ -1,0 +1,170 @@
+// Package topology maintains the level-0 network graph: the unit-disk
+// graph induced by node positions and the transmission radius R_TX
+// (§1.2 of the paper), plus the graph algorithms the rest of the stack
+// needs (BFS hop counts, connected components, degree statistics) and
+// link-event diffing between successive scans.
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/spatial"
+)
+
+// EdgeKey packs an unordered node pair (a < b) into a map key.
+type EdgeKey uint64
+
+// MakeEdgeKey returns the canonical key for the pair {a, b}.
+func MakeEdgeKey(a, b int) EdgeKey {
+	if a > b {
+		a, b = b, a
+	}
+	return EdgeKey(uint64(uint32(a))<<32 | uint64(uint32(b)))
+}
+
+// Nodes unpacks the pair.
+func (k EdgeKey) Nodes() (a, b int) {
+	return int(k >> 32), int(uint32(k))
+}
+
+// String formats the edge for diagnostics.
+func (k EdgeKey) String() string {
+	a, b := k.Nodes()
+	return fmt.Sprintf("(%d,%d)", a, b)
+}
+
+// Graph is an undirected graph over nodes 0..n-1 with adjacency lists
+// and an edge set. It is the representation for every level of the
+// clustered hierarchy (level 0 uses dense int IDs; higher levels use
+// the level-0 IDs of clusterheads, which remain < n).
+type Graph struct {
+	n     int
+	adj   map[int][]int
+	edges map[EdgeKey]struct{}
+}
+
+// NewGraph returns an empty graph over id space [0, n).
+func NewGraph(n int) *Graph {
+	return &Graph{n: n, adj: make(map[int][]int), edges: make(map[EdgeKey]struct{})}
+}
+
+// IDSpace returns the exclusive upper bound of node IDs.
+func (g *Graph) IDSpace() int { return g.n }
+
+// AddEdge inserts the undirected edge {a, b}; duplicate inserts and
+// self-loops are ignored.
+func (g *Graph) AddEdge(a, b int) {
+	if a == b {
+		return
+	}
+	k := MakeEdgeKey(a, b)
+	if _, ok := g.edges[k]; ok {
+		return
+	}
+	g.edges[k] = struct{}{}
+	g.adj[a] = append(g.adj[a], b)
+	g.adj[b] = append(g.adj[b], a)
+}
+
+// HasEdge reports whether {a, b} is present.
+func (g *Graph) HasEdge(a, b int) bool {
+	_, ok := g.edges[MakeEdgeKey(a, b)]
+	return ok
+}
+
+// Neighbors returns the adjacency list of v (shared slice; do not
+// mutate).
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// EdgeCount returns |E|.
+func (g *Graph) EdgeCount() int { return len(g.edges) }
+
+// Edges returns all edge keys in ascending order (deterministic).
+func (g *Graph) Edges() []EdgeKey {
+	out := make([]EdgeKey, 0, len(g.edges))
+	for k := range g.edges {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EdgeSet exposes the underlying edge set for diffing (read-only).
+func (g *Graph) EdgeSet() map[EdgeKey]struct{} { return g.edges }
+
+// MeanDegree returns 2|E| / |V'| over the given vertex set.
+func (g *Graph) MeanDegree(vertices []int) float64 {
+	if len(vertices) == 0 {
+		return 0
+	}
+	total := 0
+	for _, v := range vertices {
+		total += len(g.adj[v])
+	}
+	return float64(total) / float64(len(vertices))
+}
+
+// BuildUnitDisk constructs the unit-disk graph over positions: an edge
+// joins every pair within rtx of each other. idx must be built with
+// cell side >= rtx and already contain every node.
+func BuildUnitDisk(n int, pos []geom.Vec, rtx float64, idx *spatial.Grid) *Graph {
+	g := NewGraph(n)
+	at := func(i int) geom.Vec { return pos[i] }
+	idx.ForEachPair(rtx, at, func(a, b int) {
+		g.AddEdge(a, b)
+	})
+	return g
+}
+
+// BuildUnitDiskBrute is the O(n²) reference construction, used by
+// tests and tiny static scenarios.
+func BuildUnitDiskBrute(pos []geom.Vec, rtx float64) *Graph {
+	g := NewGraph(len(pos))
+	r2 := rtx * rtx
+	for i := range pos {
+		for j := i + 1; j < len(pos); j++ {
+			if pos[i].Dist2(pos[j]) <= r2 {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// LinkEvent is a single level-0 link state change detected between two
+// successive scans.
+type LinkEvent struct {
+	Edge EdgeKey
+	Up   bool // true: link created; false: link broken
+}
+
+// DiffEdges compares the edge sets of prev and next and returns the
+// link events, deterministically ordered (downs then ups, each by key).
+func DiffEdges(prev, next *Graph) []LinkEvent {
+	var downs, ups []EdgeKey
+	for k := range prev.edges {
+		if _, ok := next.edges[k]; !ok {
+			downs = append(downs, k)
+		}
+	}
+	for k := range next.edges {
+		if _, ok := prev.edges[k]; !ok {
+			ups = append(ups, k)
+		}
+	}
+	sort.Slice(downs, func(i, j int) bool { return downs[i] < downs[j] })
+	sort.Slice(ups, func(i, j int) bool { return ups[i] < ups[j] })
+	out := make([]LinkEvent, 0, len(downs)+len(ups))
+	for _, k := range downs {
+		out = append(out, LinkEvent{Edge: k, Up: false})
+	}
+	for _, k := range ups {
+		out = append(out, LinkEvent{Edge: k, Up: true})
+	}
+	return out
+}

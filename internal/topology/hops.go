@@ -1,0 +1,91 @@
+package topology
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// HopModel estimates the packet-transmission cost (level-0 hop count)
+// of moving one LM entry between two nodes. The paper counts handoff
+// overhead in packet transmissions, each transmission covering one
+// level-0 hop.
+//
+// Two implementations are provided:
+//
+//   - BFSHops measures the true shortest path on the current graph —
+//     exact, O(E) per query; used by tests and small runs.
+//   - EuclideanHops estimates hops as ceil(distance/R_TX) scaled by a
+//     detour factor — Θ-exact for random unit-disk graphs at fixed
+//     density (Kleinrock & Silvester [2]) and O(1) per query; the
+//     default for large sweeps.
+type HopModel interface {
+	// Hops returns the estimated hop count between nodes a and b.
+	// A result of 0 means a == b (no transmissions needed).
+	Hops(a, b int) int
+}
+
+// EuclideanHops estimates hops from straight-line distance.
+type EuclideanHops struct {
+	Pos    []geom.Vec // live position slice (shared with the simulator)
+	RTX    float64
+	Detour float64 // multiplicative path-stretch factor, e.g. 1.3
+}
+
+// NewEuclideanHops builds the estimator over the live position slice.
+func NewEuclideanHops(pos []geom.Vec, rtx, detour float64) *EuclideanHops {
+	if rtx <= 0 {
+		panic("topology: RTX must be positive")
+	}
+	if detour < 1 {
+		detour = 1
+	}
+	return &EuclideanHops{Pos: pos, RTX: rtx, Detour: detour}
+}
+
+// Hops implements HopModel.
+func (e *EuclideanHops) Hops(a, b int) int {
+	if a == b {
+		return 0
+	}
+	d := e.Pos[a].Dist(e.Pos[b])
+	h := int(math.Ceil(d * e.Detour / e.RTX))
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+// BFSHops measures exact shortest-path hop counts on a graph snapshot.
+// Unreachable pairs cost as if routed across the network diameter
+// estimate (they correspond to transient partitions).
+type BFSHops struct {
+	G        *Graph
+	Fallback int // cost charged for unreachable pairs
+	scratch  *BFSScratch
+}
+
+// NewBFSHops builds an exact hop model over g.
+func NewBFSHops(g *Graph, fallback int) *BFSHops {
+	return &BFSHops{G: g, Fallback: fallback, scratch: NewBFSScratch(g.IDSpace())}
+}
+
+// Rebind points the model at a new graph snapshot (same ID space).
+func (b *BFSHops) Rebind(g *Graph) { b.G = g }
+
+// Hops implements HopModel.
+func (b *BFSHops) Hops(x, y int) int {
+	if x == y {
+		return 0
+	}
+	h := b.scratch.HopCount(b.G, x, y, nil)
+	if h < 0 {
+		return b.Fallback
+	}
+	return h
+}
+
+var (
+	_ HopModel = (*EuclideanHops)(nil)
+	_ HopModel = (*BFSHops)(nil)
+)

@@ -1,0 +1,115 @@
+// Package trace provides structured JSONL tracing of simulation runs:
+// one JSON object per scan tick summarizing the hierarchy shape and
+// the handoff activity. The format is line-oriented so shell tooling
+// (jq, awk) can post-process long runs without loading them whole.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/lm"
+	"repro/internal/simnet"
+)
+
+// TickRecord is the JSONL schema for one scan tick.
+type TickRecord struct {
+	Time          float64 `json:"t"`
+	Levels        int     `json:"levels"`
+	LevelSizes    []int   `json:"level_sizes"`
+	Transfers     int     `json:"transfers"`
+	PhiPackets    int     `json:"phi_packets"`
+	GammaPackets  int     `json:"gamma_packets"`
+	Elections     int     `json:"elections"`
+	Rejections    int     `json:"rejections"`
+	Memberships   int     `json:"membership_changes"`
+	ClusterLinkUp int     `json:"cluster_link_events"`
+}
+
+// Tracer serializes tick records to a writer.
+type Tracer struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	n   int
+	err error
+}
+
+// New builds a tracer over w.
+func New(w io.Writer) *Tracer {
+	bw := bufio.NewWriter(w)
+	return &Tracer{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Observer returns a simnet observer callback that records every tick.
+func (t *Tracer) Observer() func(simnet.ObsEvent) {
+	return func(ev simnet.ObsEvent) {
+		t.Record(ev)
+	}
+}
+
+// Record serializes one tick.
+func (t *Tracer) Record(ev simnet.ObsEvent) {
+	if t.err != nil {
+		return
+	}
+	rec := TickRecord{
+		Time:   ev.Time,
+		Levels: ev.Hierarchy.L(),
+	}
+	for k := 0; k <= ev.Hierarchy.L(); k++ {
+		rec.LevelSizes = append(rec.LevelSizes, len(ev.Hierarchy.LevelNodes(k)))
+	}
+	rec.Transfers = len(ev.Transfers)
+	for _, tr := range ev.Transfers {
+		if tr.Cause == lm.CauseMigration {
+			rec.PhiPackets += tr.Packets
+		} else {
+			rec.GammaPackets += tr.Packets
+		}
+	}
+	if d := ev.Diff; d != nil {
+		for _, e := range d.Elections {
+			rec.Elections += len(e)
+		}
+		for _, r := range d.Rejections {
+			rec.Rejections += len(r)
+		}
+		rec.Memberships = len(d.Memberships)
+		for _, evs := range d.MigrationLinkEvents {
+			rec.ClusterLinkUp += len(evs)
+		}
+	}
+	if err := t.enc.Encode(&rec); err != nil {
+		t.err = err
+		return
+	}
+	t.n++
+}
+
+// Close flushes buffered records and returns the first error seen.
+func (t *Tracer) Close() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Records reports how many ticks were written.
+func (t *Tracer) Records() int { return t.n }
+
+// Read parses a JSONL trace back into records (for tests and tools).
+func Read(r io.Reader) ([]TickRecord, error) {
+	dec := json.NewDecoder(r)
+	var out []TickRecord
+	for {
+		var rec TickRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("trace: record %d: %w", len(out), err)
+		}
+		out = append(out, rec)
+	}
+}

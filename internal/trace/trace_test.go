@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf)
+	cfg := simnet.Config{
+		N: 50, Seed: 1, Duration: 20, Warmup: 5,
+		Observer: tr.Observer(),
+	}
+	if _, err := simnet.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Records() == 0 {
+		t.Fatal("no records written")
+	}
+	recs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != tr.Records() {
+		t.Fatalf("read %d records, wrote %d", len(recs), tr.Records())
+	}
+	// Times strictly increasing; level sizes well-formed.
+	for i, r := range recs {
+		if i > 0 && r.Time <= recs[i-1].Time {
+			t.Fatalf("times not increasing at %d", i)
+		}
+		if len(r.LevelSizes) != r.Levels+1 {
+			t.Fatalf("record %d: %d level sizes for %d levels", i, len(r.LevelSizes), r.Levels)
+		}
+		// Level 0 covers the giant component: most (possibly all) of
+		// the 50 nodes.
+		if r.LevelSizes[0] < 25 || r.LevelSizes[0] > 50 {
+			t.Fatalf("record %d: level-0 size %d", i, r.LevelSizes[0])
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("{\"t\":1}\nnot json\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	recs, err := Read(strings.NewReader(""))
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("empty read = %v, %v", recs, err)
+	}
+}

@@ -1,0 +1,112 @@
+// Package workload generates communication sessions over a simulated
+// network and accounts their location-query cost against their data
+// traffic — the paper's closing argument (§6) that a location query
+// "is of the same order of magnitude as the hop count between the
+// requesting node and the target node, and occurs only once per
+// communication session", so query overhead is absorbed into the
+// session.
+//
+// Sessions arrive as a Poisson process; each picks a uniform
+// source/destination pair in the giant component, pays one CHLM query,
+// and then transfers PacketsPerSession data packets along the strict
+// hierarchical route.
+package workload
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/lm"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// Config parameterizes the session generator.
+type Config struct {
+	// Rate is the session arrival rate per node per second.
+	Rate float64
+	// PacketsPerSession is the data packets each session transfers.
+	PacketsPerSession int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rate == 0 {
+		c.Rate = 0.01
+	}
+	if c.PacketsPerSession == 0 {
+		c.PacketsPerSession = 20
+	}
+	return c
+}
+
+// Stats aggregates session outcomes.
+type Stats struct {
+	Sessions     int
+	Failed       int // no shared cluster (partition) or no route
+	QueryPkts    stats.Welford
+	RoutePkts    stats.Welford
+	QueryToRoute stats.Welford // per-session query/route ratio
+	Stretch      stats.Welford // hierarchical vs shortest path
+}
+
+// Generator produces sessions against hierarchy snapshots.
+type Generator struct {
+	cfg Config
+	src *rng.Source
+	// carry accumulates fractional expected sessions between ticks.
+	carry float64
+}
+
+// NewGenerator builds a generator drawing randomness from src.
+func NewGenerator(cfg Config, src *rng.Source) *Generator {
+	return &Generator{cfg: cfg.withDefaults(), src: src}
+}
+
+// Tick runs the sessions that arrive in an interval of dt seconds over
+// the given snapshot, accumulating into st.
+func (g *Generator) Tick(
+	dt float64,
+	h *cluster.Hierarchy,
+	ids *cluster.Identities,
+	sel *lm.Selector,
+	hop topology.HopModel,
+	st *Stats,
+) {
+	nodes := h.LevelNodes(0)
+	if len(nodes) < 2 {
+		return
+	}
+	g.carry += g.cfg.Rate * dt * float64(len(nodes))
+	n := int(g.carry)
+	g.carry -= float64(n)
+	if n == 0 {
+		return
+	}
+	router := routing.NewRouter(h)
+	for i := 0; i < n; i++ {
+		q := nodes[g.src.Intn(len(nodes))]
+		d := nodes[g.src.Intn(len(nodes))]
+		if q == d {
+			continue
+		}
+		st.Sessions++
+		res := lm.Query(sel, h, ids, hop, q, d)
+		if !res.Found {
+			st.Failed++
+			continue
+		}
+		flat := router.FlatPathLen(q, d)
+		hier := router.HierPathLen(q, d)
+		if hier < 0 || flat <= 0 {
+			st.Failed++
+			continue
+		}
+		route := float64(hier * g.cfg.PacketsPerSession)
+		st.QueryPkts.Add(float64(res.Packets))
+		st.RoutePkts.Add(route)
+		if route > 0 {
+			st.QueryToRoute.Add(float64(res.Packets) / route)
+		}
+		st.Stretch.Add(float64(hier) / float64(flat))
+	}
+}

@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/geom"
+	"repro/internal/lm"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+func testNet(n int, seed uint64) (*cluster.Hierarchy, *cluster.Identities, *topology.Graph) {
+	src := rng.New(seed)
+	// Radius scaled so the giant component covers nearly all nodes.
+	d := geom.Disc{R: 110 * 3.1}
+	if n >= 150 {
+		d.R = 110 * 4.5
+	}
+	pos := make([]geom.Vec, n)
+	for i := range pos {
+		pos[i] = d.Sample(src)
+	}
+	g := topology.BuildUnitDiskBrute(pos, 110)
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	giant := topology.GiantComponent(g, all)
+	tr := cluster.NewIdentityTracker()
+	h, ids := cluster.BuildWithIdentities(g, giant, cluster.Config{}, nil, nil, tr, 0)
+	return h, ids, g
+}
+
+func TestGeneratorProducesSessions(t *testing.T) {
+	h, ids, g := testNet(200, 1)
+	gen := NewGenerator(Config{Rate: 0.1, PacketsPerSession: 10}, rng.New(2))
+	sel := lm.NewSelector(nil)
+	hop := topology.NewBFSHops(g, 100)
+	var st Stats
+	for tick := 0; tick < 50; tick++ {
+		gen.Tick(1.0, h, ids, sel, hop, &st)
+	}
+	// Expected ~0.1*200*50 = 1000 sessions.
+	if st.Sessions < 800 || st.Sessions > 1200 {
+		t.Fatalf("sessions = %d, want ~1000", st.Sessions)
+	}
+	if st.QueryPkts.N() == 0 {
+		t.Fatal("no successful sessions")
+	}
+	if st.Failed > st.Sessions/5 {
+		t.Fatalf("%d/%d sessions failed on a connected giant", st.Failed, st.Sessions)
+	}
+	// §6: query cost is a small fraction of session traffic.
+	if ratio := st.QueryToRoute.Mean(); ratio <= 0 || ratio > 1 {
+		t.Fatalf("query/route ratio = %v", ratio)
+	}
+	if st.Stretch.Mean() < 1 {
+		t.Fatalf("stretch = %v < 1", st.Stretch.Mean())
+	}
+}
+
+func TestPoissonCarryDeterministic(t *testing.T) {
+	h, ids, g := testNet(100, 3)
+	sel := lm.NewSelector(nil)
+	hop := topology.NewBFSHops(g, 100)
+	run := func() int {
+		gen := NewGenerator(Config{Rate: 0.033}, rng.New(7))
+		var st Stats
+		for tick := 0; tick < 30; tick++ {
+			gen.Tick(1.0, h, ids, sel, hop, &st)
+		}
+		return st.Sessions
+	}
+	if run() != run() {
+		t.Fatal("workload not deterministic")
+	}
+}
+
+func TestFractionalRateAccumulates(t *testing.T) {
+	h, ids, g := testNet(50, 4)
+	sel := lm.NewSelector(nil)
+	hop := topology.NewBFSHops(g, 100)
+	gen := NewGenerator(Config{Rate: 0.001}, rng.New(5))
+	var st Stats
+	// 0.001*50 = 0.05 sessions per tick: needs carry to ever fire.
+	for tick := 0; tick < 400; tick++ {
+		gen.Tick(1.0, h, ids, sel, hop, &st)
+	}
+	if st.Sessions < 10 || st.Sessions > 30 {
+		t.Fatalf("sessions = %d, want ~20", st.Sessions)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Rate <= 0 || cfg.PacketsPerSession <= 0 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+}

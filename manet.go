@@ -1,0 +1,109 @@
+// Package manet is the public API of this repository: a discrete-event
+// simulator and benchmark harness reproducing Sucec & Marsic,
+// "Location Management Handoff Overhead in Hierarchically Organized
+// Mobile Ad hoc Networks" (IPPS 2002).
+//
+// The paper proves that in a MANET organized into an L = Θ(log|V|)
+// level clustered hierarchy, the control traffic caused by handing off
+// distributed location-management (LM) state — triggered both by node
+// migration (φ) and by cluster reorganization (γ) — is only
+// Θ(log²|V|) packet transmissions per node per second. This module
+// implements the full stack the argument rests on:
+//
+//   - random-waypoint mobility over a fixed-density disc (§1.2),
+//   - the unit-disk link model and dynamic topology maintenance,
+//   - recursive ALCA clustering (§2) with max-min d-hop and
+//     hysteresis variants,
+//   - CHLM location management (§3.2) with rendezvous hashing plus the
+//     GLS baseline of §3.1,
+//   - strict hierarchical routing (§2.1),
+//   - the handoff accountant implementing the §4/§5 taxonomy, and
+//   - the experiment harness regenerating every figure and validating
+//     every numbered claim (see DESIGN.md and EXPERIMENTS.md).
+//
+// # Quick start
+//
+//	r, err := manet.Run(manet.Config{N: 256, Seed: 1, Duration: 120})
+//	if err != nil { ... }
+//	fmt.Printf("φ=%.3f γ=%.3f pkts/node/s\n", r.PhiRate, r.GammaRate)
+//
+// Experiments from the paper are available by ID:
+//
+//	manet.RunExperiment(os.Stdout, "E15", manet.QuickScale())
+package manet
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/runner"
+	"repro/internal/simnet"
+)
+
+// Config parameterizes one simulation run. See simnet.Config for field
+// documentation; the zero value of every optional field selects a
+// sensible default (R_TX = 100 m, mean degree 9, μ = 10 m/s, random
+// waypoint mobility).
+type Config = simnet.Config
+
+// Results carries the measured overhead rates and hierarchy structure
+// of one run.
+type Results = simnet.Results
+
+// Mobility and hop-model selector constants.
+const (
+	MobilityWaypoint  = simnet.MobilityWaypoint
+	MobilityDirection = simnet.MobilityDirection
+	MobilityStatic    = simnet.MobilityStatic
+	HopEuclidean      = simnet.HopEuclidean
+	HopBFS            = simnet.HopBFS
+)
+
+// Run executes one simulation.
+func Run(cfg Config) (*Results, error) { return simnet.Run(cfg) }
+
+// Stabilized returns cfg with the full clustering-stabilization stack
+// applied (LCC-style debounced elections with level-scaled grace, on
+// top of the always-on identity continuity and forced-top cap) — the
+// regime in which the paper's event-frequency premises hold best. The
+// zero configuration runs the paper's literal memoryless ALCA instead;
+// experiment E15 contrasts the two.
+func Stabilized(cfg Config) Config { return runner.StabilizedConfig(cfg) }
+
+// Experiment is one entry of the reproduction harness (a figure or a
+// numbered claim of the paper; see DESIGN.md §4).
+type Experiment = runner.Experiment
+
+// Scale sizes experiment runs.
+type Scale = runner.Scale
+
+// QuickScale returns the smoke-test scale (seconds per experiment).
+func QuickScale() Scale { return runner.QuickScale() }
+
+// FullScale returns the publication scale (minutes per experiment).
+func FullScale() Scale { return runner.FullScale() }
+
+// Experiments lists the full registry in DESIGN.md order.
+func Experiments() []Experiment { return runner.Registry() }
+
+// RunExperiment executes one experiment by ID ("E1".."E15", "A1".."A3")
+// writing its report to w.
+func RunExperiment(w io.Writer, id string, sc Scale) error {
+	e, ok := runner.Find(id)
+	if !ok {
+		return fmt.Errorf("manet: unknown experiment %q", id)
+	}
+	return e.Run(w, sc)
+}
+
+// RunAllExperiments executes the whole registry in order, separating
+// reports with a header line; the first error aborts.
+func RunAllExperiments(w io.Writer, sc Scale) error {
+	for _, e := range runner.Registry() {
+		fmt.Fprintf(w, "\n===== %s — %s (%s) =====\n", e.ID, e.Title, e.Paper)
+		if err := e.Run(w, sc); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package manet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunFacade(t *testing.T) {
+	r, err := Run(Config{N: 64, Seed: 1, Duration: 20, Warmup: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalRate() <= 0 {
+		t.Fatal("no overhead measured")
+	}
+}
+
+func TestExperimentsRegistryExposed(t *testing.T) {
+	exps := Experiments()
+	if len(exps) < 18 {
+		t.Fatalf("only %d experiments exposed", len(exps))
+	}
+	ids := map[string]bool{}
+	for _, e := range exps {
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"E1", "E15", "A5"} {
+		if !ids[want] {
+			t.Fatalf("experiment %s missing", want)
+		}
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if err := RunExperiment(&bytes.Buffer{}, "E99", QuickScale()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunExperimentProducesReport(t *testing.T) {
+	var buf bytes.Buffer
+	sc := Scale{Ns: []int{48}, Seeds: 1, Duration: 15, Warmup: 5, BigN: 48}
+	if err := RunExperiment(&buf, "E1", sc); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Fig. 1") {
+		t.Fatalf("E1 report missing figure reference:\n%s", buf.String())
+	}
+}
+
+func TestScales(t *testing.T) {
+	q, f := QuickScale(), FullScale()
+	if len(q.Ns) == 0 || len(f.Ns) == 0 {
+		t.Fatal("empty scales")
+	}
+	if f.Ns[len(f.Ns)-1] <= q.Ns[len(q.Ns)-1] {
+		t.Fatal("full scale not larger than quick scale")
+	}
+}
+
+func TestStabilizedConfigReducesOverhead(t *testing.T) {
+	base := Config{N: 100, Seed: 5, Duration: 40, Warmup: 10}
+	lit, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stab, err := Run(Stabilized(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stab.GammaRate >= lit.GammaRate {
+		t.Fatalf("stabilized γ %v not below literal γ %v", stab.GammaRate, lit.GammaRate)
+	}
+}
