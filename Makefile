@@ -1,0 +1,22 @@
+# Verification entry points. `make check test race` is what CI runs.
+
+.PHONY: all build check test race lint
+
+all: build check test
+
+build:
+	go build ./...
+
+# Static gate: gofmt, go vet, and the determinism linter (manetlint).
+check:
+	sh scripts/check.sh
+
+# manetlint alone (also part of `go test ./...` via lint_test.go).
+lint:
+	go run ./cmd/manetlint ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...

@@ -15,7 +15,6 @@ import (
 	"log"
 	"os"
 	"strings"
-	"time"
 
 	manet "repro"
 )
@@ -47,7 +46,7 @@ func main() {
 		sc = manet.QuickScale()
 	}
 
-	start := time.Now()
+	clock := startWallClock()
 	var err error
 	if strings.EqualFold(*run, "all") {
 		err = manet.RunAllExperiments(os.Stdout, sc)
@@ -57,5 +56,5 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "done in %s\n", clock.elapsed())
 }

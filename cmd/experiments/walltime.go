@@ -1,0 +1,22 @@
+package main
+
+// Wall-clock timing for the benchmark harness. This file is the only
+// place in the binary allowed to touch the time package: simulated
+// time flows exclusively through the DES clock, and manetlint's
+// forbiddenimport rule keeps it that way. The annotation waives the
+// rule for this helper alone.
+
+//lint:ignore forbiddenimport wall-clock benchmarking of the harness itself, never simulated time
+import "time"
+
+// wallClock marks the start of a wall-clock measurement.
+type wallClock struct{ start time.Time }
+
+// startWallClock begins timing.
+func startWallClock() wallClock { return wallClock{start: time.Now()} }
+
+// elapsed reports the wall time since the clock started, rounded to
+// milliseconds.
+func (w wallClock) elapsed() string {
+	return time.Since(w.start).Round(time.Millisecond).String()
+}

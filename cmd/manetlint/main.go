@@ -1,0 +1,76 @@
+// Command manetlint enforces the repository's determinism invariants:
+// no map-order-dependent iteration, no stray randomness or wall-clock
+// time in simulation code, no exact float comparison, and no unseeded
+// or goroutine-shared rng streams. See internal/lint for the rules and
+// the //lint:ignore annotation syntax.
+//
+// Usage:
+//
+//	manetlint [-json] [packages...]
+//
+// Packages default to ./... (the whole module). Exit status is 0 when
+// the tree is clean, 1 when findings are reported, 2 on usage or load
+// errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: manetlint [-json] [packages...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	findings, err := lint.Run(root, cwd, patterns, lint.DefaultConfig())
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "manetlint: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "manetlint:", err)
+	os.Exit(2)
+}

@@ -51,6 +51,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	//lint:ignore floateq zero is the unset-config sentinel
 	if r.Config.ScanInterval != 0 {
 		scan = r.Config.ScanInterval
 	}

@@ -64,6 +64,7 @@ func (m Model) Hk(k int) float64 {
 // per node.
 func (m Model) Fk(k int) float64 {
 	h := m.Hk(k)
+	//lint:ignore floateq exact-zero guard before division
 	if h == 0 {
 		return m.F0
 	}

@@ -168,6 +168,7 @@ func (d *DebouncedLCA) ElectTracked(ctx *ElectCtx) map[int]int {
 		d.lost = map[debKey]float64{}
 	}
 	grace := d.Grace
+	//lint:ignore floateq 1 is the exact no-scaling sentinel, never computed
 	if d.LevelScale > 0 && d.LevelScale != 1 {
 		for i := 0; i < ctx.Level; i++ {
 			grace *= d.LevelScale

@@ -66,18 +66,18 @@ func ComputeDiff(prev, next *Hierarchy) *Diff {
 		pl, nl := prev.Level(k), next.Level(k)
 		pset := nodeSet(pl)
 		nset := nodeSet(nl)
-		for id := range nset {
+		// Level.Nodes is sorted, so walking the slices (rather than the
+		// sets) yields elections and rejections in ascending ID order.
+		for _, id := range levelNodes(nl) {
 			if !pset[id] {
 				d.Elections[k] = append(d.Elections[k], id)
 			}
 		}
-		for id := range pset {
+		for _, id := range levelNodes(pl) {
 			if !nset[id] {
 				d.Rejections[k] = append(d.Rejections[k], id)
 			}
 		}
-		sort.Ints(d.Elections[k])
-		sort.Ints(d.Rejections[k])
 		if len(d.Elections[k]) == 0 {
 			delete(d.Elections, k)
 		}
@@ -146,12 +146,13 @@ func ComputeDiff(prev, next *Hierarchy) *Diff {
 		}
 		ids := make([]int, 0, len(pl.State))
 		for id := range pl.State {
-			if _, ok := nl.State[id]; ok {
-				ids = append(ids, id)
-			}
+			ids = append(ids, id)
 		}
 		sort.Ints(ids)
 		for _, id := range ids {
+			if _, ok := nl.State[id]; !ok {
+				continue
+			}
 			if pl.State[id] != nl.State[id] {
 				d.StateDeltas = append(d.StateDeltas, StateDelta{
 					Level: k, Node: id, Old: pl.State[id], New: nl.State[id],
@@ -178,6 +179,13 @@ func nodeSet(l *Level) map[int]bool {
 		s[id] = true
 	}
 	return s
+}
+
+func levelNodes(l *Level) []int {
+	if l == nil {
+		return nil
+	}
+	return l.Nodes
 }
 
 func levelGraph(l *Level) *topology.Graph {

@@ -178,8 +178,8 @@ func elect(lvl *Level, head map[int]int) {
 	lvl.State = make(map[int]int)
 
 	headSet := make(map[int]bool, len(lvl.Nodes))
-	for _, hd := range head {
-		headSet[hd] = true
+	for _, u := range lvl.Nodes {
+		headSet[head[u]] = true
 	}
 	for _, u := range lvl.Nodes {
 		m := head[u]
@@ -191,6 +191,7 @@ func elect(lvl *Level, head map[int]int) {
 		lvl.Member[u] = m
 		lvl.Members[m] = append(lvl.Members[m], u)
 	}
+	//lint:ignore maprange each member slice is sorted independently; order cannot escape
 	for _, members := range lvl.Members {
 		sort.Ints(members)
 	}
@@ -203,6 +204,7 @@ func elect(lvl *Level, head map[int]int) {
 		}
 	}
 	// Heads with only a self-election have state 0.
+	//lint:ignore maprange writes disjoint map entries; order cannot escape
 	for hd := range lvl.Members {
 		if _, ok := lvl.State[hd]; !ok {
 			lvl.State[hd] = 0
@@ -214,6 +216,7 @@ func elect(lvl *Level, head map[int]int) {
 // adjacent iff some level-k edge joins a member of X to a member of Y.
 func liftGraph(g *topology.Graph, lvl *Level, idSpace int) *topology.Graph {
 	up := topology.NewGraph(idSpace)
+	//lint:ignore maprange AddEdge builds a set; the result is order-free
 	for k := range g.EdgeSet() {
 		a, b := k.Nodes()
 		ca, cb := lvl.Member[a], lvl.Member[b]
@@ -224,7 +227,9 @@ func liftGraph(g *topology.Graph, lvl *Level, idSpace int) *topology.Graph {
 	return up
 }
 
-func keysSorted(m map[int][]int) []int {
+// keysSorted returns the keys of m in ascending order: the only way
+// map contents may enter an order-sensitive computation.
+func keysSorted[V any](m map[int]V) []int {
 	out := make([]int, 0, len(m))
 	for k := range m {
 		out = append(out, k)
@@ -356,9 +361,11 @@ func (h *Hierarchy) Validate() error {
 				}
 			}
 		}
-		// Members lists partition the level's nodes.
+		// Members lists partition the level's nodes. Iterate sorted so
+		// the first violation reported is deterministic.
 		count := 0
-		for c, members := range lvl.Members {
+		for _, c := range keysSorted(lvl.Members) {
+			members := lvl.Members[c]
 			if !up.IsNode(c) {
 				return fmt.Errorf("cluster: members list for non-node %d", c)
 			}

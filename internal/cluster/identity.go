@@ -74,6 +74,7 @@ func LogicalEdges(h *Hierarchy, ids *Identities, k int) map[LogicalEdge]struct{}
 	if lvl == nil || k < 1 {
 		return out
 	}
+	//lint:ignore maprange set-to-set transform; the result is order-free
 	for e := range lvl.Graph.EdgeSet() {
 		pa, pb := e.Nodes()
 		a, okA := ids.Logical(k, pa)
@@ -147,6 +148,7 @@ func (t *IdentityTracker) Track(prevH *Hierarchy, prevIDs *Identities, nextH *Hi
 	ids := &Identities{}
 	for k := 1; k <= nextH.L(); k++ {
 		newAnc := map[int]int{}
+		//lint:ignore maprange map-to-map projection; the result is order-free
 		for v, chain := range nextChains {
 			if len(chain) >= k {
 				newAnc[v] = chain[k-1]

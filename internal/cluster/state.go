@@ -50,8 +50,8 @@ func (t *StateTracker) Observe(h *Hierarchy) {
 			dist = map[int]int{}
 			t.occ[m] = dist
 		}
-		for _, s := range lvl.State {
-			dist[s]++
+		for _, id := range keysSorted(lvl.State) {
+			dist[lvl.State[id]]++
 		}
 	}
 }
@@ -102,8 +102,8 @@ func (t *StateTracker) PState(m, state int) (p float64, n int) {
 func (t *StateTracker) pState(m, state int) (float64, int) {
 	dist := t.occ[m]
 	total := 0
-	for _, c := range dist {
-		total += c
+	for _, s := range keysSorted(dist) {
+		total += dist[s]
 	}
 	if total == 0 {
 		return 0, 0
@@ -115,9 +115,9 @@ func (t *StateTracker) pState(m, state int) (float64, int) {
 func (t *StateTracker) MeanState(m int) float64 {
 	dist := t.occ[m]
 	total, sum := 0, 0
-	for s, c := range dist {
-		total += c
-		sum += s * c
+	for _, s := range keysSorted(dist) {
+		total += dist[s]
+		sum += s * dist[s]
 	}
 	if total == 0 {
 		return 0
@@ -187,8 +187,8 @@ func (t *StateTracker) UnitTransitionFraction() (frac float64, total int) {
 // DeltaHistogram returns a copy of the |Δstate| histogram.
 func (t *StateTracker) DeltaHistogram() map[int]int {
 	out := make(map[int]int, len(t.deltaHist))
-	for k, v := range t.deltaHist {
-		out[k] = v
+	for _, k := range keysSorted(t.deltaHist) {
+		out[k] = t.deltaHist[k]
 	}
 	return out
 }
@@ -197,8 +197,8 @@ func (t *StateTracker) DeltaHistogram() map[int]int {
 // level-m nodes.
 func (t *StateTracker) OccupancyHistogram(m int) map[int]int {
 	out := make(map[int]int, len(t.occ[m]))
-	for k, v := range t.occ[m] {
-		out[k] = v
+	for _, k := range keysSorted(t.occ[m]) {
+		out[k] = t.occ[m][k]
 	}
 	return out
 }

@@ -57,6 +57,7 @@ func BuildWithIdentities(
 				continue
 			}
 			m := map[uint64]uint64{}
+			//lint:ignore maprange map-to-map projection; the result is order-free
 			for u, w := range lvl.Head {
 				lu, okU := prevIDs.Logical(k, u)
 				lw, okW := prevIDs.Logical(k, w)
@@ -95,6 +96,7 @@ func BuildWithIdentities(
 			forceTop(h, lvl, curNodes, g0.IDSpace())
 			// Identity for the forced top level.
 			root := curNodes[len(curNodes)-1]
+			//lint:ignore maprange per-key update/delete; the result is order-free
 			for v, a := range anc {
 				if _, ok := lvl.Member[a]; ok {
 					anc[v] = root
@@ -134,6 +136,7 @@ func BuildWithIdentities(
 			break
 		}
 		// Advance ancestors to level k+1.
+		//lint:ignore maprange per-key update/delete; the result is order-free
 		for v, a := range anc {
 			m, ok := lvl.Member[a]
 			if !ok {
@@ -223,6 +226,7 @@ func matchLevel(
 		next int
 	}
 	counts := map[pair]int{}
+	//lint:ignore maprange commutative integer counting; the result is order-free
 	for v, nh := range newAnc {
 		pc, ok := prevLog[v]
 		if !ok || len(pc) < k {

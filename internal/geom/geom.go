@@ -42,6 +42,7 @@ func (v Vec) Dist2(w Vec) float64 { return v.Sub(w).Len2() }
 // Normalize returns v/|v|, or the zero vector if |v| == 0.
 func (v Vec) Normalize() Vec {
 	l := v.Len()
+	//lint:ignore floateq exact-zero guard before division
 	if l == 0 {
 		return Vec{}
 	}
@@ -116,6 +117,7 @@ func (d Disc) SegmentCircleExit(a, b Vec) float64 {
 	dir := b.Sub(a)
 	f := a.Sub(d.C)
 	A := dir.Len2()
+	//lint:ignore floateq exact-zero guard before division
 	if A == 0 {
 		return 1
 	}

@@ -127,6 +127,7 @@ func NewIndex(grid *Grid, pos []geom.Vec) *Index {
 			sq := grid.SquareOf(level, p)
 			m[sq] = append(m[sq], v)
 		}
+		//lint:ignore maprange each member slice is sorted independently; order cannot escape
 		for _, ids := range m {
 			sort.Ints(ids)
 		}

@@ -1,0 +1,259 @@
+// Package lint is manetlint: a project-specific static analyzer that
+// turns this repository's determinism contract into machine-checked
+// invariants. Every Θ(log²|V|) overhead measurement the reproduction
+// reports is only trustworthy if reruns with the same seed produce
+// byte-for-byte identical traces, so the analyzer rejects the known
+// sources of silent nondeterminism:
+//
+//	maprange        range over a map in non-test code (iteration order
+//	                is randomized by the runtime)
+//	forbiddenimport math/rand or crypto/rand under internal/ (all
+//	                randomness flows through internal/rng), and time
+//	                anywhere (all simulated time flows through the DES
+//	                clock; wall-clock use needs an annotated helper)
+//	floateq         == or != between floating-point operands outside
+//	                approved epsilon helpers
+//	rawrng          constructing an rng.Source by zero value or
+//	                composite literal instead of rng.New, Root.Stream,
+//	                or Split
+//	sharedrng       a go statement whose function literal captures an
+//	                rng stream from the enclosing scope (rng.Source is
+//	                not goroutine-safe)
+//	typecheck       parse or type errors (reported, never a panic)
+//	badignore       a malformed //lint:ignore directive
+//
+// A site that is deliberately exempt carries an annotation on its own
+// line or the line above:
+//
+//	//lint:ignore <rule> <reason>
+//
+// The reason is mandatory. Inside simulation packages the time import
+// rule is strict: it cannot be waived by annotation.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/scanner"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Config selects where each rule applies. The zero value disables the
+// scoped rules; use DefaultConfig for this repository's policy.
+type Config struct {
+	// RandForbidden are import paths banned inside RandScope.
+	RandForbidden []string
+	// RandScope are module-relative path prefixes (slash form, e.g.
+	// "internal/") where RandForbidden applies strictly (annotations
+	// cannot waive it).
+	RandScope []string
+	// SimPackages are module-relative package paths where importing
+	// "time" is strictly forbidden — no annotation waives it there.
+	// Everywhere else in the module a time import is still flagged but
+	// may carry a //lint:ignore forbiddenimport annotation.
+	SimPackages []string
+	// EpsilonMarkers are lowercase substrings; a function whose name
+	// contains one is an approved epsilon helper and may compare
+	// floats with == / !=.
+	EpsilonMarkers []string
+}
+
+// DefaultConfig is the policy enforced on this repository.
+func DefaultConfig() Config {
+	return Config{
+		RandForbidden: []string{"math/rand", "math/rand/v2", "crypto/rand"},
+		RandScope:     []string{"internal/"},
+		SimPackages: []string{
+			"internal/sim",
+			"internal/simnet",
+			"internal/cluster",
+			"internal/lm",
+			"internal/mobility",
+			"internal/workload",
+		},
+		EpsilonMarkers: []string{"approx", "almost", "close", "eps"},
+	}
+}
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	File    string `json:"file"` // module-root-relative, slash-separated
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+
+	strict bool // not waivable by //lint:ignore
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Rule, f.Message)
+}
+
+// Run lints the packages matched by patterns in the module rooted at
+// root. Directory patterns resolve relative to base. The returned
+// findings are sorted by position; a non-nil error means the module
+// itself could not be loaded (findings still describe per-file parse
+// and type problems).
+func Run(root, base string, patterns []string, cfg Config) ([]Finding, error) {
+	m, err := NewModule(root)
+	if err != nil {
+		return nil, err
+	}
+	paths, err := m.Expand(base, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var all []Finding
+	for _, p := range paths {
+		pkg, err := m.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, CheckPackage(m, pkg, cfg)...)
+	}
+	sortFindings(all)
+	return all, nil
+}
+
+// CheckPackage runs every rule over one loaded package and returns the
+// surviving (non-ignored) findings, unsorted.
+func CheckPackage(m *Module, pkg *Package, cfg Config) []Finding {
+	c := &checker{m: m, pkg: pkg, cfg: cfg}
+
+	for _, err := range pkg.ParseErrs {
+		if list, ok := err.(scanner.ErrorList); ok {
+			for _, e := range list {
+				c.add(posFinding(m, e.Pos, "typecheck", e.Msg))
+			}
+			continue
+		}
+		c.add(Finding{File: pkg.RelPathOrDot(), Line: 1, Col: 1, Rule: "typecheck", Message: err.Error()})
+	}
+	for _, te := range pkg.TypeErrors {
+		c.addf(te.Pos, "typecheck", "%s", te.Msg)
+	}
+
+	ig := collectIgnores(m, pkg, c)
+	for _, f := range pkg.Files {
+		c.maprange(f)
+		c.floateq(f)
+		c.rawrng(f)
+		c.sharedrng(f)
+		c.forbiddenImports(f)
+	}
+	// Import hygiene applies to test files too: a _test.go pulling in
+	// math/rand undermines the same reproducibility guarantees.
+	for _, f := range pkg.TestFiles {
+		c.forbiddenImports(f)
+	}
+
+	var out []Finding
+	for _, f := range c.findings {
+		if !f.strict && ig.covers(f.File, f.Line, f.Rule) {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// RelPathOrDot names the package directory for findings without a
+// position ("." for the module root).
+func (p *Package) RelPathOrDot() string {
+	if p.RelPath == "" {
+		return "."
+	}
+	return p.RelPath
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+}
+
+func posFinding(m *Module, pos token.Position, rule, msg string) Finding {
+	return Finding{
+		File:    m.relFile(pos.Filename),
+		Line:    pos.Line,
+		Col:     pos.Column,
+		Rule:    rule,
+		Message: msg,
+	}
+}
+
+// ignoreSet records //lint:ignore directives: file → line → rules
+// waived on that line and the next.
+type ignoreSet map[string]map[int]map[string]bool
+
+func (ig ignoreSet) covers(file string, line int, rule string) bool {
+	lines := ig[file]
+	if lines == nil {
+		return false
+	}
+	for _, l := range [2]int{line, line - 1} {
+		if rules := lines[l]; rules[rule] || rules["all"] {
+			return true
+		}
+	}
+	return false
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// collectIgnores scans every comment in the package (test files
+// included) for ignore directives, reporting malformed ones through c.
+func collectIgnores(m *Module, pkg *Package, c *checker) ignoreSet {
+	ig := ignoreSet{}
+	files := make([]*ast.File, 0, len(pkg.Files)+len(pkg.TestFiles))
+	files = append(files, pkg.Files...)
+	files = append(files, pkg.TestFiles...)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, cm := range cg.List {
+				rest, ok := strings.CutPrefix(cm.Text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					c.addf(cm.Pos(), "badignore",
+						"malformed ignore directive: want %s <rule> <reason>", ignorePrefix)
+					continue
+				}
+				pos := m.fset.Position(cm.Pos())
+				file := m.relFile(pos.Filename)
+				if ig[file] == nil {
+					ig[file] = map[int]map[string]bool{}
+				}
+				if ig[file][pos.Line] == nil {
+					ig[file][pos.Line] = map[string]bool{}
+				}
+				for _, rule := range strings.Split(fields[0], ",") {
+					ig[file][pos.Line][rule] = true
+				}
+			}
+		}
+	}
+	return ig
+}
+
+func (m *Module) relFile(filename string) string {
+	if rel, err := filepathRel(m.Root, filename); err == nil {
+		return rel
+	}
+	return filename
+}

@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// testConfig mirrors DefaultConfig but scopes the simulation packages
+// to the testdata module.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.SimPackages = []string{"internal/sim"}
+	return cfg
+}
+
+func testdataModule(t *testing.T) *Module {
+	t.Helper()
+	m, err := NewModule(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("NewModule: %v", err)
+	}
+	return m
+}
+
+// checkGolden lints one testdata package and compares the rendered
+// findings against testdata/<name>.golden.
+func checkGolden(t *testing.T, m *Module, relPkg, goldenName string) {
+	t.Helper()
+	pkg, err := m.Load("testmod/" + relPkg)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", relPkg, err)
+	}
+	findings := CheckPackage(m, pkg, testConfig())
+	sortFindings(findings)
+
+	var sb strings.Builder
+	for _, f := range findings {
+		sb.WriteString(f.String())
+		sb.WriteString("\n")
+	}
+	got := sb.String()
+
+	goldenPath := filepath.Join("testdata", goldenName+".golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatalf("write golden: %v", err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("findings mismatch for %s\n--- got ---\n%s--- want ---\n%s", relPkg, got, want)
+	}
+}
+
+func TestRuleMaprange(t *testing.T)   { checkGolden(t, testdataModule(t), "maprange", "maprange") }
+func TestRuleFloateq(t *testing.T)    { checkGolden(t, testdataModule(t), "floateq", "floateq") }
+func TestRuleRawrng(t *testing.T)     { checkGolden(t, testdataModule(t), "rawrng", "rawrng") }
+func TestRuleSharedrng(t *testing.T)  { checkGolden(t, testdataModule(t), "sharedrng", "sharedrng") }
+func TestRuleBadrand(t *testing.T)    { checkGolden(t, testdataModule(t), "internal/badrand", "badrand") }
+func TestRuleSimTime(t *testing.T)    { checkGolden(t, testdataModule(t), "internal/sim", "simtime") }
+func TestRuleTimeImport(t *testing.T) { checkGolden(t, testdataModule(t), "timeimport", "timeimport") }
+func TestRuleIgnores(t *testing.T)    { checkGolden(t, testdataModule(t), "ignores", "ignores") }
+
+// TestTypeErrorReported loads a package that fails type-checking: the
+// analyzer must surface the diagnostics as typecheck findings (and
+// still run syntactic rules) rather than panic.
+func TestTypeErrorReported(t *testing.T) {
+	checkGolden(t, testdataModule(t), "broken", "broken")
+}
+
+// TestParseErrorReported feeds the analyzer a file that does not even
+// parse; the scanner diagnostics must become typecheck findings.
+func TestParseErrorReported(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module brokenmod\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "bad", "bad.go"), "package bad\n\nfunc Oops( {\n")
+
+	findings, err := Run(dir, dir, []string{"./..."}, testConfig())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(findings) == 0 {
+		t.Fatal("want typecheck findings for a parse error, got none")
+	}
+	for _, f := range findings {
+		if f.Rule != "typecheck" {
+			t.Errorf("unexpected rule %q: %v", f.Rule, f)
+		}
+	}
+}
+
+// TestRunWholeTestdataModule runs the public entry point over the full
+// testdata module twice and requires identical, sorted output — the
+// linter itself must satisfy the determinism contract it enforces.
+func TestRunWholeTestdataModule(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	first, err := Run(root, root, []string{"./..."}, testConfig())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	second, err := Run(root, root, []string{"./..."}, testConfig())
+	if err != nil {
+		t.Fatalf("Run (second): %v", err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("two identical runs produced different findings")
+	}
+	if len(first) == 0 {
+		t.Fatal("testdata module should produce findings")
+	}
+	for i := 1; i < len(first); i++ {
+		a, b := first[i-1], first[i]
+		if a.File > b.File || (a.File == b.File && a.Line > b.Line) {
+			t.Errorf("findings not sorted: %v before %v", a, b)
+		}
+	}
+}
+
+// TestExpandPatterns covers the pattern grammar.
+func TestExpandPatterns(t *testing.T) {
+	m := testdataModule(t)
+	paths, err := m.Expand(m.Root, []string{"./internal/..."})
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	want := []string{"testmod/internal/badrand", "testmod/internal/rng", "testmod/internal/sim"}
+	if !reflect.DeepEqual(paths, want) {
+		t.Errorf("Expand(./internal/...) = %v, want %v", paths, want)
+	}
+	if _, err := m.Expand(m.Root, []string{"../outside"}); err == nil {
+		t.Error("Expand accepted a directory outside the module")
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

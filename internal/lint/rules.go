@@ -1,0 +1,323 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// checker accumulates the raw findings of one package before ignore
+// filtering.
+type checker struct {
+	m   *Module
+	pkg *Package
+	cfg Config
+
+	findings []Finding
+}
+
+func (c *checker) add(f Finding) { c.findings = append(c.findings, f) }
+
+func (c *checker) addf(pos token.Pos, rule, format string, args ...any) {
+	c.add(posFinding(c.m, c.m.fset.Position(pos), rule, sprintf(format, args...)))
+}
+
+func (c *checker) addStrict(pos token.Pos, rule, format string, args ...any) {
+	f := posFinding(c.m, c.m.fset.Position(pos), rule, sprintf(format, args...))
+	f.strict = true
+	c.add(f)
+}
+
+// ---------------------------------------------------------------- maprange
+
+// maprange flags `for … range` over a map-typed value: the runtime
+// randomizes map iteration order, so any order-sensitive use breaks
+// trace reproducibility. The one allowed idiom is the key harvest
+//
+//	for k := range m { keys = append(keys, k) }
+//
+// whose body does nothing but collect keys for subsequent sorting.
+func (c *checker) maprange(f *ast.File) {
+	info := c.pkg.Info
+	if info == nil {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, ok := t.Underlying().(*types.Map); !ok {
+			return true
+		}
+		if isKeyHarvest(rs) {
+			return true
+		}
+		c.addf(rs.Pos(), "maprange",
+			"range over map %s has nondeterministic order; iterate sorted keys or annotate //lint:ignore maprange <reason>",
+			types.ExprString(rs.X))
+		return true
+	})
+}
+
+// isKeyHarvest reports whether the range body is exactly
+// `keys = append(keys, k)` with k the range key.
+func isKeyHarvest(rs *ast.RangeStmt) bool {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	if rs.Value != nil {
+		if v, ok := rs.Value.(*ast.Ident); !ok || v.Name != "_" {
+			return false
+		}
+	}
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok || fun.Name != "append" {
+		return false
+	}
+	arg1, ok := call.Args[1].(*ast.Ident)
+	if !ok || arg1.Name != key.Name {
+		return false
+	}
+	return types.ExprString(as.Lhs[0]) == types.ExprString(call.Args[0])
+}
+
+// ---------------------------------------------------------- forbiddenimport
+
+// forbiddenImports enforces the import hygiene rules: no math/rand or
+// crypto/rand inside RandScope (all randomness flows through
+// internal/rng) and no time import anywhere (simulated time flows
+// through the DES clock). Outside SimPackages a time import may be
+// waived with //lint:ignore forbiddenimport <reason>; inside them the
+// finding is strict.
+func (c *checker) forbiddenImports(f *ast.File) {
+	rel := c.pkg.RelPath
+	inRandScope := false
+	for _, prefix := range c.cfg.RandScope {
+		if strings.HasPrefix(rel+"/", prefix) || strings.HasPrefix(rel, prefix) {
+			inRandScope = true
+		}
+	}
+	isSimPkg := false
+	for _, p := range c.cfg.SimPackages {
+		if rel == p {
+			isSimPkg = true
+		}
+	}
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		if inRandScope {
+			for _, bad := range c.cfg.RandForbidden {
+				if path == bad {
+					c.addStrict(imp.Pos(), "forbiddenimport",
+						"import %q is forbidden under internal/: all randomness must flow through internal/rng", path)
+				}
+			}
+		}
+		if path == "time" && len(c.cfg.SimPackages) > 0 {
+			if isSimPkg {
+				c.addStrict(imp.Pos(), "forbiddenimport",
+					"import \"time\" is forbidden in simulation package %s: all time must flow through the DES clock (annotations cannot waive this)", rel)
+			} else {
+				c.addf(imp.Pos(), "forbiddenimport",
+					"import \"time\" couples the build to wall-clock time; route it through an annotated helper (//lint:ignore forbiddenimport <reason>)")
+			}
+		}
+	}
+}
+
+// ----------------------------------------------------------------- floateq
+
+// floateq flags == and != between floating-point operands: exact float
+// comparison is sensitive to evaluation order and platform rounding,
+// which is exactly the drift the determinism contract excludes.
+// Approved epsilon helpers (function name containing an
+// EpsilonMarkers substring) and the x != x NaN idiom are exempt, as
+// are constant-only comparisons.
+func (c *checker) floateq(f *ast.File) {
+	info := c.pkg.Info
+	if info == nil {
+		return
+	}
+	for _, decl := range f.Decls {
+		fd, isFunc := decl.(*ast.FuncDecl)
+		if isFunc && c.isEpsilonHelper(fd.Name.Name) {
+			continue
+		}
+		ast.Inspect(decl, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx, ty := info.Types[be.X], info.Types[be.Y]
+			if !isFloat(tx.Type) && !isFloat(ty.Type) {
+				return true
+			}
+			if tx.Value != nil && ty.Value != nil {
+				return true // constant folded at compile time
+			}
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				return true // x != x: the NaN check idiom
+			}
+			c.addf(be.OpPos, "floateq",
+				"floating-point %s comparison is exact; use an epsilon helper or annotate //lint:ignore floateq <reason>", be.Op)
+			return true
+		})
+	}
+}
+
+func (c *checker) isEpsilonHelper(name string) bool {
+	lower := strings.ToLower(name)
+	for _, marker := range c.cfg.EpsilonMarkers {
+		if strings.Contains(lower, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// ------------------------------------------------------------------ rawrng
+
+// rawrng flags construction of an rng stream by zero value, composite
+// literal, or new(): streams must come from rng.New, Root.Stream,
+// StreamN, or Split so that every draw is attributable to the
+// experiment seed. The rng package itself is exempt.
+func (c *checker) rawrng(f *ast.File) {
+	info := c.pkg.Info
+	if info == nil || c.pkg.Name == "rng" {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if isRngSource(info.TypeOf(n)) {
+				c.addf(n.Pos(), "rawrng",
+					"construct rng streams with rng.New, Root.Stream, or Split, not a composite literal")
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "new" && len(n.Args) == 1 {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && isRngSource(info.TypeOf(n.Args[0])) {
+					c.addf(n.Pos(), "rawrng",
+						"construct rng streams with rng.New, Root.Stream, or Split, not new(rng.Source)")
+				}
+			}
+		case *ast.ValueSpec:
+			if n.Type != nil && len(n.Values) == 0 && isRngSource(info.TypeOf(n.Type)) {
+				c.addf(n.Pos(), "rawrng",
+					"zero-value rng.Source is a seed-0 stream; construct streams with rng.New, Root.Stream, or Split")
+			}
+		}
+		return true
+	})
+}
+
+// isRngSource reports whether t is the (non-pointer) Source type of a
+// package named rng.
+func isRngSource(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Source" && obj.Pkg() != nil && obj.Pkg().Name() == "rng"
+}
+
+func isRngSourceOrPtr(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return isRngSource(t)
+}
+
+// --------------------------------------------------------------- sharedrng
+
+// sharedrng flags a go statement whose function literal captures an
+// rng stream from the enclosing scope: rng.Source is documented as not
+// goroutine-safe, and concurrent draws are both racy and
+// order-nondeterministic. Pass each goroutine its own Split() stream.
+func (c *checker) sharedrng(f *ast.File) {
+	info := c.pkg.Info
+	if info == nil {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		fl, ok := gs.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		reported := map[types.Object]bool{}
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := info.Uses[id].(*types.Var)
+			if !ok || reported[v] || !isRngSourceOrPtr(v.Type()) {
+				return true
+			}
+			if v.Pos() >= fl.Pos() && v.Pos() <= fl.End() {
+				return true // declared inside the literal (param or local)
+			}
+			reported[v] = true
+			c.addf(id.Pos(), "sharedrng",
+				"goroutine captures rng stream %s from the enclosing scope; rng.Source is not goroutine-safe — pass each goroutine its own Split()", v.Name())
+			return true
+		})
+		return true
+	})
+}
+
+// ------------------------------------------------------------------ shared
+
+func sprintf(format string, args ...any) string {
+	if len(args) == 0 {
+		return format
+	}
+	return fmt.Sprintf(format, args...)
+}
+
+func filepathRel(base, target string) (string, error) {
+	rel, err := filepath.Rel(base, target)
+	if err != nil {
+		return "", err
+	}
+	return filepath.ToSlash(rel), nil
+}

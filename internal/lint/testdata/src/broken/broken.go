@@ -1,0 +1,13 @@
+// Package broken fails type-checking: the analyzer must report the
+// diagnostics as typecheck findings instead of panicking, and still
+// run the syntactic rules.
+package broken
+
+// Sum refers to an undefined name.
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total + missing
+}

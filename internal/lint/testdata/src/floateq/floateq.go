@@ -1,0 +1,57 @@
+// Package floateq exercises the floateq rule: hits, epsilon helpers,
+// the NaN idiom, constant folding, and annotations.
+package floateq
+
+// Bad compares two computed floats exactly: flagged.
+func Bad(a, b float64) bool {
+	return a == b
+}
+
+// BadNeq is the != form: flagged.
+func BadNeq(a, b float32) bool {
+	return a != b
+}
+
+// BadMixed compares a float to an int-typed-as-float expression.
+func BadMixed(a float64, n int) bool {
+	return a == float64(n)
+}
+
+// approxEqual is an approved epsilon helper (name marker "approx"):
+// its exact comparisons are the implementation of the policy.
+func approxEqual(a, b, eps float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}
+
+// Close is approved via the "close" marker.
+func Close(a, b float64) bool {
+	return a == b || approxEqual(a, b, 1e-9)
+}
+
+// NaNCheck uses the x != x idiom: exempt.
+func NaNCheck(x float64) bool {
+	return x != x
+}
+
+// ConstFold compares two constants: resolved at compile time, exempt.
+func ConstFold() bool {
+	return 0.1+0.2 == 0.3
+}
+
+// Annotated carries a justification and is not flagged.
+func Annotated(x float64) bool {
+	//lint:ignore floateq zero is an exact sentinel set by the caller
+	return x == 0
+}
+
+// IntCompare never involves floats: exempt.
+func IntCompare(a, b int) bool {
+	return a == b
+}

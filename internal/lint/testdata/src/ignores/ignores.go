@@ -1,0 +1,18 @@
+// Package ignores exercises the annotation machinery itself:
+// malformed directives and directives too far from the site.
+package ignores
+
+//lint:ignore maprange
+// The directive above is malformed (no reason): badignore.
+
+// TooFar has a directive separated from the site by a blank line, so
+// the maprange finding below is still reported.
+func TooFar(m map[int]int) int {
+	total := 0
+	//lint:ignore maprange this comment is not adjacent to the range
+
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

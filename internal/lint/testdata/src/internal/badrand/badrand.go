@@ -1,0 +1,15 @@
+// Package badrand imports forbidden randomness sources under
+// internal/: both findings are strict.
+package badrand
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+)
+
+// Draw mixes two forbidden generators.
+func Draw() uint64 {
+	var b [1]byte
+	_, _ = crand.Read(b[:])
+	return rand.Uint64() + uint64(b[0])
+}

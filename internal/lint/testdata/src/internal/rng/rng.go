@@ -1,0 +1,30 @@
+// Package rng is a miniature stand-in for the repository's rng
+// package, so the rawrng and sharedrng rules can be exercised without
+// importing the real module from testdata.
+package rng
+
+// Source is a deterministic PRNG stream; not goroutine-safe.
+type Source struct {
+	state uint64
+}
+
+// New returns a stream seeded with seed.
+func New(seed uint64) *Source { return &Source{state: seed} }
+
+// Uint64 returns the next 64 bits.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	return s.state
+}
+
+// Split derives an independent child stream.
+func (s *Source) Split() *Source { return &Source{state: s.Uint64()} }
+
+// Root derives named streams from one seed.
+type Root struct{ seed uint64 }
+
+// NewRoot returns a stream factory.
+func NewRoot(seed uint64) *Root { return &Root{seed: seed} }
+
+// Stream returns the stream for a subsystem name.
+func (r *Root) Stream(name string) *Source { return New(r.seed + uint64(len(name))) }

@@ -1,0 +1,12 @@
+// Package sim is configured as a simulation package in the test
+// config: its time import is strictly forbidden, and the annotation
+// below must NOT waive it.
+package sim
+
+//lint:ignore forbiddenimport trying to waive the unwaivable
+import "time"
+
+// Tick leaks wall-clock time into simulated time.
+func Tick() int64 {
+	return int64(time.Second)
+}

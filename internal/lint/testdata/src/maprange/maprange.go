@@ -1,0 +1,69 @@
+// Package maprange exercises the maprange rule: hits, the key-harvest
+// idiom, the ignore annotation, and non-map ranges.
+package maprange
+
+import "sort"
+
+// BadSum iterates a map directly: flagged even though the int sum is
+// commutative, because the rule cannot prove the body order-free.
+func BadSum(m map[int]int) int {
+	total := 0
+	for _, v := range m { // want a maprange finding here
+		total += v
+	}
+	return total
+}
+
+// BadKeyed iterates keys and values in nondeterministic order.
+func BadKeyed(m map[string]float64) []float64 {
+	var out []float64
+	for k, v := range m {
+		_ = k
+		out = append(out, v)
+	}
+	return out
+}
+
+// GoodHarvest collects keys then sorts: the harvest loop is the one
+// allowed map-range idiom.
+func GoodHarvest(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// GoodHarvestDiscard also harvests with an explicitly discarded value.
+func GoodHarvestDiscard(m map[string]int) []string {
+	var keys []string
+	for k, _ := range m { // the value-discard form is part of the harvest idiom
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Annotated carries a justification and is not flagged.
+func Annotated(m map[int]bool) int {
+	n := 0
+	//lint:ignore maprange cardinality only; order cannot escape
+	for range m {
+		n++
+	}
+	return n
+}
+
+// SliceRange ranges over a slice: never flagged.
+func SliceRange(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,43 @@
+// Package rawrng exercises the rawrng rule: streams constructed by
+// composite literal, zero value, or new() are flagged; the approved
+// constructors are not.
+package rawrng
+
+import "testmod/internal/rng"
+
+// BadLiteral constructs a stream by composite literal: flagged.
+func BadLiteral() *rng.Source {
+	return &rng.Source{}
+}
+
+// BadZeroVar declares a zero-value stream: flagged.
+func BadZeroVar() uint64 {
+	var s rng.Source
+	return s.Uint64()
+}
+
+// BadNew allocates a seed-0 stream with new(): flagged.
+func BadNew() *rng.Source {
+	return new(rng.Source)
+}
+
+// GoodNew uses the constructor.
+func GoodNew() *rng.Source {
+	return rng.New(42)
+}
+
+// GoodStream derives a named stream from a root seed.
+func GoodStream() *rng.Source {
+	return rng.NewRoot(1).Stream("mobility")
+}
+
+// GoodSplit derives a child stream.
+func GoodSplit(s *rng.Source) *rng.Source {
+	return s.Split()
+}
+
+// Annotated is waived with a reason.
+func Annotated() *rng.Source {
+	//lint:ignore rawrng fuzz target wants the documented seed-0 stream
+	return &rng.Source{}
+}

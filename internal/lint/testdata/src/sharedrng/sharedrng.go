@@ -1,0 +1,61 @@
+// Package sharedrng exercises the sharedrng rule: goroutines whose
+// function literals capture a stream from the enclosing scope are
+// flagged; per-goroutine Split() children and parameters are not.
+package sharedrng
+
+import "testmod/internal/rng"
+
+// BadCapture shares one stream across goroutines: flagged once per
+// goroutine that captures it.
+func BadCapture() {
+	src := rng.New(7)
+	done := make(chan struct{})
+	go func() {
+		_ = src.Uint64()
+		close(done)
+	}()
+	<-done
+}
+
+// BadCaptureValue captures a value-typed stream: still flagged (the
+// closure aliases the variable).
+func BadCaptureValue() {
+	var s = *rng.New(9)
+	go func() {
+		_ = s.Uint64()
+	}()
+}
+
+// GoodParam passes each goroutine its own child stream as a parameter.
+func GoodParam() {
+	root := rng.New(7)
+	for i := 0; i < 4; i++ {
+		go func(s *rng.Source) {
+			_ = s.Uint64()
+		}(root.Split())
+	}
+}
+
+// GoodLocal declares the stream inside the literal.
+func GoodLocal() {
+	go func() {
+		s := rng.New(11)
+		_ = s.Uint64()
+	}()
+}
+
+// GoodNamedFunc launches a named function; only literals are scanned.
+func GoodNamedFunc() {
+	go drain(rng.New(3))
+}
+
+func drain(s *rng.Source) { _ = s.Uint64() }
+
+// Annotated is waived with a reason.
+func Annotated() {
+	src := rng.New(7)
+	go func() {
+		//lint:ignore sharedrng single goroutine, parent never draws again
+		_ = src.Uint64()
+	}()
+}

@@ -1,0 +1,10 @@
+// Package timeimport is outside the simulation packages: its time
+// import is flagged unless annotated.
+package timeimport
+
+import "time"
+
+// Elapsed uses wall-clock time without a waiver: flagged.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}

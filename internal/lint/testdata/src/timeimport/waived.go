@@ -1,0 +1,9 @@
+package timeimport
+
+//lint:ignore forbiddenimport wall-clock benchmark timing, never simulated time
+import "time"
+
+// Stamp is the annotated wall-clock helper pattern.
+func Stamp() time.Time {
+	return time.Now()
+}

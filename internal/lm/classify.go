@@ -85,7 +85,9 @@ func (c ClassCounts) add(level int, class EventClass, n int) {
 
 // Merge accumulates other into c.
 func (c ClassCounts) Merge(other ClassCounts) {
+	//lint:ignore maprange commutative integer accumulation; the result is order-free
 	for level, m := range other {
+		//lint:ignore maprange commutative integer accumulation; the result is order-free
 		for class, n := range m {
 			c.add(level, class, n)
 		}
@@ -95,7 +97,9 @@ func (c ClassCounts) Merge(other ClassCounts) {
 // Total returns the sum over all levels and classes.
 func (c ClassCounts) Total() int {
 	t := 0
+	//lint:ignore maprange commutative integer sum; the result is order-free
 	for _, m := range c {
+		//lint:ignore maprange commutative integer sum; the result is order-free
 		for _, n := range m {
 			t += n
 		}
@@ -116,6 +120,7 @@ func ClassifyReorg(prevH, nextH *cluster.Hierarchy, d *cluster.Diff) ClassCounts
 	// nodes where an endpoint is a level-(k+1) node (those are the
 	// changes that alter level-(k+1) membership and so trigger
 	// handoff).
+	//lint:ignore maprange commutative integer counting per level; the result is order-free
 	for k, evs := range d.MigrationLinkEvents {
 		for _, ev := range evs {
 			a, b := ev.Edge.Nodes()
@@ -134,6 +139,7 @@ func ClassifyReorg(prevH, nextH *cluster.Hierarchy, d *cluster.Diff) ClassCounts
 	// iii / v: elections. The election of v at level k is recursive
 	// (v) when one of v's current electors was itself elected at level
 	// k-1 in the same tick; otherwise it is migration-driven (iii).
+	//lint:ignore maprange commutative integer counting per level; the result is order-free
 	for k, elected := range d.Elections {
 		newlyElectedBelow := toSet(d.Elections[k-1])
 		for _, v := range elected {
@@ -146,6 +152,7 @@ func ClassifyReorg(prevH, nextH *cluster.Hierarchy, d *cluster.Diff) ClassCounts
 	}
 
 	// iv / vi: rejections, symmetric with the elector's own rejection.
+	//lint:ignore maprange commutative integer counting per level; the result is order-free
 	for k, rejected := range d.Rejections {
 		rejectedBelow := toSet(d.Rejections[k-1])
 		for _, v := range rejected {
@@ -159,6 +166,7 @@ func ClassifyReorg(prevH, nextH *cluster.Hierarchy, d *cluster.Diff) ClassCounts
 
 	// vii: each election at level k+1 is an event for every level-k
 	// neighbor of the new clusterhead.
+	//lint:ignore maprange commutative integer counting per level; the result is order-free
 	for k1, elected := range d.Elections {
 		k := k1 - 1
 		if k < 1 {
@@ -191,6 +199,7 @@ func electorIn(h *cluster.Hierarchy, eLevel, v int, set map[int]bool) bool {
 	if lvl == nil || lvl.Head == nil {
 		return false
 	}
+	//lint:ignore maprange order-free existence scan with a single boolean outcome
 	for u, hd := range lvl.Head {
 		if hd == v && u != v && set[u] {
 			return true

@@ -261,12 +261,14 @@ func dirtySubtrees(
 	for k := 1; k <= maxL; k++ {
 		pm := memberKeySets(prevH, prevIDs, k)
 		nm := memberKeySets(nextH, nextIDs, k)
+		//lint:ignore maprange order-free set marking; dirty membership is the only outcome
 		for id, keys := range pm {
 			nk, ok := nm[id]
 			if !ok || !equalUints(keys, nk) {
 				dirty.mark(k, id)
 			}
 		}
+		//lint:ignore maprange order-free set marking; dirty membership is the only outcome
 		for id := range nm {
 			if _, ok := pm[id]; !ok {
 				dirty.mark(k, id)
@@ -274,9 +276,16 @@ func dirtySubtrees(
 		}
 	}
 	// Propagate upward in both snapshots: a descent from an ancestor
-	// may pass through a dirty cluster.
+	// may pass through a dirty cluster. Snapshot the level's IDs in
+	// sorted order first — propagateUp mutates the dirty set while we
+	// walk it, and ranging over a map under mutation is unspecified.
 	for k := 1; k <= maxL; k++ {
+		ids := make([]uint64, 0, len(dirty[k]))
 		for id := range dirty[k] {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
 			propagateUp(prevH, prevIDs, k, id, dirty)
 			propagateUp(nextH, nextIDs, k, id, dirty)
 		}

@@ -156,6 +156,7 @@ func (c Clusterer) repair(nodes []int, g *topology.Graph, idx map[int]int, head 
 		// Find nearest head within d hops.
 		dists := scratch.DistancesFrom(g, v, inSet)
 		best, bestD := -1, d+1
+		//lint:ignore maprange argmin with a total (dist, ID) tiebreak; the result is order-free
 		for w, dist := range dists {
 			if heads[w] && dist <= d && (best == -1 || dist < bestD || (dist == bestD && w < best)) {
 				best, bestD = w, dist

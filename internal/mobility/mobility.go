@@ -41,6 +41,7 @@ func (l *leg) at(t float64) geom.Vec {
 	if t >= l.t1 {
 		return l.dest
 	}
+	//lint:ignore floateq degenerate leg has t1 assigned equal to t0, never computed
 	if l.t1 == l.t0 {
 		return l.dest
 	}
@@ -195,6 +196,7 @@ func (r *RandomDirection) AdvanceTo(t float64, pos []geom.Vec) {
 				r.dirs[i] = r.randomHeading()
 				r.until[i] = cur + r.src.Exp(1/r.MeanLegT)
 			}
+			//lint:ignore floateq zero step means the min() below selected the event boundary exactly
 			if step == 0 && cur < t {
 				// Heading change fired exactly at cur; continue the
 				// remaining interval with the fresh heading.

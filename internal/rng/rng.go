@@ -107,6 +107,7 @@ func (s *Source) Norm() float64 {
 		u := 2*s.Float64() - 1
 		v := 2*s.Float64() - 1
 		r := u*u + v*v
+		//lint:ignore floateq polar rejection sampling excludes the exact origin
 		if r >= 1 || r == 0 {
 			continue
 		}

@@ -203,6 +203,7 @@ func runE2(w io.Writer, sc Scale) error {
 	tbl := gls.BuildTable(idx, len(pos))
 	load := tbl.Load()
 	max, total := 0, 0
+	//lint:ignore maprange commutative sum and max; the result is order-free
 	for _, c := range load {
 		total += c
 		if c > max {
@@ -321,6 +322,7 @@ func runE6(w io.Writer, sc Scale) error {
 			if k < len(r.HopByLevel) {
 				hk = r.HopByLevel[k].Mean()
 			}
+			//lint:ignore floateq exact-zero sentinel for levels with no observations
 			if fk == 0 || hk == 0 {
 				continue
 			}

@@ -65,6 +65,7 @@ func runE8(w io.Writer, sc Scale) error {
 			if k < len(r.HopByLevel) {
 				hk = r.HopByLevel[k].Mean()
 			}
+			//lint:ignore floateq exact-zero sentinel for levels with no observations
 			if gp == 0 || hk == 0 {
 				continue
 			}
@@ -256,9 +257,11 @@ func runE14(w io.Writer, sc Scale) error {
 			return err
 		}
 		T := float64(ticks) * 1.0 // observer ticks at the scan interval (1 s default)
+		//lint:ignore floateq zero is the unset-config sentinel
 		if r.Config.ScanInterval != 0 {
 			T = float64(ticks) * r.Config.ScanInterval
 		}
+		//lint:ignore floateq exact-zero guard before division
 		if T == 0 {
 			T = 1
 		}
@@ -465,6 +468,7 @@ func runA3(w io.Writer, sc Scale) error {
 			table := sel.BuildTable(h, ids)
 			load := table.Load()
 			total, max := 0, 0
+			//lint:ignore maprange commutative sum and max; the result is order-free
 			for _, c := range load {
 				total += c
 				if c > max {

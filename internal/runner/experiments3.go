@@ -64,10 +64,12 @@ func runE16(w io.Writer, sc Scale) error {
 			return err
 		}
 		scan := r.Config.ScanInterval
+		//lint:ignore floateq zero is the unset-config sentinel
 		if scan == 0 {
 			scan = 1
 		}
 		T := float64(ticks) * scan
+		//lint:ignore floateq exact-zero guard before division
 		if T == 0 {
 			T = 1
 		}
@@ -249,6 +251,7 @@ func runE19(w io.Writer, sc Scale) error {
 
 	tw := NewTable("k", "transfers", "mean hops", "latency (ms)")
 	maxK := 0
+	//lint:ignore maprange max over keys; the result is order-free
 	for k := range latency {
 		if k > maxK {
 			maxK = k

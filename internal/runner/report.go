@@ -52,6 +52,7 @@ func FormatFloat(v float64) string {
 		av = -av
 	}
 	switch {
+	//lint:ignore floateq exact zero renders as "0"; approximate zeros must not
 	case v == 0:
 		return "0"
 	case av >= 1000:

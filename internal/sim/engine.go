@@ -41,6 +41,7 @@ type eventHeap []*Event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
+	//lint:ignore floateq exact time ties fall through to the deterministic seq tiebreak
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}

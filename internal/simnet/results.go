@@ -91,11 +91,13 @@ func (st *stateRun) countClusterLinkEvents(
 			return prevLive[e.A] && prevLive[e.B] && nextLive[e.A] && nextLive[e.B]
 		}
 		count := int64(0)
+		//lint:ignore maprange commutative integer counting; the result is order-free
 		for e := range pe {
 			if _, ok := ne[e]; !ok && persists(e) {
 				count++
 			}
 		}
+		//lint:ignore maprange commutative integer counting; the result is order-free
 		for e := range ne {
 			if _, ok := pe[e]; !ok && persists(e) {
 				count++
@@ -249,6 +251,7 @@ func (st *stateRun) results(cfg Config) (*Results, error) {
 		r.NodesByLevel = append(r.NodesByLevel, st.nodesByLevel.Level(k).Mean())
 	}
 	for k := range r.NodesByLevel {
+		//lint:ignore floateq exact-zero guard before division (empty level)
 		if k == 0 || r.NodesByLevel[k] == 0 {
 			r.AlphaByLevel = append(r.AlphaByLevel, 0)
 			continue

@@ -107,34 +107,30 @@ type ObsEvent struct {
 	Positions []geom.Vec
 }
 
+// fdef returns v, or def when v is exactly the zero "unset" sentinel
+// of an optional Config field.
+func fdef(v, def float64) float64 {
+	//lint:ignore floateq zero is the documented unset-field sentinel
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
 func (c Config) withDefaults() Config {
-	if c.RTX == 0 {
-		c.RTX = 100
-	}
-	if c.Degree == 0 {
-		c.Degree = 9
-	}
-	if c.Mu == 0 {
-		c.Mu = 10
-	}
-	if c.ScanInterval == 0 {
-		c.ScanInterval = math.Min(1, 0.1*c.RTX/c.Mu)
-	}
-	if c.Duration == 0 {
-		c.Duration = 300
-	}
-	if c.Warmup == 0 {
-		c.Warmup = 60
-	}
+	c.RTX = fdef(c.RTX, 100)
+	c.Degree = fdef(c.Degree, 9)
+	c.Mu = fdef(c.Mu, 10)
+	c.ScanInterval = fdef(c.ScanInterval, math.Min(1, 0.1*c.RTX/c.Mu))
+	c.Duration = fdef(c.Duration, 300)
+	c.Warmup = fdef(c.Warmup, 60)
 	if c.Mobility == "" {
 		c.Mobility = MobilityWaypoint
 	}
 	if c.HopModel == "" {
 		c.HopModel = HopEuclidean
 	}
-	if c.Detour == 0 {
-		c.Detour = 1.3
-	}
+	c.Detour = fdef(c.Detour, 1.3)
 	if c.Hash == nil {
 		c.Hash = lm.Rendezvous{}
 	}
@@ -144,9 +140,7 @@ func (c Config) withDefaults() Config {
 	if c.TopArity == 0 {
 		c.TopArity = 12
 	}
-	if c.MeanDowntime == 0 {
-		c.MeanDowntime = 30
-	}
+	c.MeanDowntime = fdef(c.MeanDowntime, 30)
 	return c
 }
 

@@ -82,6 +82,7 @@ func leastSquares(x, y []float64) (a, b, r2 float64) {
 		sxy += x[i] * y[i]
 	}
 	den := n*sxx - sx*sx
+	//lint:ignore floateq exact-zero guard before division (degenerate fit)
 	if den == 0 {
 		return sy / n, 0, 0
 	}
@@ -94,6 +95,7 @@ func leastSquares(x, y []float64) (a, b, r2 float64) {
 		ssRes += (y[i] - pred) * (y[i] - pred)
 		ssTot += (y[i] - meanY) * (y[i] - meanY)
 	}
+	//lint:ignore floateq exact-zero guard before division (degenerate fit)
 	if ssTot == 0 {
 		r2 = 1
 	} else {

@@ -147,11 +147,13 @@ type LinkEvent struct {
 // link events, deterministically ordered (downs then ups, each by key).
 func DiffEdges(prev, next *Graph) []LinkEvent {
 	var downs, ups []EdgeKey
+	//lint:ignore maprange keys are collected and sorted below
 	for k := range prev.edges {
 		if _, ok := next.edges[k]; !ok {
 			downs = append(downs, k)
 		}
 	}
+	//lint:ignore maprange keys are collected and sorted below
 	for k := range next.edges {
 		if _, ok := prev.edges[k]; !ok {
 			ups = append(ups, k)

@@ -30,6 +30,7 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	//lint:ignore floateq zero is the documented unset-field sentinel
 	if c.Rate == 0 {
 		c.Rate = 0.01
 	}

@@ -1,0 +1,31 @@
+package manet_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestManetlintClean makes the determinism linter part of tier-1
+// verification: `go test ./...` fails if any package in the module
+// violates the invariants manetlint enforces (map-order-dependent
+// iteration, stray randomness or wall-clock time in simulation code,
+// exact float comparison, unseeded or goroutine-shared rng streams).
+// Run `go run ./cmd/manetlint ./...` for the same report from the
+// command line.
+func TestManetlintClean(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	findings, err := lint.Run(root, root, []string{"./..."}, lint.DefaultConfig())
+	if err != nil {
+		t.Fatalf("manetlint: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Logf("%d finding(s); see internal/lint for rules and the //lint:ignore syntax", len(findings))
+	}
+}

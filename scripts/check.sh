@@ -1,0 +1,29 @@
+#!/bin/sh
+# check.sh — static verification gate: formatting, vet, and the
+# project determinism linter (manetlint). Run from anywhere inside the
+# repository; `make check` is the usual entry point.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    fail=1
+fi
+
+echo "== go vet"
+go vet ./... || fail=1
+
+echo "== manetlint"
+go run ./cmd/manetlint ./... || fail=1
+
+if [ "$fail" -ne 0 ]; then
+    echo "check: FAILED" >&2
+    exit 1
+fi
+echo "check: OK"
