@@ -1,6 +1,6 @@
 # Verification entry points. `make check test race` is what CI runs.
 
-.PHONY: all build check test race lint
+.PHONY: all build check test race lint bench bench-json
 
 all: build check test
 
@@ -20,3 +20,11 @@ test:
 
 race:
 	go test -race ./...
+
+# Steady-state tick benchmarks, fresh vs reuse variants.
+bench:
+	go test -run '^$$' -bench 'BenchmarkTick' -benchmem -benchtime=20x .
+
+# Same benchmarks recorded to BENCH_<date>.json for review in diffs.
+bench-json:
+	sh scripts/bench.sh

@@ -9,6 +9,15 @@ package manet
 import (
 	"io"
 	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/geom"
+	"repro/internal/lm"
+	"repro/internal/mobility"
+	"repro/internal/rng"
+	"repro/internal/simnet"
+	"repro/internal/spatial"
+	"repro/internal/topology"
 )
 
 // benchScale keeps per-iteration cost bounded while still exercising
@@ -93,6 +102,153 @@ func BenchmarkSimulationTick(b *testing.B) {
 		}
 		b.ReportMetric(float64(r.Ticks), "ticks/run")
 	}
+}
+
+// --- steady-state tick sub-benchmarks ---
+//
+// The scan tick is the simulator's inner loop; at production scale its
+// cost is dominated by four stages: unit-disk graph rebuild, edge
+// diffing, hierarchy (re)construction, and the incremental LM table
+// update. Each stage is benchmarked in a "fresh" variant (allocate
+// everything per tick, the pre-optimization behavior) and a "reuse"
+// variant (the double-buffered scratch/arena path simnet.Run actually
+// takes), so the allocation reduction is visible in one `-benchmem`
+// run. scripts/bench.sh records these into BENCH_<date>.json.
+
+// tickFixture is two consecutive simulation snapshots at N nodes, one
+// scan interval apart, plus the live spatial grid at the later scan.
+type tickFixture struct {
+	n          int
+	rtx        float64
+	pos0, pos1 []geom.Vec
+	grid       *spatial.Grid
+	g0, g1     *topology.Graph
+	cfg        cluster.Config
+	tracker    *cluster.IdentityTracker
+	h0, h1     *cluster.Hierarchy
+	ids0, ids1 *cluster.Identities
+	sel        *lm.Selector
+	t0         *lm.Table
+	nodes      []int
+}
+
+func newTickFixture(n int) *tickFixture {
+	f := &tickFixture{n: n, rtx: 100}
+	simCfg := simnet.Config{N: n, Seed: 99}
+	region := simCfg.Region()
+	root := rng.NewRoot(99)
+	model := mobility.NewWaypoint(region, 10, root.Stream("mobility"))
+	f.pos0 = model.Init(n)
+	f.pos0 = append([]geom.Vec(nil), f.pos0...)
+	model.AdvanceTo(1.0, model.Init(n)) // discard; keep fixture simple
+	// Rebuild model deterministically for the advanced snapshot.
+	model2 := mobility.NewWaypoint(region, 10, rng.NewRoot(99).Stream("mobility"))
+	f.pos1 = model2.Init(n)
+	model2.AdvanceTo(1.0, f.pos1)
+
+	f.grid = spatial.NewGridForDisc(region, f.rtx, n)
+	for i, p := range f.pos0 {
+		f.grid.Insert(i, p)
+	}
+	f.g0 = topology.BuildUnitDisk(n, f.pos0, f.rtx, f.grid)
+	f.nodes = make([]int, n)
+	for i := range f.nodes {
+		f.nodes[i] = i
+	}
+	f.cfg = cluster.Config{ForceTopAt: 12}
+	f.tracker = cluster.NewIdentityTracker()
+	f.h0, f.ids0 = cluster.BuildWithIdentities(
+		f.g0, topology.GiantComponent(f.g0, f.nodes), f.cfg, nil, nil, f.tracker, 0)
+	f.sel = lm.NewSelector(nil)
+	f.t0 = f.sel.BuildTable(f.h0, f.ids0)
+
+	for i, p := range f.pos1 {
+		f.grid.Update(i, p)
+	}
+	f.g1 = topology.BuildUnitDisk(n, f.pos1, f.rtx, f.grid)
+	f.h1, f.ids1 = cluster.BuildWithIdentities(
+		f.g1, topology.GiantComponent(f.g1, f.nodes), f.cfg, f.h0, f.ids0, f.tracker, 1)
+	return f
+}
+
+const tickN = 512
+
+func BenchmarkTickGraphRebuild(b *testing.B) {
+	f := newTickFixture(tickN)
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			topology.BuildUnitDisk(f.n, f.pos1, f.rtx, f.grid)
+		}
+	})
+	b.Run("reuse", func(b *testing.B) {
+		var spare *topology.Graph
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			spare = topology.BuildUnitDiskInto(spare, f.n, f.pos1, f.rtx, f.grid)
+		}
+	})
+}
+
+func BenchmarkTickDiff(b *testing.B) {
+	f := newTickFixture(tickN)
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			topology.DiffEdges(f.g0, f.g1)
+			cluster.ComputeDiff(f.h0, f.h1)
+		}
+	})
+	b.Run("reuse", func(b *testing.B) {
+		var es topology.DiffScratch
+		var cs cluster.DiffScratch
+		var d *cluster.Diff
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			es.Diff(f.g0, f.g1)
+			d = cluster.ComputeDiffInto(d, f.h0, f.h1, &cs)
+		}
+	})
+}
+
+func BenchmarkTickHierarchy(b *testing.B) {
+	f := newTickFixture(tickN)
+	giant := topology.GiantComponent(f.g1, f.nodes)
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cluster.BuildWithIdentities(f.g1, giant, f.cfg, f.h0, f.ids0, f.tracker, 1)
+		}
+	})
+	b.Run("reuse", func(b *testing.B) {
+		a := cluster.NewArena()
+		var rh *cluster.Hierarchy
+		var rids *cluster.Identities
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			a.Recycle(rh, rids)
+			rh, rids = cluster.BuildWithIdentitiesArena(
+				a, f.g1, giant, f.cfg, f.h0, f.ids0, f.tracker, 1)
+		}
+	})
+}
+
+func BenchmarkTickLMUpdate(b *testing.B) {
+	f := newTickFixture(tickN)
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f.sel.UpdateTable(f.t0, f.h0, f.ids0, f.h1, f.ids1)
+		}
+	})
+	b.Run("reuse", func(b *testing.B) {
+		var sc lm.UpdateScratch
+		var dst *lm.Table
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = f.sel.UpdateTableInto(dst, &sc, f.t0, f.h0, f.ids0, f.h1, f.ids1)
+		}
+	})
 }
 
 // Motivation: measured flat-LM baselines vs the hierarchy.

@@ -1,7 +1,7 @@
 package cluster
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/topology"
 )
@@ -50,39 +50,123 @@ type Diff struct {
 // ComputeDiff extracts all change events between hierarchy snapshots
 // prev and next (same level-0 node population).
 func ComputeDiff(prev, next *Hierarchy) *Diff {
-	d := &Diff{
-		Elections:            map[int][]int{},
-		Rejections:           map[int][]int{},
-		MigrationLinkEvents:  map[int][]topology.LinkEvent{},
-		StructuralLinkEvents: map[int][]topology.LinkEvent{},
+	var s DiffScratch
+	return ComputeDiffInto(nil, prev, next, &s)
+}
+
+// DiffScratch holds the reusable buffers of ComputeDiffInto: the
+// edge-diff scratch, ancestor-chain buffers, and pools for the
+// per-level event slices harvested from recycled Diffs.
+type DiffScratch struct {
+	edges    topology.DiffScratch
+	pc, nc   []int
+	ints     [][]int
+	evs      [][]topology.LinkEvent
+	stateIDs []int
+	emptyG   *topology.Graph
+}
+
+func (s *DiffScratch) getInts() []int {
+	if n := len(s.ints); n > 0 {
+		out := s.ints[n-1]
+		s.ints = s.ints[:n-1]
+		return out[:0]
 	}
+	return nil
+}
+
+func (s *DiffScratch) getEvs() []topology.LinkEvent {
+	if n := len(s.evs); n > 0 {
+		out := s.evs[n-1]
+		s.evs = s.evs[:n-1]
+		return out[:0]
+	}
+	return nil
+}
+
+func (s *DiffScratch) empty() *topology.Graph {
+	if s.emptyG == nil {
+		s.emptyG = topology.NewGraph(1)
+	}
+	return s.emptyG
+}
+
+// reset prepares d for refilling, harvesting its slices into the
+// scratch pools. d must no longer be referenced by any consumer.
+func (s *DiffScratch) reset(d *Diff) {
+	if d.Elections == nil {
+		d.Elections = map[int][]int{}
+		d.Rejections = map[int][]int{}
+		d.MigrationLinkEvents = map[int][]topology.LinkEvent{}
+		d.StructuralLinkEvents = map[int][]topology.LinkEvent{}
+		return
+	}
+	//lint:ignore maprange slice harvesting; only pooled capacity depends on order
+	for _, v := range d.Elections {
+		s.ints = append(s.ints, v)
+	}
+	//lint:ignore maprange slice harvesting; only pooled capacity depends on order
+	for _, v := range d.Rejections {
+		s.ints = append(s.ints, v)
+	}
+	//lint:ignore maprange slice harvesting; only pooled capacity depends on order
+	for _, v := range d.MigrationLinkEvents {
+		s.evs = append(s.evs, v)
+	}
+	//lint:ignore maprange slice harvesting; only pooled capacity depends on order
+	for _, v := range d.StructuralLinkEvents {
+		s.evs = append(s.evs, v)
+	}
+	clear(d.Elections)
+	clear(d.Rejections)
+	clear(d.MigrationLinkEvents)
+	clear(d.StructuralLinkEvents)
+	d.Memberships = d.Memberships[:0]
+	d.StateDeltas = d.StateDeltas[:0]
+}
+
+// ComputeDiffInto is ComputeDiff with caller-owned storage: d (nil =
+// allocate fresh) is reset and refilled, drawing slice storage from
+// the scratch. A reused d must be dead to all consumers — the diff is
+// valid only until the next ComputeDiffInto call with the same d or s.
+func ComputeDiffInto(d *Diff, prev, next *Hierarchy, s *DiffScratch) *Diff {
+	if d == nil {
+		d = &Diff{}
+	}
+	s.reset(d)
 	maxL := len(prev.Levels)
 	if len(next.Levels) > maxL {
 		maxL = len(next.Levels)
 	}
 
-	// Node-set and link-set changes per level k >= 1.
+	// Node-set and link-set changes per level k >= 1. Level.Nodes is
+	// sorted, so membership tests are binary searches and walking the
+	// slices yields elections and rejections in ascending ID order.
 	for k := 1; k < maxL; k++ {
 		pl, nl := prev.Level(k), next.Level(k)
-		pset := nodeSet(pl)
-		nset := nodeSet(nl)
-		// Level.Nodes is sorted, so walking the slices (rather than the
-		// sets) yields elections and rejections in ascending ID order.
+		pIs := func(id int) bool { return pl != nil && pl.IsNode(id) }
+		nIs := func(id int) bool { return nl != nil && nl.IsNode(id) }
+		el := s.getInts()
 		for _, id := range levelNodes(nl) {
-			if !pset[id] {
-				d.Elections[k] = append(d.Elections[k], id)
+			if !pIs(id) {
+				el = append(el, id)
 			}
 		}
+		if len(el) > 0 {
+			d.Elections[k] = el
+		} else if el != nil {
+			s.ints = append(s.ints, el)
+		}
+		rj := s.getInts()
 		for _, id := range levelNodes(pl) {
-			if !nset[id] {
-				d.Rejections[k] = append(d.Rejections[k], id)
+			if !nIs(id) {
+				rj = append(rj, id)
 			}
 		}
-		if len(d.Elections[k]) == 0 {
-			delete(d.Elections, k)
-		}
-		if len(d.Rejections[k]) == 0 {
-			delete(d.Rejections, k)
+		if len(rj) > 0 {
+			d.Rejections[k] = rj
+		} else if rj != nil {
+			s.ints = append(s.ints, rj)
 		}
 
 		// Link events.
@@ -92,36 +176,49 @@ func ComputeDiff(prev, next *Hierarchy) *Diff {
 			continue
 		}
 		if pg == nil {
-			pg = topology.NewGraph(graphIDSpace(ng))
+			pg = s.empty()
 		}
 		if ng == nil {
-			ng = topology.NewGraph(graphIDSpace(pg))
+			ng = s.empty()
 		}
-		for _, ev := range topology.DiffEdges(pg, ng) {
+		var mig, str []topology.LinkEvent
+		for _, ev := range s.edges.Diff(pg, ng) {
 			a, b := ev.Edge.Nodes()
-			if pset[a] && pset[b] && nset[a] && nset[b] {
-				d.MigrationLinkEvents[k] = append(d.MigrationLinkEvents[k], ev)
+			if pIs(a) && pIs(b) && nIs(a) && nIs(b) {
+				if mig == nil {
+					mig = s.getEvs()
+				}
+				mig = append(mig, ev)
 			} else {
-				d.StructuralLinkEvents[k] = append(d.StructuralLinkEvents[k], ev)
+				if str == nil {
+					str = s.getEvs()
+				}
+				str = append(str, ev)
 			}
+		}
+		if len(mig) > 0 {
+			d.MigrationLinkEvents[k] = mig
+		}
+		if len(str) > 0 {
+			d.StructuralLinkEvents[k] = str
 		}
 	}
 
 	// Per-node membership changes from ancestor chains.
 	for _, v := range prev.Levels[0].Nodes {
-		pc := prev.AncestorChain(v)
-		nc := next.AncestorChain(v)
-		depth := len(pc)
-		if len(nc) > depth {
-			depth = len(nc)
+		s.pc = prev.AppendAncestorChain(v, s.pc[:0])
+		s.nc = next.AppendAncestorChain(v, s.nc[:0])
+		depth := len(s.pc)
+		if len(s.nc) > depth {
+			depth = len(s.nc)
 		}
 		for i := 0; i < depth; i++ {
 			old, nw := -1, -1
-			if i < len(pc) {
-				old = pc[i]
+			if i < len(s.pc) {
+				old = s.pc[i]
 			}
-			if i < len(nc) {
-				nw = nc[i]
+			if i < len(s.nc) {
+				nw = s.nc[i]
 			}
 			if old != nw {
 				d.Memberships = append(d.Memberships, MembershipChange{
@@ -130,12 +227,11 @@ func ComputeDiff(prev, next *Hierarchy) *Diff {
 			}
 		}
 	}
-	sort.Slice(d.Memberships, func(i, j int) bool {
-		a, b := d.Memberships[i], d.Memberships[j]
+	slices.SortFunc(d.Memberships, func(a, b MembershipChange) int {
 		if a.Level != b.Level {
-			return a.Level < b.Level
+			return a.Level - b.Level
 		}
-		return a.Node < b.Node
+		return a.Node - b.Node
 	})
 
 	// ALCA state deltas for heads persisting across snapshots.
@@ -144,12 +240,13 @@ func ComputeDiff(prev, next *Hierarchy) *Diff {
 		if pl.State == nil || nl.State == nil {
 			continue
 		}
-		ids := make([]int, 0, len(pl.State))
+		s.stateIDs = s.stateIDs[:0]
+		//lint:ignore maprange keys are collected and sorted below
 		for id := range pl.State {
-			ids = append(ids, id)
+			s.stateIDs = append(s.stateIDs, id)
 		}
-		sort.Ints(ids)
-		for _, id := range ids {
+		slices.Sort(s.stateIDs)
+		for _, id := range s.stateIDs {
 			if _, ok := nl.State[id]; !ok {
 				continue
 			}
@@ -170,17 +267,6 @@ func (d *Diff) Empty() bool {
 		len(d.Memberships) == 0 && len(d.StateDeltas) == 0
 }
 
-func nodeSet(l *Level) map[int]bool {
-	if l == nil {
-		return map[int]bool{}
-	}
-	s := make(map[int]bool, len(l.Nodes))
-	for _, id := range l.Nodes {
-		s[id] = true
-	}
-	return s
-}
-
 func levelNodes(l *Level) []int {
 	if l == nil {
 		return nil
@@ -193,11 +279,4 @@ func levelGraph(l *Level) *topology.Graph {
 		return nil
 	}
 	return l.Graph
-}
-
-func graphIDSpace(g *topology.Graph) int {
-	if g == nil {
-		return 1
-	}
-	return g.IDSpace()
 }

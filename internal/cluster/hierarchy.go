@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/topology"
@@ -118,7 +119,7 @@ func Build(g0 *topology.Graph, nodes []int, cfg Config, prev *Hierarchy) *Hierar
 			break
 		}
 		if cfg.ForceTopAt > 0 && k >= 1 && len(curNodes) <= cfg.ForceTopAt {
-			forceTop(h, lvl, curNodes, g0.IDSpace())
+			forceTop(h, lvl, curNodes, g0.IDSpace(), nil)
 			break
 		}
 
@@ -136,7 +137,7 @@ func Build(g0 *topology.Graph, nodes []int, cfg Config, prev *Hierarchy) *Hierar
 		}
 
 		head := cfg.Elector.Elect(curNodes, curGraph, prevHead)
-		elect(lvl, head)
+		elect(lvl, head, nil)
 
 		nextNodes := keysSorted(lvl.Members)
 		if len(nextNodes) == len(curNodes) {
@@ -147,37 +148,42 @@ func Build(g0 *topology.Graph, nodes []int, cfg Config, prev *Hierarchy) *Hierar
 			lvl.Head, lvl.Member, lvl.Members, lvl.State = nil, nil, nil, nil
 			break
 		}
-		curGraph = liftGraph(curGraph, lvl, g0.IDSpace())
+		curGraph = liftGraph(curGraph, lvl, g0.IDSpace(), nil)
 		curNodes = nextNodes
 	}
 	return h
 }
 
 // forceTop groups every node of lvl into a single cluster headed by
-// the maximum ID and appends the resulting one-node top level.
-func forceTop(h *Hierarchy, lvl *Level, curNodes []int, idSpace int) {
+// the maximum ID and appends the resulting one-node top level. Arena a
+// (nil-safe) supplies recycled storage.
+func forceTop(h *Hierarchy, lvl *Level, curNodes []int, idSpace int, a *Arena) {
 	root := curNodes[len(curNodes)-1] // curNodes is sorted ascending
 	head := make(map[int]int, len(curNodes))
 	for _, u := range curNodes {
 		head[u] = root
 	}
-	elect(lvl, head)
-	h.Levels = append(h.Levels, &Level{
-		K:     lvl.K + 1,
-		Nodes: []int{root},
-		Graph: topology.NewGraph(idSpace),
-	})
+	elect(lvl, head, a)
+	top := a.getLevel()
+	top.K = lvl.K + 1
+	top.Nodes = append(a.getInts(), root)
+	top.Graph = a.getGraph(idSpace)
+	h.Levels = append(h.Levels, top)
 	h.ForcedTop = true
 }
 
 // elect fills the election-derived fields of lvl from the head map.
-func elect(lvl *Level, head map[int]int) {
+// Arena a (nil-safe) supplies recycled maps and member slices; pooled
+// levels arrive with cleared non-nil maps.
+func elect(lvl *Level, head map[int]int, a *Arena) {
 	lvl.Head = head
-	lvl.Member = make(map[int]int, len(lvl.Nodes))
-	lvl.Members = make(map[int][]int)
-	lvl.State = make(map[int]int)
+	if lvl.Member == nil {
+		lvl.Member = make(map[int]int, len(lvl.Nodes))
+		lvl.Members = make(map[int][]int)
+		lvl.State = make(map[int]int)
+	}
 
-	headSet := make(map[int]bool, len(lvl.Nodes))
+	headSet := a.getHeadSet(len(lvl.Nodes))
 	for _, u := range lvl.Nodes {
 		headSet[head[u]] = true
 	}
@@ -189,11 +195,15 @@ func elect(lvl *Level, head map[int]int) {
 			m = u
 		}
 		lvl.Member[u] = m
-		lvl.Members[m] = append(lvl.Members[m], u)
+		s, ok := lvl.Members[m]
+		if !ok {
+			s = a.getInts()
+		}
+		lvl.Members[m] = append(s, u)
 	}
 	//lint:ignore maprange each member slice is sorted independently; order cannot escape
 	for _, members := range lvl.Members {
-		sort.Ints(members)
+		slices.Sort(members)
 	}
 	// ALCA state: electors among *neighbors* (self-election excluded),
 	// matching the paper's Fig. 3 state variable.
@@ -214,8 +224,9 @@ func elect(lvl *Level, head map[int]int) {
 
 // liftGraph builds the level-(k+1) topology: clusters X and Y are
 // adjacent iff some level-k edge joins a member of X to a member of Y.
-func liftGraph(g *topology.Graph, lvl *Level, idSpace int) *topology.Graph {
-	up := topology.NewGraph(idSpace)
+// Arena a (nil-safe) supplies a recycled graph.
+func liftGraph(g *topology.Graph, lvl *Level, idSpace int, a *Arena) *topology.Graph {
+	up := a.getGraph(idSpace)
 	//lint:ignore maprange AddEdge builds a set; the result is order-free
 	for k := range g.EdgeSet() {
 		a, b := k.Nodes()
@@ -257,6 +268,22 @@ func (h *Hierarchy) AncestorChain(v int) []int {
 		cur = m
 	}
 	return chain
+}
+
+// AppendAncestorChain appends v's ancestor chain (see AncestorChain)
+// to dst and returns the extended slice — the allocation-free form for
+// hot paths. Nodes absent from the hierarchy append nothing.
+func (h *Hierarchy) AppendAncestorChain(v int, dst []int) []int {
+	cur := v
+	for k := 0; k+1 < len(h.Levels); k++ {
+		m, ok := h.Levels[k].Member[cur]
+		if !ok {
+			break
+		}
+		dst = append(dst, m)
+		cur = m
+	}
+	return dst
 }
 
 // Ancestor returns the ID of v's level-k cluster (k >= 1), or -1 when

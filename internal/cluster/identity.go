@@ -60,6 +60,27 @@ func (ids *Identities) ChainOf(h *Hierarchy, v int) []uint64 {
 	return out
 }
 
+// AppendChainOf appends v's logical ancestor chain to dst and returns
+// the extended slice — ChainOf without the per-call allocations, for
+// hot paths that batch many chains into one backing array. Nodes
+// outside the hierarchy append nothing.
+func (ids *Identities) AppendChainOf(h *Hierarchy, v int, dst []uint64) []uint64 {
+	cur := v
+	for k := 0; k+1 < len(h.Levels); k++ {
+		m, ok := h.Levels[k].Member[cur]
+		if !ok {
+			break
+		}
+		id, ok := ids.Logical(k+1, m)
+		if !ok {
+			break
+		}
+		dst = append(dst, id)
+		cur = m
+	}
+	return dst
+}
+
 // LogicalEdge is an undirected level-k cluster adjacency in logical ID
 // space (A < B).
 type LogicalEdge struct {
@@ -69,7 +90,18 @@ type LogicalEdge struct {
 // LogicalEdges returns the level-k cluster adjacencies of h under ids
 // as a set. Used to measure g'_k free of relabeling artifacts.
 func LogicalEdges(h *Hierarchy, ids *Identities, k int) map[LogicalEdge]struct{} {
-	out := map[LogicalEdge]struct{}{}
+	return LogicalEdgesInto(nil, h, ids, k)
+}
+
+// LogicalEdgesInto is LogicalEdges writing into dst (cleared first; nil
+// allocates), so steady-state callers can reuse the map across ticks.
+func LogicalEdgesInto(dst map[LogicalEdge]struct{}, h *Hierarchy, ids *Identities, k int) map[LogicalEdge]struct{} {
+	out := dst
+	if out == nil {
+		out = map[LogicalEdge]struct{}{}
+	} else {
+		clear(out)
+	}
 	lvl := h.Level(k)
 	if lvl == nil || k < 1 {
 		return out
@@ -154,7 +186,7 @@ func (t *IdentityTracker) Track(prevH *Hierarchy, prevIDs *Identities, nextH *Hi
 				newAnc[v] = chain[k-1]
 			}
 		}
-		ids.byLevel = append(ids.byLevel, matchLevel(t, k, nextH.LevelNodes(k), newAnc, prevLog))
+		ids.byLevel = append(ids.byLevel, matchLevel(nil, t, k, nextH.LevelNodes(k), newAnc, prevLog))
 	}
 	return ids
 }

@@ -1,7 +1,7 @@
 package cluster
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/topology"
 )
@@ -36,19 +36,58 @@ func BuildWithIdentities(
 	tr *IdentityTracker,
 	now float64,
 ) (*Hierarchy, *Identities) {
+	return BuildWithIdentitiesArena(nil, g0, nodes, cfg, prevH, prevIDs, tr, now)
+}
+
+// BuildWithIdentitiesArena is BuildWithIdentities drawing all snapshot
+// storage from the arena (nil arena = allocate fresh, identical to
+// BuildWithIdentities). The returned hierarchy and identities own
+// arena-recycled storage; hand them back via Arena.Recycle once they
+// are two generations old.
+func BuildWithIdentitiesArena(
+	a *Arena,
+	g0 *topology.Graph,
+	nodes []int,
+	cfg Config,
+	prevH *Hierarchy,
+	prevIDs *Identities,
+	tr *IdentityTracker,
+	now float64,
+) (*Hierarchy, *Identities) {
 	cfg = cfg.withDefaults()
-	base := append([]int(nil), nodes...)
-	sort.Ints(base)
+	a.beginBuild()
+	base := append(a.getInts(), nodes...)
+	slices.Sort(base)
 
 	// Previous logical chains per level-0 node, and previous elections
 	// in logical space: prevElect[k][logical_u] = logical head u
 	// elected at level k (k >= 1).
-	prevLog := map[int][]uint64{}
+	var prevLog map[int][]uint64
+	if a != nil {
+		prevLog = a.prevLog
+	} else {
+		prevLog = map[int][]uint64{}
+	}
 	prevElect := map[int]map[uint64]uint64{}
 	if prevH != nil && prevIDs != nil {
-		for _, v := range prevH.LevelNodes(0) {
-			if c := prevIDs.ChainOf(prevH, v); c != nil {
-				prevLog[v] = c
+		if a != nil {
+			// Chains share one flat backing array; views are fixed up
+			// after all appends so growth cannot invalidate them.
+			for _, v := range prevH.LevelNodes(0) {
+				start := len(a.chainBack)
+				a.chainBack = prevIDs.AppendChainOf(prevH, v, a.chainBack)
+				if end := len(a.chainBack); end > start {
+					a.chainSpan = append(a.chainSpan, chainSpan{v: v, start: start, end: end})
+				}
+			}
+			for _, sp := range a.chainSpan {
+				prevLog[sp.v] = a.chainBack[sp.start:sp.end:sp.end]
+			}
+		} else {
+			for _, v := range prevH.LevelNodes(0) {
+				if c := prevIDs.ChainOf(prevH, v); c != nil {
+					prevLog[v] = c
+				}
 			}
 		}
 		for k := 1; k <= prevH.L(); k++ {
@@ -56,7 +95,7 @@ func BuildWithIdentities(
 			if lvl == nil || lvl.Head == nil {
 				continue
 			}
-			m := map[uint64]uint64{}
+			m := a.getElectMap()
 			//lint:ignore maprange map-to-map projection; the result is order-free
 			for u, w := range lvl.Head {
 				lu, okU := prevIDs.Logical(k, u)
@@ -69,11 +108,17 @@ func BuildWithIdentities(
 		}
 	}
 
-	h := &Hierarchy{Reach: cfg.Reach}
-	ids := &Identities{}
+	h := a.getHier()
+	h.Reach = cfg.Reach
+	ids := a.getIdents()
 	// anc maps each level-0 node to its deepest known ancestor; it is
 	// advanced one level per election round.
-	anc := make(map[int]int, len(base))
+	var anc map[int]int
+	if a != nil {
+		anc = a.anc
+	} else {
+		anc = make(map[int]int, len(base))
+	}
 	for _, v := range base {
 		anc[v] = v
 	}
@@ -81,34 +126,35 @@ func BuildWithIdentities(
 	curNodes := base
 	curGraph := g0
 	for k := 0; ; k++ {
-		lvl := &Level{K: k, Nodes: curNodes, Graph: curGraph}
+		lvl := a.getLevel()
+		lvl.K, lvl.Nodes, lvl.Graph = k, curNodes, curGraph
 		h.Levels = append(h.Levels, lvl)
 
 		if k >= 1 {
 			// Identity-match the freshly formed level-k clusters.
-			ids.byLevel = append(ids.byLevel, matchLevel(tr, k, curNodes, anc, prevLog))
+			ids.byLevel = append(ids.byLevel, matchLevel(a, tr, k, curNodes, anc, prevLog))
 		}
 
 		if len(curNodes) <= 1 || k >= cfg.MaxLevels {
 			break
 		}
 		if cfg.ForceTopAt > 0 && k >= 1 && len(curNodes) <= cfg.ForceTopAt {
-			forceTop(h, lvl, curNodes, g0.IDSpace())
+			forceTop(h, lvl, curNodes, g0.IDSpace(), a)
 			// Identity for the forced top level.
 			root := curNodes[len(curNodes)-1]
 			//lint:ignore maprange per-key update/delete; the result is order-free
-			for v, a := range anc {
-				if _, ok := lvl.Member[a]; ok {
+			for v, an := range anc {
+				if _, ok := lvl.Member[an]; ok {
 					anc[v] = root
 				} else {
 					delete(anc, v)
 				}
 			}
-			ids.byLevel = append(ids.byLevel, matchLevel(tr, k+1, []int{root}, anc, prevLog))
+			ids.byLevel = append(ids.byLevel, matchLevel(a, tr, k+1, h.Levels[k+1].Nodes, anc, prevLog))
 			break
 		}
 
-		prevHead := buildPrevHead(k, curNodes, ids, prevH, prevElect)
+		prevHead := buildPrevHead(a, k, curNodes, ids, prevH, prevElect)
 		var head map[int]int
 		if se, ok := cfg.Elector.(StatefulElector); ok {
 			logicalOf := func(u int) uint64 {
@@ -127,9 +173,9 @@ func BuildWithIdentities(
 		} else {
 			head = cfg.Elector.Elect(curNodes, curGraph, prevHead)
 		}
-		elect(lvl, head)
+		elect(lvl, head, a)
 
-		nextNodes := keysSorted(lvl.Members)
+		nextNodes := appendKeysSorted(a.getInts(), lvl.Members)
 		if len(nextNodes) == len(curNodes) {
 			// No compression: drop trivial election data and stop.
 			lvl.Head, lvl.Member, lvl.Members, lvl.State = nil, nil, nil, nil
@@ -137,15 +183,15 @@ func BuildWithIdentities(
 		}
 		// Advance ancestors to level k+1.
 		//lint:ignore maprange per-key update/delete; the result is order-free
-		for v, a := range anc {
-			m, ok := lvl.Member[a]
+		for v, an := range anc {
+			m, ok := lvl.Member[an]
 			if !ok {
 				delete(anc, v)
 				continue
 			}
 			anc[v] = m
 		}
-		curGraph = liftGraph(curGraph, lvl, g0.IDSpace())
+		curGraph = liftGraph(curGraph, lvl, g0.IDSpace(), a)
 		curNodes = nextNodes
 	}
 	return h, ids
@@ -154,8 +200,10 @@ func BuildWithIdentities(
 // buildPrevHead returns the elector-memory closure for level k: given
 // a level-k node (cluster), the current physical node that carries the
 // logical identity of the head it elected in the previous snapshot, or
-// -1 when there is none.
+// -1 when there is none. The closure is valid only for the duration of
+// the level's election (it may capture arena scratch).
 func buildPrevHead(
+	a *Arena,
 	k int,
 	curNodes []int,
 	ids *Identities,
@@ -180,7 +228,7 @@ func buildPrevHead(
 		return func(int) int { return -1 }
 	}
 	// Reverse map: logical level-k ID -> current physical node.
-	carrier := map[uint64]int{}
+	carrier := a.getCarrier()
 	for _, u := range curNodes {
 		if l, ok := ids.Logical(k, u); ok {
 			carrier[l] = u
@@ -206,8 +254,10 @@ func buildPrevHead(
 // snapshot under construction by maximal level-0 overlap with the
 // previous snapshot's logical clusters (greedy, largest overlap first,
 // deterministic tie-breaks). Clusters inheriting no identity receive
-// fresh IDs from tr.
+// fresh IDs from tr. Arena a (nil-safe) supplies counting scratch and
+// the result map.
 func matchLevel(
+	a *Arena,
 	tr *IdentityTracker,
 	k int,
 	newHeads []int,
@@ -215,41 +265,46 @@ func matchLevel(
 	prevLog map[int][]uint64,
 ) map[int]uint64 {
 	if tr.Passthrough {
-		m := make(map[int]uint64, len(newHeads))
+		m := a.getIDMap(len(newHeads))
 		for _, h := range newHeads {
 			m[h] = uint64(h)
 		}
 		return m
 	}
-	type pair struct {
-		prev uint64
-		next int
-	}
-	counts := map[pair]int{}
+	counts, pairs, usedPrev := a.matchScratch()
 	//lint:ignore maprange commutative integer counting; the result is order-free
 	for v, nh := range newAnc {
 		pc, ok := prevLog[v]
 		if !ok || len(pc) < k {
 			continue
 		}
-		counts[pair{prev: pc[k-1], next: nh}]++
+		counts[matchPair{prev: pc[k-1], next: nh}]++
 	}
-	pairs := make([]pair, 0, len(counts))
+	//lint:ignore maprange keys are collected and sorted below
 	for p := range counts {
 		pairs = append(pairs, p)
 	}
-	sort.Slice(pairs, func(i, j int) bool {
-		ci, cj := counts[pairs[i]], counts[pairs[j]]
-		if ci != cj {
-			return ci > cj
+	slices.SortFunc(pairs, func(x, y matchPair) int {
+		cx, cy := counts[x], counts[y]
+		switch {
+		case cx != cy:
+			if cx > cy {
+				return -1
+			}
+			return 1
+		case x.prev != y.prev:
+			if x.prev < y.prev {
+				return -1
+			}
+			return 1
+		default:
+			return x.next - y.next
 		}
-		if pairs[i].prev != pairs[j].prev {
-			return pairs[i].prev < pairs[j].prev
-		}
-		return pairs[i].next < pairs[j].next
 	})
-	m := make(map[int]uint64, len(newHeads))
-	usedPrev := map[uint64]bool{}
+	if a != nil {
+		a.pairs = pairs // return grown capacity to the arena
+	}
+	m := a.getIDMap(len(newHeads))
 	for _, p := range pairs {
 		if usedPrev[p.prev] {
 			continue

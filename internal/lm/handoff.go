@@ -144,30 +144,49 @@ type rootChange struct {
 	pure     bool // individual level-1 migration between persistent clusters
 }
 
-// Accountant turns table diffs into classified packet counts.
+// Accountant turns table diffs into classified packet counts. It owns
+// reusable per-tick scratch, so it is not safe for concurrent use; the
+// slice returned by Apply is valid only until the next Apply call.
 type Accountant struct {
 	Hop topology.HopModel
+
+	roots     map[int]rootChange
+	changedAt map[int]uint64
+	prevLive1 map[uint64]bool
+	nextLive1 map[uint64]bool
+	seen      map[int]bool
+	owners    []int
+	diffs     []TableDiff
+	transfers []Transfer
 }
 
 // NewAccountant returns an accountant using the given hop model.
 func NewAccountant(hop topology.HopModel) *Accountant {
-	return &Accountant{Hop: hop}
+	return &Accountant{
+		Hop:       hop,
+		roots:     map[int]rootChange{},
+		changedAt: map[int]uint64{},
+		seen:      map[int]bool{},
+	}
 }
 
 // Apply accounts one tick's handoff between consecutive tables. It
-// returns the classified transfers and accumulates into totals.
+// returns the classified transfers — reused by the next Apply call, so
+// callers that retain them must copy — and accumulates into totals.
 func (a *Accountant) Apply(prevT, nextT *Table, totals *Totals) []Transfer {
-	roots, changedAt := chainChanges(prevT, nextT, totals)
+	roots, changedAt := a.chainChanges(prevT, nextT, totals)
 
 	// Owner-driven location updates ([17]): an owner whose level-k
 	// cluster changed refreshes its level-k entry at the current
 	// server, whether or not the serving node moved. Owners are
 	// visited in sorted order so float accumulation is deterministic.
-	owners := make([]int, 0, len(changedAt))
+	owners := a.owners[:0]
+	//lint:ignore maprange keys are collected and sorted below
 	for owner := range changedAt {
 		owners = append(owners, owner)
 	}
 	sort.Ints(owners)
+	a.owners = owners
 	for _, owner := range owners {
 		levels := changedAt[owner]
 		for k := 1; levels>>uint(k) != 0; k++ {
@@ -184,8 +203,9 @@ func (a *Accountant) Apply(prevT, nextT *Table, totals *Totals) []Transfer {
 		}
 	}
 
-	diffs := DiffTables(prevT, nextT)
-	transfers := make([]Transfer, 0, len(diffs))
+	a.diffs = appendTableDiffs(a.diffs[:0], prevT, nextT, a.seen)
+	diffs := a.diffs
+	transfers := a.transfers[:0]
 	for _, td := range diffs {
 		totals.grow(td.Level)
 		var packets int
@@ -233,25 +253,35 @@ func (a *Accountant) Apply(prevT, nextT *Table, totals *Totals) []Transfer {
 			Packets: packets, Cause: cause,
 		})
 	}
+	a.transfers = transfers
 	return transfers
 }
 
 // chainChanges extracts per-node logical membership changes between
 // two tables: the root-change classification for φ/γ attribution, a
-// per-node bitmask of changed levels, and the f_k event counters.
-func chainChanges(prevT, nextT *Table, totals *Totals) (map[int]rootChange, map[int]uint64) {
-	roots := map[int]rootChange{}
-	changedAt := map[int]uint64{}
+// per-node bitmask of changed levels, and the f_k event counters. The
+// returned maps are accountant scratch, valid until the next call.
+func (a *Accountant) chainChanges(prevT, nextT *Table, totals *Totals) (map[int]rootChange, map[int]uint64) {
+	if a.roots == nil { // zero-value Accountant (constructed without NewAccountant)
+		a.roots = map[int]rootChange{}
+		a.changedAt = map[int]uint64{}
+		a.seen = map[int]bool{}
+	}
+	roots := a.roots
+	changedAt := a.changedAt
+	clear(roots)
+	clear(changedAt)
 	if prevT == nil {
 		return roots, changedAt
 	}
-	var prevLive1, nextLive1 map[uint64]bool // lazy level-1 liveness
+	liveFilled := false // lazy level-1 liveness
 	live1 := func() (map[uint64]bool, map[uint64]bool) {
-		if prevLive1 == nil {
-			prevLive1 = prevT.LiveAt(1)
-			nextLive1 = nextT.LiveAt(1)
+		if !liveFilled {
+			a.prevLive1 = prevT.LiveAtInto(1, a.prevLive1)
+			a.nextLive1 = nextT.LiveAtInto(1, a.nextLive1)
+			liveFilled = true
 		}
-		return prevLive1, nextLive1
+		return a.prevLive1, a.nextLive1
 	}
 	for _, v := range prevT.owners {
 		pc := prevT.Chain(v)

@@ -2,7 +2,7 @@ package lm
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/cluster"
 )
@@ -19,6 +19,12 @@ type Table struct {
 	index   map[int]int // owner -> row
 	servers [][]int32   // [row][k-1] -> server node, -1 if none
 	chains  [][]uint64  // [row][k-1] -> logical level-k ancestor
+
+	// Flat backing for the row slices when built by UpdateTableInto;
+	// nil for tables built row-by-row. Owned by this table so that
+	// double-buffered tables never share storage.
+	srvBack   []int32
+	chainBack []uint64
 }
 
 // Owners returns the sorted owner IDs covered by the table.
@@ -84,16 +90,26 @@ func (t *Table) EntryCount() int {
 // in any owner's chain (every live cluster has at least one level-0
 // descendant, so this enumerates the live clusters).
 func (t *Table) LiveAt(k int) map[uint64]bool {
-	out := map[uint64]bool{}
+	return t.LiveAtInto(k, nil)
+}
+
+// LiveAtInto is LiveAt filling dst (cleared first; nil allocates) so
+// per-tick consumers can reuse one map.
+func (t *Table) LiveAtInto(k int, dst map[uint64]bool) map[uint64]bool {
+	if dst == nil {
+		dst = map[uint64]bool{}
+	} else {
+		clear(dst)
+	}
 	if k < 1 {
-		return out
+		return dst
 	}
 	for _, chain := range t.chains {
 		if k <= len(chain) {
-			out[chain[k-1]] = true
+			dst[chain[k-1]] = true
 		}
 	}
-	return out
+	return dst
 }
 
 // Selector computes CHLM server assignments over a hierarchy with
@@ -137,21 +153,53 @@ func (s *Selector) ServerFor(h *cluster.Hierarchy, ids *cluster.Identities, owne
 // memberKeys returns the hash keys of the level-(level-1) members of a
 // level-`level` cluster: logical IDs for clusters, node IDs at level 1.
 func memberKeys(h *cluster.Hierarchy, ids *cluster.Identities, level int, members []int) []uint64 {
-	keys := make([]uint64, len(members))
-	for i, m := range members {
+	return appendMemberKeys(make([]uint64, 0, len(members)), ids, level, members)
+}
+
+// appendMemberKeys appends the hash keys of members to dst — the
+// allocation-free form used by the incremental update path.
+func appendMemberKeys(dst []uint64, ids *cluster.Identities, level int, members []int) []uint64 {
+	for _, m := range members {
 		if level == 1 {
-			keys[i] = uint64(m)
+			dst = append(dst, uint64(m))
 			continue
 		}
 		if id, ok := ids.Logical(level-1, m); ok {
-			keys[i] = id
+			dst = append(dst, id)
 		} else {
 			// Identity missing (should not happen for a tracked
 			// snapshot); degrade to the physical ID.
-			keys[i] = uint64(m)
+			dst = append(dst, uint64(m))
 		}
 	}
-	return keys
+	return dst
+}
+
+// serverForBuf is ServerFor with a caller-owned key buffer and no
+// intermediate allocations; it returns the server and the (possibly
+// grown) buffer.
+func (s *Selector) serverForBuf(
+	h *cluster.Hierarchy, ids *cluster.Identities, owner, k int, buf []uint64,
+) (int, []uint64) {
+	cur := owner
+	for j := 0; j < k; j++ {
+		m, ok := h.Level(j).Member[cur]
+		if !ok {
+			return -1, buf
+		}
+		cur = m
+	}
+	for level := k; level >= 1; level-- {
+		members := h.MembersAt(level, cur)
+		if len(members) == 0 {
+			// Structurally impossible in a valid hierarchy; fail loud.
+			panic(fmt.Sprintf("lm: level-%d cluster %d has no members", level, cur))
+		}
+		buf = appendMemberKeys(buf[:0], ids, level, members)
+		idx := s.Hash.Select(uint64(owner), level, buf)
+		cur = members[idx]
+	}
+	return cur, buf
 }
 
 // BuildTable computes the full assignment table for h.
@@ -187,18 +235,67 @@ func (s *Selector) UpdateTable(
 	prevH *cluster.Hierarchy, prevIDs *cluster.Identities,
 	nextH *cluster.Hierarchy, nextIDs *cluster.Identities,
 ) *Table {
-	dirty := dirtySubtrees(prevH, prevIDs, nextH, nextIDs)
-	owners := nextH.LevelNodes(0)
-	t := &Table{
-		owners:  owners,
-		index:   make(map[int]int, len(owners)),
-		servers: make([][]int32, len(owners)),
-		chains:  make([][]uint64, len(owners)),
+	return s.UpdateTableInto(nil, nil, prev, prevH, prevIDs, nextH, nextIDs)
+}
+
+// UpdateScratch holds the reusable buffers of UpdateTableInto: the
+// dirty-subtree sets, member-key comparison maps and their flat
+// backings, and the hash-descent key buffer. Not safe for concurrent
+// use.
+type UpdateScratch struct {
+	dirty          dirtySet
+	pm, nm         map[uint64][]uint64
+	pmBack, nmBack []uint64
+	spans          []keySpan
+	idsBuf         []uint64
+	keyBuf         []uint64
+	rowEnd         []int
+}
+
+type keySpan struct {
+	id         uint64
+	start, end int
+}
+
+// UpdateTableInto is UpdateTable with caller-owned storage: dst (nil =
+// allocate fresh) is overwritten in place, its rows packed into flat
+// backing arrays, and sc (nil = allocate fresh) supplies all interior
+// scratch. dst must not alias prev and must no longer be referenced by
+// any consumer — in a double-buffered loop, pass the table retired two
+// ticks ago.
+func (s *Selector) UpdateTableInto(
+	dst *Table, sc *UpdateScratch,
+	prev *Table,
+	prevH *cluster.Hierarchy, prevIDs *cluster.Identities,
+	nextH *cluster.Hierarchy, nextIDs *cluster.Identities,
+) *Table {
+	if dst == nil {
+		dst = &Table{}
 	}
+	if dst == prev {
+		panic("lm: UpdateTableInto dst must not alias prev")
+	}
+	if sc == nil {
+		sc = &UpdateScratch{}
+	}
+	dirty := sc.dirtySubtrees(prevH, prevIDs, nextH, nextIDs)
+	owners := nextH.LevelNodes(0)
+	dst.owners = owners
+	if dst.index == nil {
+		dst.index = make(map[int]int, len(owners))
+	} else {
+		clear(dst.index)
+	}
+	dst.servers = dst.servers[:0]
+	dst.chains = dst.chains[:0]
+	dst.srvBack = dst.srvBack[:0]
+	dst.chainBack = dst.chainBack[:0]
+	sc.rowEnd = sc.rowEnd[:0]
 	for row, v := range owners {
-		t.index[v] = row
-		chain := nextIDs.ChainOf(nextH, v)
-		srv := make([]int32, len(chain))
+		dst.index[v] = row
+		start := len(dst.chainBack)
+		dst.chainBack = nextIDs.AppendChainOf(nextH, v, dst.chainBack)
+		chain := dst.chainBack[start:]
 		var prevChain []uint64
 		var prevSrv []int32
 		if prev != nil {
@@ -210,15 +307,23 @@ func (s *Selector) UpdateTable(
 		for i, c := range chain {
 			k := i + 1
 			if i < len(prevChain) && prevChain[i] == c && !dirty.is(k, c) {
-				srv[i] = prevSrv[i]
+				dst.srvBack = append(dst.srvBack, prevSrv[i])
 				continue
 			}
-			srv[i] = int32(s.ServerFor(nextH, nextIDs, v, k))
+			var srv int
+			srv, sc.keyBuf = s.serverForBuf(nextH, nextIDs, v, k, sc.keyBuf)
+			dst.srvBack = append(dst.srvBack, int32(srv))
 		}
-		t.servers[row] = srv
-		t.chains[row] = chain
+		sc.rowEnd = append(sc.rowEnd, len(dst.chainBack))
 	}
-	return t
+	// Fix up the row views only after both backings stopped growing.
+	off := 0
+	for _, end := range sc.rowEnd {
+		dst.servers = append(dst.servers, dst.srvBack[off:end:end])
+		dst.chains = append(dst.chains, dst.chainBack[off:end:end])
+		off = end
+	}
+	return dst
 }
 
 // dirtySet tracks logical clusters whose subtree membership changed,
@@ -246,7 +351,9 @@ func (d dirtySet) mark(k int, id uint64) bool {
 // dirtySubtrees returns the logical clusters whose member-key sets
 // differ between the two snapshots (including clusters present in only
 // one), with dirtiness propagated to all ancestors in both snapshots.
-func dirtySubtrees(
+// The returned set aliases the scratch and is valid until its next
+// call.
+func (sc *UpdateScratch) dirtySubtrees(
 	prevH *cluster.Hierarchy, prevIDs *cluster.Identities,
 	nextH *cluster.Hierarchy, nextIDs *cluster.Identities,
 ) dirtySet {
@@ -254,13 +361,21 @@ func dirtySubtrees(
 	if nextH.L() > maxL {
 		maxL = nextH.L()
 	}
-	dirty := make(dirtySet, maxL+1)
+	for len(sc.dirty) <= maxL {
+		sc.dirty = append(sc.dirty, map[uint64]bool{})
+	}
+	dirty := sc.dirty[:maxL+1]
 	for k := range dirty {
-		dirty[k] = map[uint64]bool{}
+		clear(dirty[k])
+	}
+	if sc.pm == nil {
+		sc.pm = map[uint64][]uint64{}
+		sc.nm = map[uint64][]uint64{}
 	}
 	for k := 1; k <= maxL; k++ {
-		pm := memberKeySets(prevH, prevIDs, k)
-		nm := memberKeySets(nextH, nextIDs, k)
+		var pm, nm map[uint64][]uint64
+		pm, sc.pmBack = fillMemberKeySets(sc.pm, sc.pmBack, &sc.spans, prevH, prevIDs, k)
+		nm, sc.nmBack = fillMemberKeySets(sc.nm, sc.nmBack, &sc.spans, nextH, nextIDs, k)
 		//lint:ignore maprange order-free set marking; dirty membership is the only outcome
 		for id, keys := range pm {
 			nk, ok := nm[id]
@@ -280,12 +395,13 @@ func dirtySubtrees(
 	// sorted order first — propagateUp mutates the dirty set while we
 	// walk it, and ranging over a map under mutation is unspecified.
 	for k := 1; k <= maxL; k++ {
-		ids := make([]uint64, 0, len(dirty[k]))
+		sc.idsBuf = sc.idsBuf[:0]
+		//lint:ignore maprange keys are collected and sorted below
 		for id := range dirty[k] {
-			ids = append(ids, id)
+			sc.idsBuf = append(sc.idsBuf, id)
 		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, id := range ids {
+		slices.Sort(sc.idsBuf)
+		for _, id := range sc.idsBuf {
 			propagateUp(prevH, prevIDs, k, id, dirty)
 			propagateUp(nextH, nextIDs, k, id, dirty)
 		}
@@ -293,25 +409,35 @@ func dirtySubtrees(
 	return dirty
 }
 
-// memberKeySets maps each live logical level-k cluster to its sorted
-// member hash keys.
-func memberKeySets(h *cluster.Hierarchy, ids *cluster.Identities, k int) map[uint64][]uint64 {
-	out := map[uint64][]uint64{}
+// fillMemberKeySets fills out (cleared first) with each live logical
+// level-k cluster's sorted member hash keys, packing the key slices
+// into the back array; it returns the map and the grown backing. The
+// views are fixed up only after the backing stops growing, so slice
+// growth cannot invalidate them.
+func fillMemberKeySets(
+	out map[uint64][]uint64, back []uint64, spans *[]keySpan,
+	h *cluster.Hierarchy, ids *cluster.Identities, k int,
+) (map[uint64][]uint64, []uint64) {
+	clear(out)
+	back = back[:0]
+	*spans = (*spans)[:0]
 	if k > h.L() {
-		return out
+		return out, back
 	}
 	for _, head := range h.LevelNodes(k) {
 		id, ok := ids.Logical(k, head)
 		if !ok {
 			continue
 		}
-		members := h.MembersAt(k, head)
-		keys := memberKeys(h, ids, k, members)
-		sorted := append([]uint64(nil), keys...)
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-		out[id] = sorted
+		start := len(back)
+		back = appendMemberKeys(back, ids, k, h.MembersAt(k, head))
+		slices.Sort(back[start:])
+		*spans = append(*spans, keySpan{id: id, start: start, end: len(back)})
 	}
-	return out
+	for _, sp := range *spans {
+		out[sp.id] = back[sp.start:sp.end:sp.end]
+	}
+	return out, back
 }
 
 // propagateUp marks the ancestors of the level-k cluster with the
@@ -370,8 +496,19 @@ type TableDiff struct {
 
 // DiffTables lists all assignment changes from prev to next.
 func DiffTables(prev, next *Table) []TableDiff {
-	var out []TableDiff
-	seen := map[int]bool{}
+	return appendTableDiffs(nil, prev, next, nil)
+}
+
+// appendTableDiffs is DiffTables with caller-owned storage: changes
+// are appended to out (pass out[:0] — the whole slice is sorted before
+// returning) and seen (cleared first; nil allocates) is the visited-
+// owner scratch.
+func appendTableDiffs(out []TableDiff, prev, next *Table, seen map[int]bool) []TableDiff {
+	if seen == nil {
+		seen = make(map[int]bool, len(next.owners))
+	} else {
+		clear(seen)
+	}
 	for _, v := range next.owners {
 		seen[v] = true
 		nRow := next.index[v]
@@ -408,11 +545,11 @@ func DiffTables(prev, next *Table) []TableDiff {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Owner != out[j].Owner {
-			return out[i].Owner < out[j].Owner
+	slices.SortFunc(out, func(a, b TableDiff) int {
+		if a.Owner != b.Owner {
+			return a.Owner - b.Owner
 		}
-		return out[i].Level < out[j].Level
+		return a.Level - b.Level
 	})
 	return out
 }

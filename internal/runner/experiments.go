@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -130,11 +131,18 @@ func baseConfig(sc Scale) simnet.Config {
 func fprintFits(w io.Writer, label string, ns, ys []float64) {
 	fits := stats.FitAll(ns, ys)
 	fmt.Fprintf(w, "%s model fits (best RMSE first):\n", label)
+	if len(fits) == 0 {
+		fmt.Fprintf(w, "  (no fit: sweep needs >= 3 runs over distinct N)\n")
+		return
+	}
 	for _, f := range fits {
 		fmt.Fprintf(w, "  %s\n", f)
 	}
-	if p, err := stats.PowerExponent(ns, ys); err == nil {
+	switch p, err := stats.PowerExponent(ns, ys); {
+	case err == nil:
 		fmt.Fprintf(w, "  free power-law exponent p = %.3f (polylog ⇒ p ≪ 0.5)\n", p)
+	case errors.Is(err, stats.ErrDegenerate):
+		fmt.Fprintf(w, "  power-law exponent unavailable: %v\n", err)
 	}
 }
 
@@ -255,8 +263,11 @@ func runE4(w io.Writer, sc Scale) error {
 	}
 	fmt.Fprint(w, tw.String())
 	ns, ys := Series(rows, func(r *AggRow) float64 { return r.F0.Mean() })
-	if p, err := stats.PowerExponent(ns, ys); err == nil {
+	switch p, err := stats.PowerExponent(ns, ys); {
+	case err == nil:
 		fmt.Fprintf(w, "power-law exponent of f0(N): %.3f (paper: 0 — constant)\n", p)
+	case errors.Is(err, stats.ErrDegenerate):
+		fmt.Fprintf(w, "power-law exponent of f0(N) unavailable: %v\n", err)
 	}
 	return nil
 }

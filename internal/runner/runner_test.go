@@ -40,6 +40,35 @@ func TestSweepDeterministicOrder(t *testing.T) {
 	}
 }
 
+// TestSweepDuplicateNsGetDistinctSeeds is the regression test for the
+// (N, seed-index) seed derivation: a sweep listing the same N twice
+// used to run byte-identical cells, silently halving the sample size.
+func TestSweepDuplicateNsGetDistinctSeeds(t *testing.T) {
+	spec := SweepSpec{
+		Ns: []int{48, 48}, Seeds: 2,
+		Base:        simnet.Config{Duration: 15, Warmup: 5},
+		Parallelism: 2,
+	}
+	cells := Sweep(spec)
+	if len(cells) != 4 {
+		t.Fatalf("cell count %d, want 4", len(cells))
+	}
+	seen := map[uint64]bool{}
+	for _, c := range cells {
+		if c.Err != nil {
+			t.Fatal(c.Err)
+		}
+		if seen[c.Seed] {
+			t.Fatalf("seed %d reused across cells", c.Seed)
+		}
+		seen[c.Seed] = true
+	}
+	// The duplicate-N cells must be distinct runs, not replays.
+	if cells[0].R.PhiRate == cells[2].R.PhiRate && cells[0].R.F0 == cells[2].R.F0 {
+		t.Fatal("duplicate-N cells produced identical results; seeds still collide")
+	}
+}
+
 func TestAggregate(t *testing.T) {
 	spec := SweepSpec{
 		Ns: []int{40, 60}, Seeds: 2,

@@ -48,10 +48,14 @@ func Sweep(spec SweepSpec) []CellResult {
 		n    int
 		seed uint64
 	}
+	// Seeds derive from the cell index, not from (N, s): deriving from N
+	// gave duplicate entries in Ns byte-identical runs, silently halving
+	// the effective sample size of such sweeps.
 	var jobs []job
 	for _, n := range spec.Ns {
 		for s := 0; s < spec.Seeds; s++ {
-			jobs = append(jobs, job{idx: len(jobs), n: n, seed: spec.SeedBase + uint64(s) + uint64(n)*1000003})
+			idx := len(jobs)
+			jobs = append(jobs, job{idx: idx, n: n, seed: spec.SeedBase + uint64(idx)*1000003})
 		}
 	}
 	out := make([]CellResult, len(jobs))

@@ -1,0 +1,165 @@
+package simnet
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// feq compares defaulted config floats exactly: defaults are assigned,
+// not computed, so any drift is a bug.
+func feq(a, b float64) bool { return math.Abs(a-b) == 0 }
+
+func TestWithDefaults(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Config
+		want func(t *testing.T, c Config)
+	}{
+		{"all zero fields take defaults", Config{N: 64}, func(t *testing.T, c Config) {
+			if !feq(c.RTX, 100) {
+				t.Errorf("RTX = %v, want 100", c.RTX)
+			}
+			if !feq(c.Degree, 9) {
+				t.Errorf("Degree = %v, want 9", c.Degree)
+			}
+			if !feq(c.Mu, 10) {
+				t.Errorf("Mu = %v, want 10", c.Mu)
+			}
+			if !feq(c.ScanInterval, 1) { // min(1, 0.1·100/10)
+				t.Errorf("ScanInterval = %v, want 1", c.ScanInterval)
+			}
+			if !feq(c.Duration, 300) {
+				t.Errorf("Duration = %v, want 300", c.Duration)
+			}
+			if !feq(c.Warmup, 60) {
+				t.Errorf("Warmup = %v, want 60", c.Warmup)
+			}
+			if c.Mobility != MobilityWaypoint {
+				t.Errorf("Mobility = %q, want waypoint", c.Mobility)
+			}
+			if c.HopModel != HopEuclidean {
+				t.Errorf("HopModel = %q, want euclid", c.HopModel)
+			}
+			if !feq(c.Detour, 1.3) {
+				t.Errorf("Detour = %v, want 1.3", c.Detour)
+			}
+			if c.Hash == nil {
+				t.Error("Hash not defaulted")
+			}
+			if c.HopPairs != 64 {
+				t.Errorf("HopPairs = %v, want 64", c.HopPairs)
+			}
+			if c.TopArity != 12 {
+				t.Errorf("TopArity = %v, want 12", c.TopArity)
+			}
+			if !feq(c.MeanDowntime, 30) {
+				t.Errorf("MeanDowntime = %v, want 30", c.MeanDowntime)
+			}
+		}},
+		{"positive values kept", Config{N: 64, RTX: 50, Degree: 6, Mu: 2, ScanInterval: 0.5,
+			Duration: 10, Warmup: 5, Detour: 2, MeanDowntime: 7}, func(t *testing.T, c Config) {
+			for _, x := range []struct {
+				name      string
+				got, want float64
+			}{
+				{"RTX", c.RTX, 50}, {"Degree", c.Degree, 6}, {"Mu", c.Mu, 2},
+				{"ScanInterval", c.ScanInterval, 0.5}, {"Duration", c.Duration, 10},
+				{"Warmup", c.Warmup, 5}, {"Detour", c.Detour, 2},
+				{"MeanDowntime", c.MeanDowntime, 7},
+			} {
+				if !feq(x.got, x.want) {
+					t.Errorf("%s = %v, want %v", x.name, x.got, x.want)
+				}
+			}
+		}},
+		{"negative sentinel means exactly zero", Config{N: 64, Warmup: -1, Mu: -1}, func(t *testing.T, c Config) {
+			if !feq(c.Warmup, 0) {
+				t.Errorf("Warmup = %v, want 0 (explicit -1)", c.Warmup)
+			}
+			if !feq(c.Mu, 0) {
+				t.Errorf("Mu = %v, want 0 (explicit -1)", c.Mu)
+			}
+		}},
+		{"scan interval tracks speed", Config{N: 64, Mu: 50}, func(t *testing.T, c Config) {
+			// 0.1·RTX/Mu = 0.1·100/50 = 0.2 < 1 s cap.
+			if !feq(c.ScanInterval, 0.2) {
+				t.Errorf("ScanInterval = %v, want 0.2", c.ScanInterval)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { tc.want(t, tc.in.withDefaults()) })
+	}
+}
+
+func TestValidateRejectsExplicitZeros(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      Config
+		wantErr string // substring of the validation error; "" = valid
+	}{
+		{"defaults valid", Config{N: 64}, ""},
+		{"explicit zero RTX", Config{N: 64, RTX: -1}, "RTX"},
+		{"explicit zero Degree", Config{N: 64, Degree: -1}, "Degree"},
+		{"explicit zero ScanInterval", Config{N: 64, ScanInterval: -1}, "ScanInterval"},
+		{"explicit zero Duration", Config{N: 64, Duration: -1}, "Duration"},
+		{"explicit zero Detour", Config{N: 64, Detour: -1}, "Detour"},
+		{"no warmup is fine", Config{N: 64, Warmup: -1}, ""},
+		{"zero speed needs static model", Config{N: 64, Mu: -1}, "Mu"},
+		{"zero speed static ok", Config{N: 64, Mu: -1, Mobility: MobilityStatic}, ""},
+		{"zero detour with BFS hops ok", Config{N: 64, Detour: -1, HopModel: HopBFS}, ""},
+		{"churn needs downtime", Config{N: 64, ChurnRate: 0.01, MeanDowntime: -1}, "MeanDowntime"},
+		{"N too small", Config{N: 1}, "N"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.in.withDefaults().validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("config accepted, want error mentioning %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestSteadyStateTickAllocs pins the allocation budget of one
+// steady-state scan tick. Before the double-buffered scratch path this
+// was ~24k allocations per tick at N=512; the reusable buffers leave
+// only the elector's per-level head maps and a few closures (~46
+// observed at this scale). The bound leaves ~4× headroom to stay
+// robust across Go versions while still catching any regression to
+// per-tick rebuilds.
+func TestSteadyStateTickAllocs(t *testing.T) {
+	cfg := Config{N: 256, Seed: 7, Warmup: -1}.withDefaults()
+	if err := cfg.validate(); err != nil {
+		t.Fatal(err)
+	}
+	lp, err := setupRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := 0.0
+	step := func() {
+		now += cfg.ScanInterval
+		lp.step(now)
+	}
+	// Let pooled capacities reach steady state first.
+	for i := 0; i < 30; i++ {
+		step()
+	}
+	avg := testing.AllocsPerRun(20, step)
+	const budget = 200
+	if avg > budget {
+		t.Fatalf("steady-state tick allocates %.0f times, budget %d", avg, budget)
+	}
+	t.Logf("steady-state tick: %.1f allocs (budget %d)", avg, budget)
+}

@@ -37,6 +37,12 @@ type stateRun struct {
 	hopByLevel stats.PerLevel
 	hopScratch *topology.BFSScratch
 	hopRng     *rng.Source
+
+	// Reusable per-tick measurement scratch.
+	obsGiant             topology.ComponentScratch
+	prevLogE, nextLogE   map[cluster.LogicalEdge]struct{}
+	prevLiveK, nextLiveK map[uint64]bool
+	inCluster            map[int]bool
 }
 
 func newStateRun(cfg Config, region geom.Disc) *stateRun {
@@ -58,12 +64,12 @@ func (st *stateRun) observe(h *cluster.Hierarchy, g *topology.Graph, tick int) {
 		st.nodesByLevel.Add(k, float64(len(lvl.Nodes)))
 		st.edgesByLevel.Add(k, float64(lvl.Graph.EdgeCount()))
 	}
-	giant := topology.GiantComponent(g, h.LevelNodes(0))
+	giant := st.obsGiant.Giant(g, h.LevelNodes(0))
 	st.giantFrac.Add(float64(len(giant)) / float64(st.cfg.N))
 }
 
-func (st *stateRun) countLinkEvents(prev, next *topology.Graph) {
-	st.linkEvents += int64(len(topology.DiffEdges(prev, next)))
+func (st *stateRun) countLinkEvents(s *topology.DiffScratch, prev, next *topology.Graph) {
+	st.linkEvents += int64(len(s.Diff(prev, next)))
 }
 
 // countClusterLinkEvents counts level-k cluster link state changes in
@@ -80,13 +86,15 @@ func (st *stateRun) countClusterLinkEvents(
 		maxK = nextH.L()
 	}
 	for k := 1; k <= maxK; k++ {
-		pe := cluster.LogicalEdges(prevH, prevIDs, k)
-		ne := cluster.LogicalEdges(nextH, nextIDs, k)
+		pe := cluster.LogicalEdgesInto(st.prevLogE, prevH, prevIDs, k)
+		ne := cluster.LogicalEdgesInto(st.nextLogE, nextH, nextIDs, k)
+		st.prevLogE, st.nextLogE = pe, ne
 		if len(pe) == 0 && len(ne) == 0 {
 			continue
 		}
-		prevLive := prevT.LiveAt(k)
-		nextLive := nextT.LiveAt(k)
+		prevLive := prevT.LiveAtInto(k, st.prevLiveK)
+		nextLive := nextT.LiveAtInto(k, st.nextLiveK)
+		st.prevLiveK, st.nextLiveK = prevLive, nextLive
 		persists := func(e cluster.LogicalEdge) bool {
 			return prevLive[e.A] && prevLive[e.B] && nextLive[e.A] && nextLive[e.B]
 		}
@@ -127,7 +135,12 @@ func (st *stateRun) sampleHops(h *cluster.Hierarchy, g *topology.Graph) {
 			if a == b {
 				continue
 			}
-			inCluster := make(map[int]bool, len(desc))
+			if st.inCluster == nil {
+				st.inCluster = make(map[int]bool, len(desc))
+			} else {
+				clear(st.inCluster)
+			}
+			inCluster := st.inCluster
 			for _, v := range desc {
 				inCluster[v] = true
 			}

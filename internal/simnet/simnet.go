@@ -36,23 +36,31 @@ const (
 
 // Config parameterizes one simulation run. Zero fields take the
 // defaults documented on each field.
+//
+// Optional float fields share one sentinel convention: 0 (the Go zero
+// value) means "unset, use the default", and a negative value means
+// "exactly zero". The explicit-zero form matters for Warmup (run with
+// no warmup: Warmup = -1); for fields that must be positive it yields
+// a validation error from Run instead of a silently substituted
+// default.
 type Config struct {
 	N    int    // node count (required)
 	Seed uint64 // experiment seed
 
-	RTX    float64 // transmission radius, m (default 100)
-	Degree float64 // target mean node degree; fixes density (default 9)
-	Mu     float64 // node speed, m/s (default 10)
+	RTX    float64 // transmission radius, m (default 100; 0 = default, < 0 rejected)
+	Degree float64 // target mean node degree; fixes density (default 9; 0 = default, < 0 rejected)
+	Mu     float64 // node speed, m/s (default 10; 0 = default, < 0 = exactly 0, static models only)
 
-	// ScanInterval is the link-scan period. Default: enough that a
-	// node moves at most RTX/10 per tick, capped at 1 s.
+	// ScanInterval is the link-scan period. Default (0): enough that a
+	// node moves at most RTX/10 per tick, capped at 1 s. Negative is
+	// rejected.
 	ScanInterval float64
-	Duration     float64 // measured sim time, s (default 300)
-	Warmup       float64 // discarded leading sim time, s (default 60)
+	Duration     float64 // measured sim time, s (default 300; 0 = default, < 0 rejected)
+	Warmup       float64 // discarded leading sim time, s (default 60; 0 = default, < 0 = no warmup)
 
 	Mobility string  // waypoint (default) | direction | static | group
 	HopModel string  // euclid (default) | bfs
-	Detour   float64 // Euclidean hop detour factor (default 1.3)
+	Detour   float64 // Euclidean hop detour factor (default 1.3; 0 = default, < 0 rejected)
 
 	// Group-mobility parameters (Mobility == "group"): nodes per group
 	// and the wander radius around the group reference point.
@@ -81,7 +89,7 @@ type Config struct {
 	// (per second); dead nodes rejoin after an exponential downtime of
 	// mean MeanDowntime seconds, re-registering from scratch.
 	ChurnRate    float64
-	MeanDowntime float64 // default 30 s
+	MeanDowntime float64 // default 30 s (0 = default, < 0 rejected when churn is on)
 
 	TrackStates  bool // accumulate ALCA state statistics (E3, E11)
 	TrackClasses bool // classify reorg triggers i–vii (E10)
@@ -99,6 +107,11 @@ type Config struct {
 }
 
 // ObsEvent is the per-tick observer payload.
+//
+// Lifetime: every field is valid only for the duration of the callback.
+// The simulation loop double-buffers its snapshots and recycles their
+// storage two ticks later, so an observer that needs data beyond the
+// callback must copy it (as trace.Tracer does).
 type ObsEvent struct {
 	Time      float64
 	Hierarchy *cluster.Hierarchy
@@ -107,12 +120,17 @@ type ObsEvent struct {
 	Positions []geom.Vec
 }
 
-// fdef returns v, or def when v is exactly the zero "unset" sentinel
-// of an optional Config field.
+// fdef resolves an optional float field: 0 (the Go zero value) selects
+// def, a negative value selects exactly 0, and any positive value is
+// kept. Fields that must stay positive reject the resulting 0 in
+// Config.validate.
 func fdef(v, def float64) float64 {
 	//lint:ignore floateq zero is the documented unset-field sentinel
 	if v == 0 {
 		return def
+	}
+	if v < 0 {
+		return 0
 	}
 	return v
 }
@@ -144,6 +162,36 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// validate checks a defaulted config, rejecting explicit zeros (the
+// negative sentinel) on fields that must be positive.
+func (c Config) validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("simnet: N = %d too small", c.N)
+	}
+	if c.RTX <= 0 {
+		return fmt.Errorf("simnet: RTX must be positive (got %v)", c.RTX)
+	}
+	if c.Degree <= 0 {
+		return fmt.Errorf("simnet: Degree must be positive (got %v)", c.Degree)
+	}
+	if c.ScanInterval <= 0 {
+		return fmt.Errorf("simnet: ScanInterval must be positive (got %v)", c.ScanInterval)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("simnet: Duration must be positive (got %v)", c.Duration)
+	}
+	if c.Mu <= 0 && c.Mobility != MobilityStatic {
+		return fmt.Errorf("simnet: Mu must be positive for mobility %q (got %v)", c.Mobility, c.Mu)
+	}
+	if c.Detour <= 0 && c.HopModel == HopEuclidean {
+		return fmt.Errorf("simnet: Detour must be positive (got %v)", c.Detour)
+	}
+	if c.ChurnRate > 0 && c.MeanDowntime <= 0 {
+		return fmt.Errorf("simnet: MeanDowntime must be positive with churn (got %v)", c.MeanDowntime)
+	}
+	return nil
+}
+
 // Region returns the deployment disc this configuration implies (after
 // defaults): sized so the target mean degree holds at the given N.
 func (c Config) Region() geom.Disc {
@@ -155,10 +203,28 @@ func (c Config) Region() geom.Disc {
 // Run executes one simulation and returns its measurements.
 func Run(cfg Config) (*Results, error) {
 	cfg = cfg.withDefaults()
-	if cfg.N < 2 {
-		return nil, fmt.Errorf("simnet: N = %d too small", cfg.N)
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	lp, err := setupRun(cfg)
+	if err != nil {
+		return nil, err
 	}
 
+	engine := sim.NewEngine()
+	horizon := cfg.Warmup + cfg.Duration
+	engine.Ticker(cfg.ScanInterval, cfg.ScanInterval, "scan", func(e *sim.Engine) {
+		lp.step(e.Now())
+	})
+	engine.RunUntil(horizon)
+
+	return lp.st.results(cfg)
+}
+
+// setupRun builds the initial snapshot and the tick loop for an
+// already-defaulted, validated config. Split from Run so tests can
+// drive single steps (TestSteadyStateTickAllocs).
+func setupRun(cfg Config) (*looper, error) {
 	root := rng.NewRoot(cfg.Seed)
 	density := cfg.Degree / (math.Pi * cfg.RTX * cfg.RTX)
 	region := geom.DiscForDensity(cfg.N, density)
@@ -234,92 +300,29 @@ func Run(cfg Config) (*Results, error) {
 	st := newStateRun(cfg, region)
 	st.observe(hier, graph, 0)
 
-	// Churn state (E18): alive flags and pending revivals.
-	alive := make([]bool, cfg.N)
-	for i := range alive {
-		alive[i] = true
+	lp := &looper{
+		cfg:        cfg,
+		clusterCfg: clusterCfg,
+		model:      model,
+		grid:       grid,
+		pos:        pos,
+		selector:   selector,
+		tracker:    tracker,
+		accountant: accountant,
+		bfsHop:     bfsHop,
+		st:         st,
+		graph:      graph,
+		hier:       hier,
+		idents:     idents,
+		table:      table,
+		arena:      cluster.NewArena(),
+		alive:      make([]bool, cfg.N),
+		reviveAt:   make([]float64, cfg.N),
+		churnSrc:   root.Stream("churn"),
+		aliveNodes: make([]int, 0, cfg.N),
 	}
-	reviveAt := make([]float64, cfg.N)
-	churnSrc := root.Stream("churn")
-	aliveNodes := make([]int, 0, cfg.N)
-
-	engine := sim.NewEngine()
-	horizon := cfg.Warmup + cfg.Duration
-	tick := 0
-	engine.Ticker(cfg.ScanInterval, cfg.ScanInterval, "scan", func(e *sim.Engine) {
-		now := e.Now()
-		tick++
-		model.AdvanceTo(now, pos)
-		if cfg.ChurnRate > 0 {
-			pDeath := cfg.ChurnRate * cfg.ScanInterval
-			for i := range alive {
-				if alive[i] {
-					if churnSrc.Float64() < pDeath {
-						alive[i] = false
-						reviveAt[i] = now + churnSrc.Exp(1/cfg.MeanDowntime)
-						grid.Remove(i)
-						if now > cfg.Warmup {
-							st.deaths++
-						}
-					}
-				} else if now >= reviveAt[i] {
-					alive[i] = true
-				}
-			}
-		}
-		aliveNodes = aliveNodes[:0]
-		for i, p := range pos {
-			if alive[i] {
-				grid.Update(i, p)
-				aliveNodes = append(aliveNodes, i)
-			}
-		}
-		newGraph := topology.BuildUnitDisk(cfg.N, pos, cfg.RTX, grid)
-		if bfsHop != nil {
-			bfsHop.Rebind(newGraph)
-		}
-		newHier, newIdents := cluster.BuildWithIdentities(
-			newGraph, topology.GiantComponent(newGraph, aliveNodes), clusterCfg, hier, idents, tracker, now)
-		if cfg.Paranoid {
-			if err := newHier.Validate(); err != nil {
-				panic(fmt.Sprintf("simnet: t=%.2f: %v", now, err))
-			}
-		}
-		diff := cluster.ComputeDiff(hier, newHier)
-		newTable := selector.UpdateTable(table, hier, idents, newHier, newIdents)
-
-		measuring := now > cfg.Warmup
-		var transfers []lm.Transfer
-		if measuring {
-			st.measuredTicks++
-			st.countLinkEvents(graph, newGraph)
-			transfers = accountant.Apply(table, newTable, &st.totals)
-			st.observe(newHier, newGraph, tick)
-			if cfg.TrackStates {
-				st.states.Observe(newHier)
-				st.states.ObserveDiff(diff)
-			}
-			if cfg.TrackClasses {
-				st.classes.Merge(lm.ClassifyReorg(hier, newHier, diff))
-			}
-			st.countClusterLinkEvents(hier, idents, newHier, newIdents, table, newTable)
-			if cfg.SampleHops > 0 && tick%cfg.SampleHops == 0 {
-				st.sampleHops(newHier, newGraph)
-			}
-		} else {
-			_ = transfers
-		}
-
-		if cfg.Observer != nil {
-			cfg.Observer(ObsEvent{
-				Time: now, Hierarchy: newHier, Diff: diff,
-				Transfers: transfers, Positions: pos,
-			})
-		}
-
-		graph, hier, idents, table = newGraph, newHier, newIdents, newTable
-	})
-	engine.RunUntil(horizon)
-
-	return st.results(cfg)
+	for i := range lp.alive {
+		lp.alive[i] = true
+	}
+	return lp, nil
 }

@@ -1,0 +1,157 @@
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/geom"
+	"repro/internal/lm"
+	"repro/internal/mobility"
+	"repro/internal/rng"
+	"repro/internal/spatial"
+	"repro/internal/topology"
+)
+
+// looper is the steady-state scan tick with all of its double-buffered
+// storage. The reuse contract is two-generational: at tick t, the t-1
+// snapshot is still live (it feeds identity matching, diffing, the
+// incremental table update and the event counters), so only storage
+// retired at the END of tick t-1 — i.e. the t-2 snapshot — is
+// recycled. Concretely:
+//
+//   - spareGraph / spareTable hold the graph and LM table of tick t-2;
+//     BuildUnitDiskInto and UpdateTableInto overwrite them in place.
+//   - retiredH / retiredIDs hold the t-2 hierarchy and identities;
+//     Arena.Recycle harvests them before the t build. The level-0
+//     graph inside retiredH is skipped — it is spareGraph, already
+//     owned by the graph double-buffer.
+//   - diff and the scratches (diffScratch, linkScratch, giantScr,
+//     updScratch, and the accountant's internals) are reused every
+//     tick; their outputs are dead once the tick's accounting and the
+//     Observer callback return (see the ObsEvent lifetime note).
+//
+// In a post-warmup tick with no churn this leaves only the elector's
+// per-level head maps and a few closures as per-tick allocations —
+// see BenchmarkTick* in bench_test.go and TestSteadyStateTickAllocs.
+type looper struct {
+	cfg        Config
+	clusterCfg cluster.Config
+	model      mobility.Model
+	grid       *spatial.Grid
+	pos        []geom.Vec
+	selector   *lm.Selector
+	tracker    *cluster.IdentityTracker
+	accountant *lm.Accountant
+	bfsHop     *topology.BFSHops
+	st         *stateRun
+
+	// Live snapshot (tick t-1).
+	graph  *topology.Graph
+	hier   *cluster.Hierarchy
+	idents *cluster.Identities
+	table  *lm.Table
+
+	// Retired storage (tick t-2), recycled into the next build.
+	spareGraph *topology.Graph
+	retiredH   *cluster.Hierarchy
+	retiredIDs *cluster.Identities
+	spareTable *lm.Table
+
+	arena       *cluster.Arena
+	diff        *cluster.Diff
+	diffScratch cluster.DiffScratch
+	linkScratch topology.DiffScratch
+	giantScr    topology.ComponentScratch
+	updScratch  lm.UpdateScratch
+
+	// Churn state (E18): alive flags and pending revivals.
+	alive      []bool
+	reviveAt   []float64
+	churnSrc   *rng.Source
+	aliveNodes []int
+	tick       int
+}
+
+// step advances the simulation by one scan tick.
+func (lp *looper) step(now float64) {
+	cfg := &lp.cfg
+	st := lp.st
+	lp.tick++
+	lp.model.AdvanceTo(now, lp.pos)
+	if cfg.ChurnRate > 0 {
+		pDeath := cfg.ChurnRate * cfg.ScanInterval
+		for i := range lp.alive {
+			if lp.alive[i] {
+				if lp.churnSrc.Float64() < pDeath {
+					lp.alive[i] = false
+					lp.reviveAt[i] = now + lp.churnSrc.Exp(1/cfg.MeanDowntime)
+					lp.grid.Remove(i)
+					if now > cfg.Warmup {
+						st.deaths++
+					}
+				}
+			} else if now >= lp.reviveAt[i] {
+				lp.alive[i] = true
+			}
+		}
+	}
+	lp.aliveNodes = lp.aliveNodes[:0]
+	for i, p := range lp.pos {
+		if lp.alive[i] {
+			lp.grid.Update(i, p)
+			lp.aliveNodes = append(lp.aliveNodes, i)
+		}
+	}
+	newGraph := topology.BuildUnitDiskInto(lp.spareGraph, cfg.N, lp.pos, cfg.RTX, lp.grid)
+	lp.spareGraph = nil
+	if lp.bfsHop != nil {
+		lp.bfsHop.Rebind(newGraph)
+	}
+	lp.arena.Recycle(lp.retiredH, lp.retiredIDs)
+	lp.retiredH, lp.retiredIDs = nil, nil
+	giant := lp.giantScr.Giant(newGraph, lp.aliveNodes)
+	newHier, newIdents := cluster.BuildWithIdentitiesArena(
+		lp.arena, newGraph, giant, lp.clusterCfg, lp.hier, lp.idents, lp.tracker, now)
+	if cfg.Paranoid {
+		if err := newHier.Validate(); err != nil {
+			panic(fmt.Sprintf("simnet: t=%.2f: %v", now, err))
+		}
+	}
+	lp.diff = cluster.ComputeDiffInto(lp.diff, lp.hier, newHier, &lp.diffScratch)
+	newTable := lp.selector.UpdateTableInto(
+		lp.spareTable, &lp.updScratch, lp.table, lp.hier, lp.idents, newHier, newIdents)
+	lp.spareTable = nil
+
+	measuring := now > cfg.Warmup
+	var transfers []lm.Transfer
+	if measuring {
+		st.measuredTicks++
+		st.countLinkEvents(&lp.linkScratch, lp.graph, newGraph)
+		transfers = lp.accountant.Apply(lp.table, newTable, &st.totals)
+		st.observe(newHier, newGraph, lp.tick)
+		if cfg.TrackStates {
+			st.states.Observe(newHier)
+			st.states.ObserveDiff(lp.diff)
+		}
+		if cfg.TrackClasses {
+			st.classes.Merge(lm.ClassifyReorg(lp.hier, newHier, lp.diff))
+		}
+		st.countClusterLinkEvents(lp.hier, lp.idents, newHier, newIdents, lp.table, newTable)
+		if cfg.SampleHops > 0 && lp.tick%cfg.SampleHops == 0 {
+			st.sampleHops(newHier, newGraph)
+		}
+	}
+
+	if cfg.Observer != nil {
+		cfg.Observer(ObsEvent{
+			Time: now, Hierarchy: newHier, Diff: lp.diff,
+			Transfers: transfers, Positions: lp.pos,
+		})
+	}
+
+	// Rotate: the t-1 snapshot retires, t becomes the live snapshot.
+	lp.spareGraph = lp.graph
+	lp.retiredH, lp.retiredIDs = lp.hier, lp.idents
+	lp.spareTable = lp.table
+	lp.graph, lp.hier, lp.idents, lp.table = newGraph, newHier, newIdents, newTable
+}

@@ -7,6 +7,7 @@ package spatial
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/geom"
 )
@@ -120,22 +121,56 @@ func (g *Grid) removeFromCell(id int, c int32) {
 // Contains reports whether id is currently indexed.
 func (g *Grid) Contains(id int) bool { return g.location[id] != -1 }
 
+// rings returns how many cell rings around a cell can hold points
+// within radius r of it. One ring (the 3×3 neighborhood) suffices only
+// while r <= cell side; larger radii need ceil(r/cell) rings.
+func (g *Grid) rings(r float64) int {
+	k := int(math.Ceil(r / g.cell))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// cellsApart reports whether two cells (dx, dy) apart are too far for
+// any of their points to lie within r of each other: the minimum
+// point-to-point distance between the cells exceeds r.
+func (g *Grid) cellsApart(dx, dy int, r float64) bool {
+	gx := float64(abs(dx) - 1)
+	gy := float64(abs(dy) - 1)
+	if gx < 0 {
+		gx = 0
+	}
+	if gy < 0 {
+		gy = 0
+	}
+	return (gx*gx+gy*gy)*g.cell*g.cell > r*r
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
 // Neighbors appends to dst the IDs of all indexed nodes other than id
 // whose position (per pos) is within radius r of p, and returns dst.
-// Correct only when r <= cell side.
+// Radii larger than the cell side widen the scan to enough rings.
 func (g *Grid) Neighbors(dst []int, id int, p geom.Vec, r float64, pos func(int) geom.Vec) []int {
 	r2 := r * r
+	k := g.rings(r)
 	c := g.cellIndex(p)
 	cx := int(c) % g.cols
 	cy := int(c) / g.cols
-	for dy := -1; dy <= 1; dy++ {
+	for dy := -k; dy <= k; dy++ {
 		y := cy + dy
 		if y < 0 || y >= g.rows {
 			continue
 		}
-		for dx := -1; dx <= 1; dx++ {
+		for dx := -k; dx <= k; dx++ {
 			x := cx + dx
-			if x < 0 || x >= g.cols {
+			if x < 0 || x >= g.cols || g.cellsApart(dx, dy, r) {
 				continue
 			}
 			for _, other := range g.cells[y*g.cols+x] {
@@ -154,12 +189,11 @@ func (g *Grid) Neighbors(dst []int, id int, p geom.Vec, r float64, pos func(int)
 
 // ForEachPair invokes fn once for every unordered pair (a, b), a < b,
 // of indexed nodes within radius r of each other. This is the bulk
-// link-scan primitive. Correct only when r <= cell side.
+// link-scan primitive. Radii larger than the cell side widen the scan
+// to enough rings (ceil(r/cell)).
 func (g *Grid) ForEachPair(r float64, pos func(int) geom.Vec, fn func(a, b int)) {
 	r2 := r * r
-	// For each cell, pair within the cell and with the 4 "forward"
-	// neighbor cells (E, SW, S, SE) so each cell pair is visited once.
-	offsets := [...][2]int{{1, 0}, {-1, 1}, {0, 1}, {1, 1}}
+	k := g.rings(r)
 	for cy := 0; cy < g.rows; cy++ {
 		for cx := 0; cx < g.cols; cx++ {
 			cell := g.cells[cy*g.cols+cx]
@@ -179,22 +213,31 @@ func (g *Grid) ForEachPair(r float64, pos func(int) geom.Vec, fn func(a, b int))
 					}
 				}
 			}
-			// Cross-cell pairs.
-			for _, off := range offsets {
-				x, y := cx+off[0], cy+off[1]
-				if x < 0 || x >= g.cols || y < 0 || y >= g.rows {
-					continue
+			// Cross-cell pairs: pair with the "forward" half-plane of the
+			// k-ring neighborhood (dy > 0, plus dy == 0 ∧ dx > 0) so each
+			// cell pair is visited exactly once. For k = 1 these are the
+			// classic E, SW, S, SE offsets.
+			for dy := 0; dy <= k; dy++ {
+				dxMin := -k
+				if dy == 0 {
+					dxMin = 1
 				}
-				other := g.cells[y*g.cols+x]
-				for _, a := range cell {
-					pa := pos(int(a))
-					for _, b := range other {
-						if pa.Dist2(pos(int(b))) <= r2 {
-							u, v := int(a), int(b)
-							if u > v {
-								u, v = v, u
+				for dx := dxMin; dx <= k; dx++ {
+					x, y := cx+dx, cy+dy
+					if x < 0 || x >= g.cols || y < 0 || y >= g.rows || g.cellsApart(dx, dy, r) {
+						continue
+					}
+					other := g.cells[y*g.cols+x]
+					for _, a := range cell {
+						pa := pos(int(a))
+						for _, b := range other {
+							if pa.Dist2(pos(int(b))) <= r2 {
+								u, v := int(a), int(b)
+								if u > v {
+									u, v = v, u
+								}
+								fn(u, v)
 							}
-							fn(u, v)
 						}
 					}
 				}

@@ -97,6 +97,55 @@ func TestForEachPairMatchesBrute(t *testing.T) {
 	}
 }
 
+// TestLargeRadiusMatchesBrute is the regression test for the silent
+// 3×3-only scan: with a query radius of 2.5× the cell side, both
+// Neighbors and ForEachPair used to drop every pair more than one cell
+// ring apart. The multi-ring scan must match the O(n²) oracle exactly.
+func TestLargeRadiusMatchesBrute(t *testing.T) {
+	const n = 250
+	const cell = 100.0
+	const r = 2.5 * cell
+	ps := randomLayout(n, 800, 3)
+	g := buildGrid(ps, cell) // cells sized for cell, queried at r > cell
+	pos := func(i int) geom.Vec { return ps[i] }
+
+	for id := 0; id < n; id++ {
+		got := g.Neighbors(nil, id, ps[id], r, pos)
+		want := bruteNeighbors(ps, id, r)
+		sort.Ints(got)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			t.Fatalf("node %d: got %d neighbors, want %d (r=%.0f, cell=%.0f)",
+				id, len(got), len(want), r, cell)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("node %d: neighbors %v != %v", id, got, want)
+			}
+		}
+	}
+
+	type pair struct{ a, b int }
+	got := map[pair]int{}
+	g.ForEachPair(r, pos, func(a, b int) {
+		got[pair{a, b}]++
+	})
+	want := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if ps[i].Dist(ps[j]) <= r {
+				want++
+				if got[pair{i, j}] != 1 {
+					t.Fatalf("pair (%d,%d) visited %d times, want 1", i, j, got[pair{i, j}])
+				}
+			}
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("pair count %d, want %d", len(got), want)
+	}
+}
+
 func TestUpdateRelocates(t *testing.T) {
 	ps := []geom.Vec{{X: 0, Y: 0}, {X: 500, Y: 500}}
 	g := buildGrid(ps, 100)

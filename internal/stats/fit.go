@@ -1,10 +1,17 @@
 package stats
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 )
+
+// ErrDegenerate reports a fit attempted on data with no usable spread:
+// every transformed abscissa coincides (e.g. a sweep over a single
+// distinct N), so the slope is unidentifiable and R² is meaningless.
+// Callers check it with errors.Is.
+var ErrDegenerate = errors.New("degenerate fit: all N values coincide")
 
 // Scaling-law fitting. The paper's headline claims are asymptotic
 // (φ, γ = Θ(log²|V|)); the harness tests them by fitting measured
@@ -81,9 +88,11 @@ func leastSquares(x, y []float64) (a, b, r2 float64) {
 		sxx += x[i] * x[i]
 		sxy += x[i] * y[i]
 	}
+	// Relative guard: den is the x-variance scaled by n²; roundoff in
+	// sxx leaves it a tiny nonzero value when all x coincide, which an
+	// exact-zero test misses and which would produce a garbage slope.
 	den := n*sxx - sx*sx
-	//lint:ignore floateq exact-zero guard before division (degenerate fit)
-	if den == 0 {
+	if den <= 1e-12*n*sxx {
 		return sy / n, 0, 0
 	}
 	b = (n*sxy - sx*sy) / den
@@ -140,6 +149,19 @@ func FitModel(m Model, ns, ys []float64) (Fit, error) {
 		default:
 			return Fit{}, fmt.Errorf("stats: unknown model %q", m)
 		}
+	}
+	minX, maxX := x[0], x[0]
+	for _, v := range x[1:] {
+		if v < minX {
+			minX = v
+		}
+		if v > maxX {
+			maxX = v
+		}
+	}
+	scale := math.Max(math.Abs(minX), math.Abs(maxX))
+	if maxX-minX <= 1e-9*scale {
+		return Fit{}, fmt.Errorf("stats: %w (model %s)", ErrDegenerate, m)
 	}
 	a, b, r2 := leastSquares(x, y)
 	f := Fit{Model: m, A: a, B: b, R2: r2}

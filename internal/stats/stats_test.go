@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -272,6 +273,31 @@ func TestFitModelErrors(t *testing.T) {
 	}
 	if _, err := FitModel(Model("bogus"), []float64{1, 2, 3}, []float64{1, 2, 3}); err == nil {
 		t.Fatal("unknown model accepted")
+	}
+}
+
+// TestFitDegenerateSingleN is the regression test for fits over a
+// sweep with one distinct N: these used to return NaN R² or garbage
+// slopes from a near-zero OLS denominator; now every model reports
+// ErrDegenerate and FitAll returns no fits.
+func TestFitDegenerateSingleN(t *testing.T) {
+	ns := []float64{128, 128, 128, 128}
+	ys := []float64{1.0, 1.1, 0.9, 1.05}
+	for _, m := range []Model{ModelLog2, ModelLog, ModelSqrt, ModelLinear, ModelPower} {
+		_, err := FitModel(m, ns, ys)
+		if !errors.Is(err, ErrDegenerate) {
+			t.Fatalf("model %s: err = %v, want ErrDegenerate", m, err)
+		}
+	}
+	if fits := FitAll(ns, ys); len(fits) != 0 {
+		t.Fatalf("FitAll returned %d fits on degenerate data", len(fits))
+	}
+	if _, err := PowerExponent(ns, ys); !errors.Is(err, ErrDegenerate) {
+		t.Fatalf("PowerExponent err = %v, want ErrDegenerate", err)
+	}
+	// Distinct N values must still fit fine.
+	if _, err := FitModel(ModelLog, []float64{64, 128, 256}, []float64{1, 2, 3}); err != nil {
+		t.Fatalf("non-degenerate fit failed: %v", err)
 	}
 }
 

@@ -138,6 +138,66 @@ func GiantComponent(g *Graph, vertices []int) []int {
 	return best
 }
 
+// ComponentScratch holds reusable buffers for repeated giant-component
+// queries over graphs sharing one ID space. The slice returned by
+// Giant aliases the scratch and is valid only until the next call.
+type ComponentScratch struct {
+	seen   []bool
+	inSet  []bool
+	sorted []int
+	queue  []int
+	comp   []int
+	best   []int
+}
+
+// Giant returns the largest connected component over the given vertex
+// set, matching GiantComponent's semantics (ties break toward the
+// smaller leading vertex; result sorted ascending). The returned slice
+// is owned by the scratch.
+func (s *ComponentScratch) Giant(g *Graph, vertices []int) []int {
+	n := g.IDSpace()
+	if cap(s.seen) < n {
+		s.seen = make([]bool, n)
+		s.inSet = make([]bool, n)
+	}
+	s.seen = s.seen[:n]
+	s.inSet = s.inSet[:n]
+	for i := range s.seen {
+		s.seen[i] = false
+		s.inSet[i] = false
+	}
+	for _, v := range vertices {
+		s.inSet[v] = true
+	}
+	s.sorted = append(s.sorted[:0], vertices...)
+	sortInts(s.sorted)
+	s.best = s.best[:0]
+	for _, start := range s.sorted {
+		if s.seen[start] {
+			continue
+		}
+		s.seen[start] = true
+		s.queue = append(s.queue[:0], start)
+		s.comp = append(s.comp[:0], start)
+		for head := 0; head < len(s.queue); head++ {
+			v := s.queue[head]
+			for _, w := range g.Neighbors(v) {
+				if !s.inSet[w] || s.seen[w] {
+					continue
+				}
+				s.seen[w] = true
+				s.queue = append(s.queue, w)
+				s.comp = append(s.comp, w)
+			}
+		}
+		if len(s.comp) > len(s.best) {
+			s.best, s.comp = s.comp, s.best
+		}
+	}
+	sortInts(s.best)
+	return s.best
+}
+
 // IsConnected reports whether the given vertex set is a single
 // connected component in g.
 func IsConnected(g *Graph, vertices []int) bool {

@@ -7,6 +7,7 @@ package topology
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/geom"
@@ -48,6 +49,19 @@ type Graph struct {
 // NewGraph returns an empty graph over id space [0, n).
 func NewGraph(n int) *Graph {
 	return &Graph{n: n, adj: make(map[int][]int), edges: make(map[EdgeKey]struct{})}
+}
+
+// Reset empties the graph for reuse over id space [0, n), retaining
+// all allocated storage (adjacency slices and hash buckets). Together
+// with BuildUnitDiskInto this lets the simulation loop double-buffer
+// graphs instead of reallocating one per scan.
+func (g *Graph) Reset(n int) {
+	g.n = n
+	clear(g.edges)
+	//lint:ignore maprange per-key truncation; no order-sensitive state escapes
+	for k, s := range g.adj {
+		g.adj[k] = s[:0]
+	}
 }
 
 // IDSpace returns the exclusive upper bound of node IDs.
@@ -121,6 +135,23 @@ func BuildUnitDisk(n int, pos []geom.Vec, rtx float64, idx *spatial.Grid) *Graph
 	return g
 }
 
+// BuildUnitDiskInto is BuildUnitDisk with caller-owned storage: when g
+// is non-nil it is Reset and refilled in place, so a loop that keeps
+// two graphs alive (previous and current scan) allocates nothing in
+// steady state. A nil g allocates a fresh graph.
+func BuildUnitDiskInto(g *Graph, n int, pos []geom.Vec, rtx float64, idx *spatial.Grid) *Graph {
+	if g == nil {
+		g = NewGraph(n)
+	} else {
+		g.Reset(n)
+	}
+	at := func(i int) geom.Vec { return pos[i] }
+	idx.ForEachPair(rtx, at, func(a, b int) {
+		g.AddEdge(a, b)
+	})
+	return g
+}
+
 // BuildUnitDiskBrute is the O(n²) reference construction, used by
 // tests and tiny static scenarios.
 func BuildUnitDiskBrute(pos []geom.Vec, rtx float64) *Graph {
@@ -143,30 +174,68 @@ type LinkEvent struct {
 	Up   bool // true: link created; false: link broken
 }
 
+// AppendEdges appends all edge keys in ascending order to dst and
+// returns the extended slice (pass dst[:0] to reuse its capacity).
+func (g *Graph) AppendEdges(dst []EdgeKey) []EdgeKey {
+	base := len(dst)
+	//lint:ignore maprange keys are collected and sorted below
+	for k := range g.edges {
+		dst = append(dst, k)
+	}
+	tail := dst[base:]
+	slices.Sort(tail)
+	return dst
+}
+
 // DiffEdges compares the edge sets of prev and next and returns the
 // link events, deterministically ordered (downs then ups, each by key).
 func DiffEdges(prev, next *Graph) []LinkEvent {
-	var downs, ups []EdgeKey
-	//lint:ignore maprange keys are collected and sorted below
-	for k := range prev.edges {
-		if _, ok := next.edges[k]; !ok {
-			downs = append(downs, k)
+	var s DiffScratch
+	out := s.Diff(prev, next)
+	// Detach from the scratch so the result owns its storage.
+	return append([]LinkEvent(nil), out...)
+}
+
+// DiffScratch holds reusable buffers for edge-set diffing. The slice
+// returned by Diff aliases the scratch and is valid only until the
+// next Diff call; callers that retain events must copy them.
+type DiffScratch struct {
+	prevKeys, nextKeys []EdgeKey
+	ups                []EdgeKey
+	out                []LinkEvent
+}
+
+// Diff compares the edge sets of prev and next and returns the link
+// events, deterministically ordered (downs then ups, each by key).
+// The returned slice is owned by the scratch.
+func (s *DiffScratch) Diff(prev, next *Graph) []LinkEvent {
+	s.prevKeys = prev.AppendEdges(s.prevKeys[:0])
+	s.nextKeys = next.AppendEdges(s.nextKeys[:0])
+	s.ups = s.ups[:0]
+	s.out = s.out[:0]
+	// Merge-walk the two sorted key lists: keys only in prev are downs
+	// (emitted immediately, already in order), keys only in next are
+	// ups (buffered so downs precede them).
+	i, j := 0, 0
+	for i < len(s.prevKeys) && j < len(s.nextKeys) {
+		switch {
+		case s.prevKeys[i] == s.nextKeys[j]:
+			i++
+			j++
+		case s.prevKeys[i] < s.nextKeys[j]:
+			s.out = append(s.out, LinkEvent{Edge: s.prevKeys[i], Up: false})
+			i++
+		default:
+			s.ups = append(s.ups, s.nextKeys[j])
+			j++
 		}
 	}
-	//lint:ignore maprange keys are collected and sorted below
-	for k := range next.edges {
-		if _, ok := prev.edges[k]; !ok {
-			ups = append(ups, k)
-		}
+	for ; i < len(s.prevKeys); i++ {
+		s.out = append(s.out, LinkEvent{Edge: s.prevKeys[i], Up: false})
 	}
-	sort.Slice(downs, func(i, j int) bool { return downs[i] < downs[j] })
-	sort.Slice(ups, func(i, j int) bool { return ups[i] < ups[j] })
-	out := make([]LinkEvent, 0, len(downs)+len(ups))
-	for _, k := range downs {
-		out = append(out, LinkEvent{Edge: k, Up: false})
+	s.ups = append(s.ups, s.nextKeys[j:]...)
+	for _, k := range s.ups {
+		s.out = append(s.out, LinkEvent{Edge: k, Up: true})
 	}
-	for _, k := range ups {
-		out = append(out, LinkEvent{Edge: k, Up: true})
-	}
-	return out
+	return s.out
 }

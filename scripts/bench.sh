@@ -1,0 +1,42 @@
+#!/bin/sh
+# Runs the steady-state tick benchmarks and records them as JSON, so
+# allocation/latency changes are reviewable in the diff.
+#
+#   make bench-json          # writes BENCH_<date>.json in the repo root
+#   BENCH_COUNT=5 sh scripts/bench.sh   # more samples per benchmark
+#
+# Only the Tick* sub-benchmarks are recorded: they isolate the scan
+# tick's four stages (graph rebuild, diff, hierarchy, LM update) in
+# fresh vs reuse variants, which is the comparison worth tracking.
+set -eu
+
+cd "$(dirname "$0")/.."
+count="${BENCH_COUNT:-3}"
+out="BENCH_$(date +%F).json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkTick(GraphRebuild|Diff|Hierarchy|LMUpdate)' \
+	-benchmem -benchtime=20x -count="$count" . >"$raw"
+
+awk -v date="$(date +%F)" '
+BEGIN { print "{"; printf "  \"date\": \"%s\",\n", date; cpu = "unknown"; n = 0 }
+/^goos:/ { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+	name = $1; sub(/-[0-9]+$/, "", name)
+	if (n++) printf ",\n"
+	else printf "  \"benchmarks\": [\n"
+	printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_op\": %s, \"bytes_op\": %s, \"allocs_op\": %s}", \
+		name, $2, $3, $5, $7
+}
+END {
+	printf "\n  ],\n"
+	printf "  \"goos\": \"%s\",\n", goos
+	printf "  \"goarch\": \"%s\",\n", goarch
+	printf "  \"cpu\": \"%s\"\n", cpu
+	print "}"
+}' "$raw" >"$out"
+
+echo "wrote $out"
