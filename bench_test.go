@@ -8,12 +8,14 @@ package manet
 
 import (
 	"io"
+	"runtime"
 	"testing"
 
 	"repro/internal/cluster"
 	"repro/internal/geom"
 	"repro/internal/lm"
 	"repro/internal/mobility"
+	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/simnet"
 	"repro/internal/spatial"
@@ -188,6 +190,18 @@ func BenchmarkTickGraphRebuild(b *testing.B) {
 			spare = topology.BuildUnitDiskInto(spare, f.n, f.pos1, f.rtx, f.grid)
 		}
 	})
+	// One worker per available core; on a single-core host this takes
+	// the serial fallback, so /par == /reuse there.
+	b.Run("par", func(b *testing.B) {
+		p := par.NewPool(runtime.GOMAXPROCS(0))
+		defer p.Close()
+		var spare *topology.Graph
+		var sc topology.BuildScratch
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			spare = topology.BuildUnitDiskIntoPar(spare, f.n, f.pos1, f.rtx, f.grid, p, &sc)
+		}
+	})
 }
 
 func BenchmarkTickDiff(b *testing.B) {
@@ -247,6 +261,17 @@ func BenchmarkTickLMUpdate(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			dst = f.sel.UpdateTableInto(dst, &sc, f.t0, f.h0, f.ids0, f.h1, f.ids1)
+		}
+	})
+	b.Run("par", func(b *testing.B) {
+		p := par.NewPool(runtime.GOMAXPROCS(0))
+		defer p.Close()
+		var sc lm.UpdateScratch
+		var psc lm.UpdateParScratch
+		var dst *lm.Table
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = f.sel.UpdateTableIntoPar(dst, &sc, &psc, f.t0, f.h0, f.ids0, f.h1, f.ids1, p)
 		}
 	})
 }

@@ -7,6 +7,7 @@
 //	experiments -list
 //	experiments -run E15
 //	experiments -run all -quick
+//	experiments -run E15 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -14,6 +15,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	manet "repro"
@@ -24,9 +27,11 @@ func main() {
 	log.SetPrefix("experiments: ")
 
 	var (
-		run   = flag.String("run", "", "experiment ID (E1..E15, A1..A3) or 'all'")
-		list  = flag.Bool("list", false, "list experiments")
-		quick = flag.Bool("quick", false, "smoke-test scale instead of full scale")
+		run        = flag.String("run", "", "experiment ID (E1..E15, A1..A3) or 'all'")
+		list       = flag.Bool("list", false, "list experiments")
+		quick      = flag.Bool("quick", false, "smoke-test scale instead of full scale")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (post-run, after GC) to this file")
 	)
 	flag.Parse()
 
@@ -41,20 +46,55 @@ func main() {
 		return
 	}
 
+	// Profile teardown must run before exit, so the experiment body
+	// lives in its own function and errors exit from main.
+	if err := runExperiments(*run, *quick, *cpuprofile, *memprofile); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runExperiments(run string, quick bool, cpuprofile, memprofile string) error {
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if memprofile != "" {
+		defer func() {
+			f, err := os.Create(memprofile)
+			if err != nil {
+				log.Printf("memprofile: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so live objects dominate
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+		}()
+	}
+
 	sc := manet.FullScale()
-	if *quick {
+	if quick {
 		sc = manet.QuickScale()
 	}
 
 	clock := startWallClock()
 	var err error
-	if strings.EqualFold(*run, "all") {
+	if strings.EqualFold(run, "all") {
 		err = manet.RunAllExperiments(os.Stdout, sc)
 	} else {
-		err = manet.RunExperiment(os.Stdout, strings.ToUpper(*run), sc)
+		err = manet.RunExperiment(os.Stdout, strings.ToUpper(run), sc)
 	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Fprintf(os.Stderr, "done in %s\n", clock.elapsed())
+	return nil
 }

@@ -227,14 +227,15 @@ func elect(lvl *Level, head map[int]int, a *Arena) {
 // Arena a (nil-safe) supplies a recycled graph.
 func liftGraph(g *topology.Graph, lvl *Level, idSpace int, a *Arena) *topology.Graph {
 	up := a.getGraph(idSpace)
-	//lint:ignore maprange AddEdge builds a set; the result is order-free
-	for k := range g.EdgeSet() {
+	// AddEdge builds a set; the result is order-free, so the
+	// unspecified traversal order of incremental edges is fine.
+	g.ForEachEdge(func(k topology.EdgeKey) {
 		a, b := k.Nodes()
 		ca, cb := lvl.Member[a], lvl.Member[b]
 		if ca != cb {
 			up.AddEdge(ca, cb)
 		}
-	}
+	})
 	return up
 }
 

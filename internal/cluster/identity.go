@@ -1,5 +1,7 @@
 package cluster
 
+import "repro/internal/topology"
+
 // Cluster identity continuity.
 //
 // ALCA names a cluster after its current clusterhead, so a head change
@@ -106,19 +108,20 @@ func LogicalEdgesInto(dst map[LogicalEdge]struct{}, h *Hierarchy, ids *Identitie
 	if lvl == nil || k < 1 {
 		return out
 	}
-	//lint:ignore maprange set-to-set transform; the result is order-free
-	for e := range lvl.Graph.EdgeSet() {
+	// Set-to-set transform; the result is order-free, so the
+	// unspecified traversal order of incremental edges is fine.
+	lvl.Graph.ForEachEdge(func(e topology.EdgeKey) {
 		pa, pb := e.Nodes()
 		a, okA := ids.Logical(k, pa)
 		b, okB := ids.Logical(k, pb)
 		if !okA || !okB {
-			continue
+			return
 		}
 		if a > b {
 			a, b = b, a
 		}
 		out[LogicalEdge{A: a, B: b}] = struct{}{}
-	}
+	})
 	return out
 }
 

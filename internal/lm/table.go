@@ -293,27 +293,8 @@ func (s *Selector) UpdateTableInto(
 	sc.rowEnd = sc.rowEnd[:0]
 	for row, v := range owners {
 		dst.index[v] = row
-		start := len(dst.chainBack)
-		dst.chainBack = nextIDs.AppendChainOf(nextH, v, dst.chainBack)
-		chain := dst.chainBack[start:]
-		var prevChain []uint64
-		var prevSrv []int32
-		if prev != nil {
-			if r, ok := prev.index[v]; ok {
-				prevChain = prev.chains[r]
-				prevSrv = prev.servers[r]
-			}
-		}
-		for i, c := range chain {
-			k := i + 1
-			if i < len(prevChain) && prevChain[i] == c && !dirty.is(k, c) {
-				dst.srvBack = append(dst.srvBack, prevSrv[i])
-				continue
-			}
-			var srv int
-			srv, sc.keyBuf = s.serverForBuf(nextH, nextIDs, v, k, sc.keyBuf)
-			dst.srvBack = append(dst.srvBack, int32(srv))
-		}
+		dst.chainBack, dst.srvBack, sc.keyBuf = s.appendRow(
+			v, dirty, prev, nextH, nextIDs, dst.chainBack, dst.srvBack, sc.keyBuf)
 		sc.rowEnd = append(sc.rowEnd, len(dst.chainBack))
 	}
 	// Fix up the row views only after both backings stopped growing.
@@ -324,6 +305,42 @@ func (s *Selector) UpdateTableInto(
 		off = end
 	}
 	return dst
+}
+
+// appendRow computes owner v's table row — its logical ancestor chain
+// and per-level servers — appending the chain to chainBack and the
+// servers to srvBack, reusing prev's assignment wherever the logical
+// ancestor is unchanged and its subtree is clean. It returns the three
+// (possibly grown) buffers. The function only reads the snapshots, the
+// dirty set, and prev, so disjoint owner ranges may run concurrently
+// as long as each invocation owns its buffers.
+func (s *Selector) appendRow(
+	v int, dirty dirtySet, prev *Table,
+	nextH *cluster.Hierarchy, nextIDs *cluster.Identities,
+	chainBack []uint64, srvBack []int32, keyBuf []uint64,
+) ([]uint64, []int32, []uint64) {
+	start := len(chainBack)
+	chainBack = nextIDs.AppendChainOf(nextH, v, chainBack)
+	chain := chainBack[start:]
+	var prevChain []uint64
+	var prevSrv []int32
+	if prev != nil {
+		if r, ok := prev.index[v]; ok {
+			prevChain = prev.chains[r]
+			prevSrv = prev.servers[r]
+		}
+	}
+	for i, c := range chain {
+		k := i + 1
+		if i < len(prevChain) && prevChain[i] == c && !dirty.is(k, c) {
+			srvBack = append(srvBack, prevSrv[i])
+			continue
+		}
+		var srv int
+		srv, keyBuf = s.serverForBuf(nextH, nextIDs, v, k, keyBuf)
+		srvBack = append(srvBack, int32(srv))
+	}
+	return chainBack, srvBack, keyBuf
 }
 
 // dirtySet tracks logical clusters whose subtree membership changed,

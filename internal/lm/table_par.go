@@ -1,0 +1,115 @@
+package lm
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/par"
+)
+
+// Parallel incremental table update. The owner rows are independent —
+// each row reads only the two snapshots, the (read-only) dirty set,
+// and prev — so they are sharded into contiguous owner ranges, each
+// shard appending into its own flat chain/server buffers with its own
+// hash-descent key buffer. The shard outputs are then concatenated in
+// shard order, reproducing exactly the packing the serial
+// UpdateTableInto produces: same owners, same index, same flat
+// backings, same row views.
+
+// UpdateParScratch holds the reusable per-shard buffers of
+// UpdateTableIntoPar. Not safe for concurrent use by two updates.
+type UpdateParScratch struct {
+	shards []updateShardBuf
+}
+
+type updateShardBuf struct {
+	chain  []uint64
+	srv    []int32
+	rowEnd []int // per-row end offset within this shard's buffers
+	keyBuf []uint64
+}
+
+// UpdateTableIntoPar is UpdateTableInto fanned out over pool p. A nil
+// or single-worker pool falls back to the serial update. psc (nil =
+// allocate fresh) supplies the per-shard buffers; reusing one scratch
+// across ticks amortizes them. The result is byte-identical to the
+// serial path.
+func (s *Selector) UpdateTableIntoPar(
+	dst *Table, sc *UpdateScratch, psc *UpdateParScratch,
+	prev *Table,
+	prevH *cluster.Hierarchy, prevIDs *cluster.Identities,
+	nextH *cluster.Hierarchy, nextIDs *cluster.Identities,
+	p *par.Pool,
+) *Table {
+	if p.Workers() == 1 {
+		return s.UpdateTableInto(dst, sc, prev, prevH, prevIDs, nextH, nextIDs)
+	}
+	if dst == nil {
+		dst = &Table{}
+	}
+	if dst == prev {
+		panic("lm: UpdateTableIntoPar dst must not alias prev")
+	}
+	if sc == nil {
+		sc = &UpdateScratch{}
+	}
+	if psc == nil {
+		psc = &UpdateParScratch{}
+	}
+	// The dirty-subtree analysis is cheap (per-cluster, not per-row) and
+	// feeds every shard read-only, so it stays serial.
+	dirty := sc.dirtySubtrees(prevH, prevIDs, nextH, nextIDs)
+	owners := nextH.LevelNodes(0)
+	dst.owners = owners
+	if dst.index == nil {
+		dst.index = make(map[int]int, len(owners))
+	} else {
+		clear(dst.index)
+	}
+	for row, v := range owners {
+		dst.index[v] = row
+	}
+
+	shards := par.Shards(p.Workers(), len(owners))
+	for len(psc.shards) < shards {
+		psc.shards = append(psc.shards, updateShardBuf{})
+	}
+
+	// Fan out: each shard owns the contiguous owner range
+	// Shard(len(owners), shards, sh) and fills its own buffers.
+	p.RunShards(shards, func(_, sh int) {
+		lo, hi := par.Shard(len(owners), shards, sh)
+		b := &psc.shards[sh]
+		b.chain = b.chain[:0]
+		b.srv = b.srv[:0]
+		b.rowEnd = b.rowEnd[:0]
+		for _, v := range owners[lo:hi] {
+			b.chain, b.srv, b.keyBuf = s.appendRow(
+				v, dirty, prev, nextH, nextIDs, b.chain, b.srv, b.keyBuf)
+			b.rowEnd = append(b.rowEnd, len(b.chain))
+		}
+	})
+
+	// Ordered merge: concatenating shard buffers in shard order yields
+	// the serial packing.
+	dst.servers = dst.servers[:0]
+	dst.chains = dst.chains[:0]
+	dst.srvBack = dst.srvBack[:0]
+	dst.chainBack = dst.chainBack[:0]
+	sc.rowEnd = sc.rowEnd[:0]
+	for sh := 0; sh < shards; sh++ {
+		b := &psc.shards[sh]
+		base := len(dst.chainBack)
+		dst.chainBack = append(dst.chainBack, b.chain...)
+		dst.srvBack = append(dst.srvBack, b.srv...)
+		for _, end := range b.rowEnd {
+			sc.rowEnd = append(sc.rowEnd, base+end)
+		}
+	}
+	// Fix up the row views only after both backings stopped growing.
+	off := 0
+	for _, end := range sc.rowEnd {
+		dst.servers = append(dst.servers, dst.srvBack[off:end:end])
+		dst.chains = append(dst.chains, dst.chainBack[off:end:end])
+		off = end
+	}
+	return dst
+}

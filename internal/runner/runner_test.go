@@ -2,9 +2,11 @@ package runner
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
+	"repro/internal/par"
 	"repro/internal/simnet"
 )
 
@@ -198,5 +200,79 @@ func TestRenderHierarchy(t *testing.T) {
 	RenderHierarchy(&buf, h)
 	if !strings.Contains(buf.String(), "level 0") || !strings.Contains(buf.String(), "cluster") {
 		t.Fatalf("render output:\n%s", buf.String())
+	}
+}
+
+// TestSweepRecoversPanics: a panicking cell must land in its own
+// CellResult.Err (with the origin stack) instead of crashing the
+// sweep, and Aggregate must route it to errs.
+func TestSweepRecoversPanics(t *testing.T) {
+	spec := SweepSpec{
+		Ns: []int{12}, Seeds: 2, Parallelism: 2,
+		Base: simnet.Config{
+			Duration: 2, Warmup: -1,
+			Observer: func(simnet.ObsEvent) { panic("boom") },
+		},
+	}
+	cells := Sweep(spec)
+	if len(cells) != 2 {
+		t.Fatalf("cell count %d", len(cells))
+	}
+	for _, c := range cells {
+		if c.Err == nil || c.R != nil {
+			t.Fatalf("panicking cell not captured: %+v", c)
+		}
+		var pe *par.PanicError
+		if !errors.As(c.Err, &pe) {
+			t.Fatalf("Err is %T, want *par.PanicError", c.Err)
+		}
+		if !strings.Contains(pe.Error(), "boom") || len(pe.Stack) == 0 {
+			t.Fatalf("panic origin lost: %v", pe)
+		}
+	}
+	rows, errs := Aggregate(cells)
+	if len(rows) != 0 || len(errs) != 2 {
+		t.Fatalf("aggregate: %d rows, %d errs", len(rows), len(errs))
+	}
+}
+
+// TestSweepCoreBudget: spare cores flow into intra-tick parallelism
+// when the sweep is smaller than the budget, and an explicit
+// Base.IntraTickParallelism divides the cell-level worker count
+// instead of multiplying total concurrency.
+func TestSweepCoreBudget(t *testing.T) {
+	spec := SweepSpec{
+		Ns: []int{10}, Seeds: 1, Parallelism: 8,
+		Base: simnet.Config{Duration: 2, Warmup: -1},
+	}
+	cells := Sweep(spec)
+	if cells[0].Err != nil {
+		t.Fatal(cells[0].Err)
+	}
+	if got := cells[0].R.Config.IntraTickParallelism; got != 8 {
+		t.Fatalf("auto split: IntraTickParallelism = %d, want 8", got)
+	}
+
+	spec.Base.IntraTickParallelism = 2
+	spec.Seeds = 3
+	cells = Sweep(spec)
+	for _, c := range cells {
+		if c.Err != nil {
+			t.Fatal(c.Err)
+		}
+		if got := c.R.Config.IntraTickParallelism; got != 2 {
+			t.Fatalf("explicit split: IntraTickParallelism = %d, want 2", got)
+		}
+	}
+
+	// A sweep with more cells than cores must stay fully serial per cell.
+	spec.Base.IntraTickParallelism = 0
+	spec.Seeds = 3
+	spec.Parallelism = 2
+	cells = Sweep(spec)
+	for _, c := range cells {
+		if got := c.R.Config.IntraTickParallelism; got != 0 {
+			t.Fatalf("oversubscribed sweep: IntraTickParallelism = %d, want 0", got)
+		}
 	}
 }

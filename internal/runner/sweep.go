@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/par"
 	"repro/internal/simnet"
 	"repro/internal/stats"
 )
@@ -37,11 +38,21 @@ type CellResult struct {
 
 // Sweep runs every (N, seed) cell on a worker pool and returns results
 // in deterministic (N-major, seed-minor) order regardless of
-// completion order.
+// completion order. A panic inside one cell is captured into that
+// cell's Err (as a *par.PanicError with the worker's stack) instead of
+// tearing down the whole sweep.
+//
+// Core budget: Parallelism (default GOMAXPROCS) bounds the total
+// concurrency. When Base.IntraTickParallelism is set, the cell-level
+// worker count shrinks to Parallelism / IntraTickParallelism so the
+// product stays within budget. When it is unset and the sweep has
+// fewer cells than the budget, the spare cores are handed to every
+// cell as intra-tick workers — a sweep of a few large cells then uses
+// the machine instead of idling most of it.
 func Sweep(spec SweepSpec) []CellResult {
-	par := spec.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
+	cores := spec.Parallelism
+	if cores <= 0 {
+		cores = runtime.GOMAXPROCS(0)
 	}
 	type job struct {
 		idx  int
@@ -58,10 +69,23 @@ func Sweep(spec SweepSpec) []CellResult {
 			jobs = append(jobs, job{idx: idx, n: n, seed: spec.SeedBase + uint64(idx)*1000003})
 		}
 	}
+	intra := spec.Base.IntraTickParallelism
+	cellPar := cores
+	if intra > 1 {
+		cellPar = cores / intra
+		if cellPar < 1 {
+			cellPar = 1
+		}
+	} else if intra == 0 && len(jobs) > 0 && len(jobs) < cores {
+		cellPar = len(jobs)
+		if spare := cores / cellPar; spare > 1 {
+			intra = spare
+		}
+	}
 	out := make([]CellResult, len(jobs))
 	ch := make(chan job)
 	var wg sync.WaitGroup
-	for w := 0; w < par; w++ {
+	for w := 0; w < cellPar; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -69,7 +93,12 @@ func Sweep(spec SweepSpec) []CellResult {
 				cfg := spec.Base
 				cfg.N = j.n
 				cfg.Seed = j.seed
-				r, err := simnet.Run(cfg)
+				cfg.IntraTickParallelism = intra
+				var r *simnet.Results
+				var err error
+				if perr := par.Recover(func() { r, err = simnet.Run(cfg) }); perr != nil {
+					r, err = nil, perr
+				}
 				out[j.idx] = CellResult{N: j.n, Seed: j.seed, R: r, Err: err}
 			}
 		}()

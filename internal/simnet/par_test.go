@@ -1,0 +1,101 @@
+package simnet_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// marshalRun executes one simulation and serializes everything except
+// Config (funcs/interfaces), plus the per-tick trace stream.
+func marshalRun(t *testing.T, cfg simnet.Config) (resultsJSON, traceOut []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	tr := trace.New(&buf)
+	cfg.Observer = tr.Observer()
+	r, err := simnet.Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("trace close: %v", err)
+	}
+	data, err := json.Marshal(struct {
+		*simnet.Results
+		Config struct{}
+	}{Results: r})
+	if err != nil {
+		t.Fatalf("marshal results: %v", err)
+	}
+	return data, buf.Bytes()
+}
+
+// TestParallelMatchesSerial is the end-to-end determinism contract of
+// Config.IntraTickParallelism: for every scenario and worker count —
+// including worker counts exceeding N — the full serialized Results
+// and the per-tick trace must be byte-identical to the serial run.
+func TestParallelMatchesSerial(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  simnet.Config
+	}{
+		{"base", simnet.Config{
+			N: 48, Seed: 7, Duration: 15, Warmup: 4,
+		}},
+		{"churn", simnet.Config{
+			N: 48, Seed: 11, Duration: 15, Warmup: 4,
+			ChurnRate: 0.02, MeanDowntime: 8,
+		}},
+		{"tracking", simnet.Config{
+			N: 47, Seed: 3, Duration: 15, Warmup: 4,
+			TrackStates: true, TrackClasses: true,
+		}},
+		{"bfs-hops", simnet.Config{
+			N: 48, Seed: 5, Duration: 12, Warmup: 3,
+			HopModel: simnet.HopBFS, SampleHops: 2, HopPairs: 16,
+		}},
+		{"tiny", simnet.Config{
+			N: 5, Seed: 2, Duration: 12, Warmup: 3,
+			SampleHops: 3, HopPairs: 8,
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			serialRes, serialTrace := marshalRun(t, tc.cfg)
+			if len(serialTrace) == 0 {
+				t.Fatal("trace output is empty; comparison is vacuous")
+			}
+			for _, workers := range []int{2, 3, 8} {
+				cfg := tc.cfg
+				cfg.IntraTickParallelism = workers
+				parRes, parTrace := marshalRun(t, cfg)
+				if !bytes.Equal(serialRes, parRes) {
+					t.Errorf("workers=%d: results differ from serial:\nserial: %s\npar:    %s",
+						workers, serialRes, parRes)
+				}
+				if !bytes.Equal(serialTrace, parTrace) {
+					t.Errorf("workers=%d: trace differs from serial", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelConfigValidation: the knob rejects negative values and
+// accepts 0/1 as serial.
+func TestParallelConfigValidation(t *testing.T) {
+	cfg := simnet.Config{N: 8, Duration: 2, Warmup: -1, IntraTickParallelism: -1}
+	if _, err := simnet.Run(cfg); err == nil {
+		t.Fatal("negative IntraTickParallelism accepted")
+	}
+	for _, w := range []int{0, 1} {
+		cfg := simnet.Config{N: 8, Duration: 2, Warmup: -1, IntraTickParallelism: w}
+		if _, err := simnet.Run(cfg); err != nil {
+			t.Fatalf("IntraTickParallelism=%d rejected: %v", w, err)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/geom"
 	"repro/internal/lm"
+	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -43,6 +44,31 @@ type stateRun struct {
 	prevLogE, nextLogE   map[cluster.LogicalEdge]struct{}
 	prevLiveK, nextLiveK map[uint64]bool
 	inCluster            map[int]bool
+
+	// Parallel hop sampling (see hops_par.go): the run's worker pool,
+	// per-worker BFS scratches and membership sets, and the speculative
+	// candidate batch. All nil/empty for serial runs.
+	hopPool  *par.Pool
+	hopScrW  []*topology.BFSScratch
+	hopInW   []map[int]bool
+	hopCands []hopCand
+	hopSnaps []rng.Source
+}
+
+// bindPool attaches the run's worker pool to the measurement state and
+// sizes the per-worker BFS scratches. A nil pool keeps hop sampling on
+// the serial path.
+func (st *stateRun) bindPool(p *par.Pool) {
+	st.hopPool = p
+	if p == nil {
+		return
+	}
+	st.hopScrW = make([]*topology.BFSScratch, p.Workers())
+	st.hopInW = make([]map[int]bool, p.Workers())
+	for w := range st.hopScrW {
+		st.hopScrW[w] = topology.NewBFSScratch(st.cfg.N)
+		st.hopInW[w] = map[int]bool{}
+	}
 }
 
 func newStateRun(cfg Config, region geom.Disc) *stateRun {
@@ -121,6 +147,10 @@ func (st *stateRun) countClusterLinkEvents(
 // sampleHops measures mean intra-cluster hop counts at each level by
 // BFS restricted to the cluster's level-0 descendants.
 func (st *stateRun) sampleHops(h *cluster.Hierarchy, g *topology.Graph) {
+	if st.hopPool != nil {
+		st.sampleHopsPar(h, g)
+		return
+	}
 	for k := 1; k <= h.L(); k++ {
 		clusters := h.LevelNodes(k)
 		pairs := 0

@@ -14,6 +14,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/lm"
 	"repro/internal/mobility"
+	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/spatial"
@@ -100,6 +101,13 @@ type Config struct {
 	HopPairs int
 	// Paranoid validates every hierarchy snapshot (tests).
 	Paranoid bool
+
+	// IntraTickParallelism sets the worker count for parallelizing the
+	// heavy phases inside one scan tick (graph rebuild, LM table
+	// update, hop sampling). 0 or 1 means serial (the default);
+	// negative is rejected. Results are byte-identical to a serial run
+	// for every worker count — see internal/par's determinism contract.
+	IntraTickParallelism int
 
 	// Observer, when non-nil, is invoked after every scan tick with
 	// the live state. Used by examples and the trace tool.
@@ -189,6 +197,9 @@ func (c Config) validate() error {
 	if c.ChurnRate > 0 && c.MeanDowntime <= 0 {
 		return fmt.Errorf("simnet: MeanDowntime must be positive with churn (got %v)", c.MeanDowntime)
 	}
+	if c.IntraTickParallelism < 0 {
+		return fmt.Errorf("simnet: IntraTickParallelism must be >= 0 (got %d)", c.IntraTickParallelism)
+	}
 	return nil
 }
 
@@ -210,6 +221,7 @@ func Run(cfg Config) (*Results, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer lp.close()
 
 	engine := sim.NewEngine()
 	horizon := cfg.Warmup + cfg.Duration
@@ -297,10 +309,20 @@ func setupRun(cfg Config) (*looper, error) {
 	}
 	accountant := lm.NewAccountant(hop)
 
+	// One worker pool serves every parallel phase of the run; it is
+	// released by looper.close. 0 or 1 workers keep every phase on the
+	// serial code path.
+	var pool *par.Pool
+	if cfg.IntraTickParallelism > 1 {
+		pool = par.NewPool(cfg.IntraTickParallelism)
+	}
+
 	st := newStateRun(cfg, region)
+	st.bindPool(pool)
 	st.observe(hier, graph, 0)
 
 	lp := &looper{
+		pool:       pool,
 		cfg:        cfg,
 		clusterCfg: clusterCfg,
 		model:      model,

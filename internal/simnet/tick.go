@@ -7,6 +7,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/lm"
 	"repro/internal/mobility"
+	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/spatial"
 	"repro/internal/topology"
@@ -64,6 +65,14 @@ type looper struct {
 	giantScr    topology.ComponentScratch
 	updScratch  lm.UpdateScratch
 
+	// Intra-tick parallelism (Config.IntraTickParallelism > 1): the
+	// worker pool shared by every parallel phase, and the per-shard
+	// scratches of the parallel graph build and table update. nil pool
+	// means every phase runs its serial path.
+	pool         *par.Pool
+	buildScratch topology.BuildScratch
+	updParScr    lm.UpdateParScratch
+
 	// Churn state (E18): alive flags and pending revivals.
 	alive      []bool
 	reviveAt   []float64
@@ -102,7 +111,8 @@ func (lp *looper) step(now float64) {
 			lp.aliveNodes = append(lp.aliveNodes, i)
 		}
 	}
-	newGraph := topology.BuildUnitDiskInto(lp.spareGraph, cfg.N, lp.pos, cfg.RTX, lp.grid)
+	newGraph := topology.BuildUnitDiskIntoPar(
+		lp.spareGraph, cfg.N, lp.pos, cfg.RTX, lp.grid, lp.pool, &lp.buildScratch)
 	lp.spareGraph = nil
 	if lp.bfsHop != nil {
 		lp.bfsHop.Rebind(newGraph)
@@ -118,8 +128,9 @@ func (lp *looper) step(now float64) {
 		}
 	}
 	lp.diff = cluster.ComputeDiffInto(lp.diff, lp.hier, newHier, &lp.diffScratch)
-	newTable := lp.selector.UpdateTableInto(
-		lp.spareTable, &lp.updScratch, lp.table, lp.hier, lp.idents, newHier, newIdents)
+	newTable := lp.selector.UpdateTableIntoPar(
+		lp.spareTable, &lp.updScratch, &lp.updParScr,
+		lp.table, lp.hier, lp.idents, newHier, newIdents, lp.pool)
 	lp.spareTable = nil
 
 	measuring := now > cfg.Warmup
@@ -155,3 +166,7 @@ func (lp *looper) step(now float64) {
 	lp.spareTable = lp.table
 	lp.graph, lp.hier, lp.idents, lp.table = newGraph, newHier, newIdents, newTable
 }
+
+// close releases the worker pool (a no-op for serial runs). The looper
+// must not step again afterwards.
+func (lp *looper) close() { lp.pool.Close() }

@@ -8,7 +8,6 @@ package topology
 import (
 	"fmt"
 	"slices"
-	"sort"
 
 	"repro/internal/geom"
 	"repro/internal/spatial"
@@ -40,27 +39,42 @@ func (k EdgeKey) String() string {
 // and an edge set. It is the representation for every level of the
 // clustered hierarchy (level 0 uses dense int IDs; higher levels use
 // the level-0 IDs of clusterheads, which remain < n).
+//
+// Edges live in one of two stores: `edges`, a hash set fed by AddEdge
+// (the incremental path used by cluster lifting and tests), and
+// `bulk`, a sorted key slice filled by the bulk unit-disk builders —
+// which skip the hash set entirely so the hot link scan does no map
+// work and the parallel builder can assemble the graph from per-shard
+// buffers. All read accessors consult both stores, so mixing AddEdge
+// into a bulk-built graph remains correct.
 type Graph struct {
 	n     int
-	adj   map[int][]int
+	adj   [][]int // node ID -> neighbor IDs, in insertion order
 	edges map[EdgeKey]struct{}
+	bulk  []EdgeKey // sorted; bulk-built edges
 }
 
 // NewGraph returns an empty graph over id space [0, n).
 func NewGraph(n int) *Graph {
-	return &Graph{n: n, adj: make(map[int][]int), edges: make(map[EdgeKey]struct{})}
+	return &Graph{n: n, adj: make([][]int, n)}
 }
 
 // Reset empties the graph for reuse over id space [0, n), retaining
-// all allocated storage (adjacency slices and hash buckets). Together
-// with BuildUnitDiskInto this lets the simulation loop double-buffer
-// graphs instead of reallocating one per scan.
+// all allocated storage (adjacency slices, edge list, hash buckets).
+// Together with BuildUnitDiskInto this lets the simulation loop
+// double-buffer graphs instead of reallocating one per scan.
 func (g *Graph) Reset(n int) {
 	g.n = n
-	clear(g.edges)
-	//lint:ignore maprange per-key truncation; no order-sensitive state escapes
-	for k, s := range g.adj {
-		g.adj[k] = s[:0]
+	if g.edges != nil {
+		clear(g.edges)
+	}
+	g.bulk = g.bulk[:0]
+	if cap(g.adj) < n {
+		g.adj = append(g.adj[:cap(g.adj)], make([][]int, n-cap(g.adj))...)
+	}
+	g.adj = g.adj[:n]
+	for i := range g.adj {
+		g.adj[i] = g.adj[i][:0]
 	}
 }
 
@@ -68,12 +82,21 @@ func (g *Graph) Reset(n int) {
 func (g *Graph) IDSpace() int { return g.n }
 
 // AddEdge inserts the undirected edge {a, b}; duplicate inserts and
-// self-loops are ignored.
+// self-loops are ignored. Both endpoints must lie in [0, IDSpace()).
 func (g *Graph) AddEdge(a, b int) {
 	if a == b {
 		return
 	}
+	if a < 0 || a >= g.n || b < 0 || b >= g.n {
+		panic(fmt.Sprintf("topology: edge (%d,%d) outside id space [0,%d)", a, b, g.n))
+	}
 	k := MakeEdgeKey(a, b)
+	if g.inBulk(k) {
+		return
+	}
+	if g.edges == nil {
+		g.edges = make(map[EdgeKey]struct{})
+	}
 	if _, ok := g.edges[k]; ok {
 		return
 	}
@@ -82,34 +105,57 @@ func (g *Graph) AddEdge(a, b int) {
 	g.adj[b] = append(g.adj[b], a)
 }
 
+// inBulk reports whether k is in the sorted bulk edge list.
+func (g *Graph) inBulk(k EdgeKey) bool {
+	if len(g.bulk) == 0 {
+		return false
+	}
+	_, ok := slices.BinarySearch(g.bulk, k)
+	return ok
+}
+
 // HasEdge reports whether {a, b} is present.
 func (g *Graph) HasEdge(a, b int) bool {
-	_, ok := g.edges[MakeEdgeKey(a, b)]
-	return ok
+	k := MakeEdgeKey(a, b)
+	if _, ok := g.edges[k]; ok {
+		return true
+	}
+	return g.inBulk(k)
 }
 
 // Neighbors returns the adjacency list of v (shared slice; do not
 // mutate).
-func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+func (g *Graph) Neighbors(v int) []int {
+	if v < 0 || v >= len(g.adj) {
+		return nil
+	}
+	return g.adj[v]
+}
 
 // Degree returns the degree of v.
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int) int { return len(g.Neighbors(v)) }
 
 // EdgeCount returns |E|.
-func (g *Graph) EdgeCount() int { return len(g.edges) }
+func (g *Graph) EdgeCount() int { return len(g.edges) + len(g.bulk) }
 
 // Edges returns all edge keys in ascending order (deterministic).
 func (g *Graph) Edges() []EdgeKey {
-	out := make([]EdgeKey, 0, len(g.edges))
-	for k := range g.edges {
-		out = append(out, k)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return g.AppendEdges(make([]EdgeKey, 0, g.EdgeCount()))
 }
 
-// EdgeSet exposes the underlying edge set for diffing (read-only).
-func (g *Graph) EdgeSet() map[EdgeKey]struct{} { return g.edges }
+// ForEachEdge invokes fn once per edge. Bulk-built edges are visited
+// in ascending key order; incrementally added edges follow in
+// unspecified order, so fn must be order-free unless the graph is
+// known to be bulk-built (use AppendEdges for a sorted view).
+func (g *Graph) ForEachEdge(fn func(EdgeKey)) {
+	for _, k := range g.bulk {
+		fn(k)
+	}
+	//lint:ignore maprange callers are documented order-free; sorted traversal goes through AppendEdges
+	for k := range g.edges {
+		fn(k)
+	}
+}
 
 // MeanDegree returns 2|E| / |V'| over the given vertex set.
 func (g *Graph) MeanDegree(vertices []int) float64 {
@@ -127,18 +173,18 @@ func (g *Graph) MeanDegree(vertices []int) float64 {
 // joins every pair within rtx of each other. idx must be built with
 // cell side >= rtx and already contain every node.
 func BuildUnitDisk(n int, pos []geom.Vec, rtx float64, idx *spatial.Grid) *Graph {
-	g := NewGraph(n)
-	at := func(i int) geom.Vec { return pos[i] }
-	idx.ForEachPair(rtx, at, func(a, b int) {
-		g.AddEdge(a, b)
-	})
-	return g
+	return BuildUnitDiskInto(nil, n, pos, rtx, idx)
 }
 
 // BuildUnitDiskInto is BuildUnitDisk with caller-owned storage: when g
 // is non-nil it is Reset and refilled in place, so a loop that keeps
 // two graphs alive (previous and current scan) allocates nothing in
 // steady state. A nil g allocates a fresh graph.
+//
+// The build takes the bulk path: the grid emits each in-range pair
+// exactly once, so edges bypass the dedup hash set — adjacency lists
+// grow in grid emission order (row-major over owner cells) and the
+// edge keys are collected and sorted once at the end.
 func BuildUnitDiskInto(g *Graph, n int, pos []geom.Vec, rtx float64, idx *spatial.Grid) *Graph {
 	if g == nil {
 		g = NewGraph(n)
@@ -147,8 +193,11 @@ func BuildUnitDiskInto(g *Graph, n int, pos []geom.Vec, rtx float64, idx *spatia
 	}
 	at := func(i int) geom.Vec { return pos[i] }
 	idx.ForEachPair(rtx, at, func(a, b int) {
-		g.AddEdge(a, b)
+		g.adj[a] = append(g.adj[a], b)
+		g.adj[b] = append(g.adj[b], a)
+		g.bulk = append(g.bulk, MakeEdgeKey(a, b))
 	})
+	slices.Sort(g.bulk)
 	return g
 }
 
@@ -178,12 +227,14 @@ type LinkEvent struct {
 // returns the extended slice (pass dst[:0] to reuse its capacity).
 func (g *Graph) AppendEdges(dst []EdgeKey) []EdgeKey {
 	base := len(dst)
-	//lint:ignore maprange keys are collected and sorted below
-	for k := range g.edges {
-		dst = append(dst, k)
+	dst = append(dst, g.bulk...)
+	if len(g.edges) > 0 {
+		//lint:ignore maprange keys are collected and sorted below
+		for k := range g.edges {
+			dst = append(dst, k)
+		}
+		slices.Sort(dst[base:])
 	}
-	tail := dst[base:]
-	slices.Sort(tail)
 	return dst
 }
 

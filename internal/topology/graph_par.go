@@ -1,0 +1,90 @@
+package topology
+
+import (
+	"slices"
+
+	"repro/internal/geom"
+	"repro/internal/par"
+	"repro/internal/spatial"
+)
+
+// Parallel unit-disk construction. The scan is sharded by grid row
+// ranges: each shard enumerates the pairs owned by its rows into its
+// own edge buffer (spatial.Grid.ForEachPairRows guarantees every pair
+// lands in exactly one shard, in scan order), the buffers are
+// concatenated in shard order — reproducing the serial emission order
+// exactly — and the adjacency lists are then filled from that sequence
+// by node-range workers writing disjoint rows. The resulting graph is
+// byte-identical to the serial BuildUnitDiskInto: same adjacency
+// order, same sorted edge list.
+
+// BuildScratch holds the reusable per-shard buffers of
+// BuildUnitDiskIntoPar. Not safe for concurrent use by two builds.
+type BuildScratch struct {
+	shards [][]EdgeKey
+}
+
+// BuildUnitDiskIntoPar is BuildUnitDiskInto fanned out over pool p.
+// A nil or single-worker pool falls back to the serial build. sc (nil
+// = allocate fresh) supplies the per-shard edge buffers; reusing one
+// scratch across ticks makes the steady-state build allocation-free.
+func BuildUnitDiskIntoPar(
+	g *Graph, n int, pos []geom.Vec, rtx float64, idx *spatial.Grid,
+	p *par.Pool, sc *BuildScratch,
+) *Graph {
+	if p.Workers() == 1 {
+		return BuildUnitDiskInto(g, n, pos, rtx, idx)
+	}
+	if g == nil {
+		g = NewGraph(n)
+	} else {
+		g.Reset(n)
+	}
+	if sc == nil {
+		sc = &BuildScratch{}
+	}
+	shards := par.Shards(p.Workers(), idx.Rows())
+	for len(sc.shards) < shards {
+		sc.shards = append(sc.shards, nil)
+	}
+	at := func(i int) geom.Vec { return pos[i] }
+
+	// Phase 1: enumerate pairs per row-range shard.
+	p.RunShards(shards, func(_, s int) {
+		lo, hi := par.Shard(idx.Rows(), shards, s)
+		buf := sc.shards[s][:0]
+		idx.ForEachPairRows(rtx, lo, hi, at, func(a, b int) {
+			buf = append(buf, MakeEdgeKey(a, b))
+		})
+		sc.shards[s] = buf
+	})
+
+	// Phase 2: ordered merge — concatenating in shard order yields the
+	// serial scan's emission order.
+	for s := 0; s < shards; s++ {
+		g.bulk = append(g.bulk, sc.shards[s]...)
+	}
+
+	// Phase 3: fill adjacency rows from the emission sequence. Worker
+	// w owns the contiguous node range Shard(n, W, w), so all writes
+	// are disjoint and each list grows in emission order — exactly the
+	// serial insertion order.
+	p.Run(func(w int) {
+		lo, hi := par.Shard(n, p.Workers(), w)
+		if lo == hi {
+			return
+		}
+		for _, k := range g.bulk {
+			a, b := k.Nodes()
+			if a >= lo && a < hi {
+				g.adj[a] = append(g.adj[a], b)
+			}
+			if b >= lo && b < hi {
+				g.adj[b] = append(g.adj[b], a)
+			}
+		}
+	})
+
+	slices.Sort(g.bulk)
+	return g
+}

@@ -92,7 +92,7 @@ func TestUnitDiskGridMatchesBrute(t *testing.T) {
 	if fast.EdgeCount() != slow.EdgeCount() {
 		t.Fatalf("edge counts differ: %d vs %d", fast.EdgeCount(), slow.EdgeCount())
 	}
-	for k := range slow.EdgeSet() {
+	for _, k := range slow.Edges() {
 		a, b := k.Nodes()
 		if !fast.HasEdge(a, b) {
 			t.Fatalf("missing edge %v", k)

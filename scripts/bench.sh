@@ -2,25 +2,33 @@
 # Runs the steady-state tick benchmarks and records them as JSON, so
 # allocation/latency changes are reviewable in the diff.
 #
-#   make bench-json          # writes BENCH_<date>.json in the repo root
+#   make bench-json          # appends an entry to BENCH_<date>.json
 #   BENCH_COUNT=5 sh scripts/bench.sh   # more samples per benchmark
 #
 # Only the Tick* sub-benchmarks are recorded: they isolate the scan
-# tick's four stages (graph rebuild, diff, hierarchy, LM update) in
-# fresh vs reuse variants, which is the comparison worth tracking.
+# tick's hot stages (graph rebuild, diff, hierarchy, LM update) in
+# fresh vs reuse vs par variants, which is the comparison worth
+# tracking. Each run APPENDS one dated entry to the day's file
+# ({"entries": [...]}), so repeated runs build a trajectory instead of
+# overwriting the previous record. Appending needs jq; without it a
+# fresh timestamped file is written instead, so no record is ever
+# clobbered.
 set -eu
 
 cd "$(dirname "$0")/.."
 count="${BENCH_COUNT:-3}"
-out="BENCH_$(date +%F).json"
+date="$(date +%F)"
+time="$(date +%T)"
+out="BENCH_${date}.json"
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+entry="$(mktemp)"
+trap 'rm -f "$raw" "$entry"' EXIT
 
 go test -run '^$' -bench 'BenchmarkTick(GraphRebuild|Diff|Hierarchy|LMUpdate)' \
 	-benchmem -benchtime=20x -count="$count" . >"$raw"
 
-awk -v date="$(date +%F)" '
-BEGIN { print "{"; printf "  \"date\": \"%s\",\n", date; cpu = "unknown"; n = 0 }
+awk -v date="$date" -v time="$time" '
+BEGIN { print "{"; printf "  \"date\": \"%s\",\n", date; printf "  \"time\": \"%s\",\n", time; cpu = "unknown"; n = 0 }
 /^goos:/ { goos = $2 }
 /^goarch:/ { goarch = $2 }
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
@@ -37,6 +45,25 @@ END {
 	printf "  \"goarch\": \"%s\",\n", goarch
 	printf "  \"cpu\": \"%s\"\n", cpu
 	print "}"
-}' "$raw" >"$out"
+}' "$raw" >"$entry"
+
+if [ -f "$out" ]; then
+	if command -v jq >/dev/null 2>&1; then
+		# Legacy single-run files (no "entries") are wrapped first.
+		jq --slurpfile new "$entry" \
+			'(if has("entries") then . else {entries: [.]} end) | .entries += $new' \
+			"$out" >"$out.tmp"
+		mv "$out.tmp" "$out"
+	else
+		out="BENCH_${date}_$(date +%H%M%S).json"
+		printf '{\n  "entries": [\n' >"$out"
+		cat "$entry" >>"$out"
+		printf '  ]\n}\n' >>"$out"
+	fi
+else
+	printf '{\n  "entries": [\n' >"$out"
+	cat "$entry" >>"$out"
+	printf '  ]\n}\n' >>"$out"
+fi
 
 echo "wrote $out"
