@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	manet "repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -32,6 +33,8 @@ func main() {
 		quick      = flag.Bool("quick", false, "smoke-test scale instead of full scale")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (post-run, after GC) to this file")
+		manifest   = flag.String("manifest", "", "write a run manifest (scale, per-phase timings, cell stats) to this JSON file")
+		progress   = flag.Bool("progress", false, "report per-cell sweep progress on stderr")
 	)
 	flag.Parse()
 
@@ -48,12 +51,12 @@ func main() {
 
 	// Profile teardown must run before exit, so the experiment body
 	// lives in its own function and errors exit from main.
-	if err := runExperiments(*run, *quick, *cpuprofile, *memprofile); err != nil {
+	if err := runExperiments(*run, *quick, *cpuprofile, *memprofile, *manifest, *progress); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func runExperiments(run string, quick bool, cpuprofile, memprofile string) error {
+func runExperiments(run string, quick bool, cpuprofile, memprofile, manifest string, progress bool) error {
 	if cpuprofile != "" {
 		f, err := os.Create(cpuprofile)
 		if err != nil {
@@ -83,6 +86,28 @@ func runExperiments(run string, quick bool, cpuprofile, memprofile string) error
 	sc := manet.FullScale()
 	if quick {
 		sc = manet.QuickScale()
+	}
+	if manifest != "" {
+		man := obs.NewManifest("experiments")
+		man.Config = map[string]any{
+			"run": run, "quick": quick,
+			"scale": sc, // Scale is plain data (sink fields are json:"-")
+		}
+		sc.Metrics = obs.NewRegistry()
+		// The manifest is written in a defer so a failed experiment still
+		// leaves its partial metrics (cells ok/failed, phase timings)
+		// behind for diagnosis.
+		defer func() {
+			man.Finish(sc.Metrics)
+			if werr := man.WriteFile(manifest); werr != nil {
+				log.Printf("%v", werr)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "manifest -> %s\n", manifest)
+		}()
+	}
+	if progress {
+		sc.Progress = os.Stderr
 	}
 
 	clock := startWallClock()

@@ -18,8 +18,33 @@ import (
 	manet "repro"
 	"repro/internal/cluster"
 	"repro/internal/lm"
+	"repro/internal/obs"
+	"repro/internal/simnet"
 	"repro/internal/trace"
 )
+
+// chainProgress wraps an Observer (possibly nil) so each decile of
+// simulated time is reported once on stderr. It keys off the event's
+// simulated clock, not wall time, so it needs no timers and cannot
+// perturb the run.
+func chainProgress(next func(simnet.ObsEvent), total float64) func(simnet.ObsEvent) {
+	lastDecile := -1
+	return func(ev simnet.ObsEvent) {
+		if total > 0 {
+			if d := int(ev.Time / total * 10); d > lastDecile {
+				lastDecile = d
+				pct := d * 10
+				if pct > 100 {
+					pct = 100
+				}
+				fmt.Fprintf(os.Stderr, "lmsim: t=%.0fs/%.0fs (%d%%)\n", ev.Time, total, pct)
+			}
+		}
+		if next != nil {
+			next(ev)
+		}
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -48,6 +73,8 @@ func main() {
 		classes  = flag.Bool("classes", false, "classify reorg triggers i-vii")
 		traceOut = flag.String("trace", "", "write per-tick JSONL trace to file")
 		jsonOut  = flag.Bool("json", false, "emit results as JSON")
+		manifest = flag.String("manifest", "", "write a run manifest (config, seed, per-phase timings) to this JSON file")
+		progress = flag.Bool("progress", false, "report simulated-time progress on stderr")
 	)
 	flag.Parse()
 
@@ -93,6 +120,22 @@ func main() {
 		cfg.Observer = tracer.Observer()
 	}
 
+	var man *obs.Manifest
+	if *manifest != "" {
+		man = obs.NewManifest("lmsim")
+		man.Seed = *seed
+		man.Config = map[string]any{
+			"n": *n, "duration_s": *duration, "warmup_s": *warmup,
+			"mu": *mu, "rtx": *rtx, "degree": *degree, "scan": *scan,
+			"mobility": *mob, "hops": *hopM, "elector": *elector,
+			"hash": *hash, "churn_per_hour": *churn,
+		}
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if *progress {
+		cfg.Observer = chainProgress(cfg.Observer, *warmup+*duration)
+	}
+
 	r, err := manet.Run(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -102,6 +145,13 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "trace: %d records -> %s\n", tracer.Records(), *traceOut)
+	}
+	if man != nil {
+		man.Finish(cfg.Metrics)
+		if err := man.WriteFile(*manifest); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "manifest -> %s\n", *manifest)
 	}
 
 	if *jsonOut {

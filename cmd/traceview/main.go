@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -33,7 +34,11 @@ func main() {
 	}
 	defer f.Close()
 	recs, err := trace.Read(f)
-	if err != nil {
+	if errors.Is(err, trace.ErrTruncated) {
+		// A killed run leaves a partial final line; the parsed prefix
+		// is still a valid trace worth summarizing.
+		fmt.Fprintf(os.Stderr, "traceview: warning: %v (summarizing the %d-record prefix)\n", err, len(recs))
+	} else if err != nil {
 		log.Fatal(err)
 	}
 	if len(recs) == 0 {

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	//lint:ignore forbiddenimport wall-clock run stamping of the harness itself, never simulated time
+	"time"
+)
+
+// Manifest is the machine-readable record of one harness invocation:
+// what ran, where, for how long, and the metrics it accumulated. CLIs
+// write it next to their results (-manifest out.json) so a slow, stuck
+// or surprising run can be explained from its artifact instead of
+// guessed at. The schema is documented in DESIGN.md §8.
+type Manifest struct {
+	Tool string   `json:"tool"`
+	Args []string `json:"args,omitempty"`
+
+	// Provenance: the source revision (git describe --always --dirty,
+	// "unknown" outside a git checkout) and the toolchain.
+	GitDescribe string `json:"git_describe"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	NumCPU      int    `json:"num_cpu"`
+
+	StartedAt   string  `json:"started_at"` // RFC3339, local time
+	WallSeconds float64 `json:"wall_seconds"`
+
+	// Seed and Config describe the run's inputs. Config must be a
+	// plain-data value (maps/slices/scalars) so it marshals cleanly.
+	Seed   uint64 `json:"seed,omitempty"`
+	Config any    `json:"config,omitempty"`
+
+	// Metrics is the registry snapshot at Finish time: counters,
+	// gauges, and per-phase timing totals.
+	Metrics Snapshot `json:"metrics"`
+
+	start time.Time
+}
+
+// NewManifest starts a manifest for the named tool, stamping the
+// start time, command-line arguments, toolchain, and git revision.
+func NewManifest(tool string) *Manifest {
+	now := time.Now()
+	return &Manifest{
+		Tool:        tool,
+		Args:        os.Args[1:],
+		GitDescribe: gitDescribe(),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		StartedAt:   now.Format(time.RFC3339),
+		start:       now,
+	}
+}
+
+// Finish stamps the wall-clock duration and snapshots the registry
+// (nil is fine: the metrics section is then empty). Call it once, just
+// before writing the manifest.
+func (m *Manifest) Finish(reg *Registry) {
+	m.WallSeconds = time.Since(m.start).Seconds()
+	m.Metrics = reg.Snapshot()
+}
+
+// WriteFile writes the manifest as indented JSON. The write goes
+// through a temp file and rename, so a crash mid-write never leaves a
+// half-written manifest at path.
+func (m *Manifest) WriteFile(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal manifest: %w", err)
+	}
+	data = append(data, '\n')
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("obs: write manifest: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("obs: write manifest: %w", err)
+	}
+	return nil
+}
+
+// gitDescribe identifies the working tree's revision, or "unknown"
+// when git (or a repository) is unavailable.
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty", "--tags").Output()
+	if err != nil {
+		return "unknown"
+	}
+	s := strings.TrimSpace(string(out))
+	if s == "" {
+		return "unknown"
+	}
+	return s
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilSafety drives the whole API through nil receivers: the
+// instrumented hot paths rely on every one of these being a no-op.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Errorf("nil counter value = %d", c.Value())
+	}
+	g := r.Gauge("g")
+	g.Set(3.5)
+	if g.Value() != 0 {
+		t.Errorf("nil gauge value = %v", g.Value())
+	}
+	tm := r.Timer("t")
+	sp := tm.Start()
+	sp.Stop()
+	if tm.Count() != 0 || tm.Seconds() != 0 || tm.MaxSeconds() != 0 {
+		t.Error("nil timer accumulated")
+	}
+	snap := r.Snapshot()
+	if snap.Counters != nil || snap.Gauges != nil || snap.Phases != nil {
+		t.Error("nil registry snapshot not empty")
+	}
+
+	var p *Progress
+	cell := p.CellStart(64, 1)
+	cell.Done(nil)
+	if s, f, fa := p.Counts(); s != 0 || f != 0 || fa != 0 {
+		t.Error("nil progress counted")
+	}
+	if np := NewProgress(nil, 3, nil); np != nil {
+		t.Error("NewProgress with no sinks should return nil")
+	}
+}
+
+func TestRegistryAccumulates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("sim.ticks")
+	for i := 0; i < 10; i++ {
+		c.Inc()
+	}
+	if c2 := r.Counter("sim.ticks"); c2 != c {
+		t.Error("Counter lookup not stable")
+	}
+	r.Gauge("sim.levels").Set(4)
+	tm := r.Timer(PhaseTick)
+	for i := 0; i < 3; i++ {
+		tm.Start().Stop()
+	}
+	snap := r.Snapshot()
+	if snap.Counters["sim.ticks"] != 10 {
+		t.Errorf("counter = %d, want 10", snap.Counters["sim.ticks"])
+	}
+	if snap.Gauges["sim.levels"] != 4 {
+		t.Errorf("gauge = %v, want 4", snap.Gauges["sim.levels"])
+	}
+	ps := snap.Phases[PhaseTick]
+	if ps.Count != 3 {
+		t.Errorf("phase count = %d, want 3", ps.Count)
+	}
+	if ps.Seconds < 0 || ps.MaxSeconds < 0 || ps.MaxSeconds > ps.Seconds {
+		t.Errorf("phase timing implausible: %+v", ps)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter("n").Inc()
+				r.Timer("t").Start().Stop()
+				r.Gauge("g").Set(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if snap.Counters["n"] != 1600 {
+		t.Errorf("counter = %d, want 1600", snap.Counters["n"])
+	}
+	if snap.Phases["t"].Count != 1600 {
+		t.Errorf("timer count = %d, want 1600", snap.Phases["t"].Count)
+	}
+}
+
+// TestSnapshotJSONDeterministic pins the manifest's metrics encoding:
+// repeated marshals of the same snapshot must be byte-identical
+// (encoding/json sorts map keys).
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"zeta", "alpha", "mid", "beta", "omega"} {
+		r.Counter(name).Inc()
+		r.Timer("phase." + name).Start().Stop()
+	}
+	a, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("snapshot encoding unstable:\n%s\n%s", a, b)
+	}
+	want := []string{"phase.alpha", "phase.beta", "phase.mid", "phase.omega", "phase.zeta"}
+	got := r.Snapshot().PhaseNames()
+	if len(got) != len(want) {
+		t.Fatalf("PhaseNames = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PhaseNames = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestManifestWriteFile(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sim.ticks").Add(42)
+	r.Timer(PhaseTick).Start().Stop()
+
+	m := NewManifest("testtool")
+	m.Seed = 7
+	m.Config = map[string]any{"n": 128}
+	m.Finish(r)
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("manifest does not round-trip: %v", err)
+	}
+	if back.Tool != "testtool" || back.Seed != 7 {
+		t.Errorf("round-trip lost fields: %+v", back)
+	}
+	if back.GitDescribe == "" || back.GoVersion == "" || back.GOMAXPROCS < 1 {
+		t.Errorf("environment fields missing: %+v", back)
+	}
+	if back.Metrics.Counters["sim.ticks"] != 42 {
+		t.Errorf("metrics not embedded: %+v", back.Metrics)
+	}
+	if back.WallSeconds < 0 {
+		t.Errorf("wall seconds = %v", back.WallSeconds)
+	}
+}
+
+func TestProgressReporting(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRegistry()
+	p := NewProgress(&buf, 3, r)
+	c1 := p.CellStart(64, 100)
+	c2 := p.CellStart(64, 101)
+	c1.Done(nil)
+	c2.Done(os.ErrInvalid)
+	if s, f, fa := p.Counts(); s != 2 || f != 2 || fa != 1 {
+		t.Errorf("counts = %d/%d/%d, want 2/2/1", s, f, fa)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "1/3 cells done") || !strings.Contains(out, "2/3 cells done") {
+		t.Errorf("progress lines missing counts:\n%s", out)
+	}
+	if !strings.Contains(out, "FAILED") || !strings.Contains(out, "seed=101") {
+		t.Errorf("failure line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "ETA") {
+		t.Errorf("no ETA reported:\n%s", out)
+	}
+	snap := r.Snapshot()
+	if snap.Counters[SweepCellsOK] != 1 || snap.Counters[SweepCellsFailed] != 1 {
+		t.Errorf("sweep counters = %v", snap.Counters)
+	}
+	if snap.Phases[SweepCell].Count != 2 {
+		t.Errorf("sweep.cell count = %d, want 2", snap.Phases[SweepCell].Count)
+	}
+}

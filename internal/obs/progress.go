@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	//lint:ignore forbiddenimport wall-clock sweep progress reporting of the harness itself, never simulated time
+	"time"
+)
+
+// Progress tracks a sweep's cells — started / finished / failed — and
+// reports each completion with its wall time and an ETA for the rest.
+// It optionally mirrors the same facts into a Registry (SweepCell,
+// SweepCellsOK, SweepCellsFailed) so they land in the run manifest.
+// Safe for concurrent use by the sweep's workers; a nil *Progress (and
+// the Cells it hands out) no-ops everywhere.
+type Progress struct {
+	mu       sync.Mutex
+	w        io.Writer
+	reg      *Registry
+	total    int
+	started  int
+	finished int
+	failed   int
+	begin    time.Time
+}
+
+// NewProgress tracks total cells, printing one line per completion to
+// w (nil w = track silently) and mirroring into reg (nil reg = don't).
+// Returns nil — a valid no-op tracker — when both sinks are nil.
+func NewProgress(w io.Writer, total int, reg *Registry) *Progress {
+	if w == nil && reg == nil {
+		return nil
+	}
+	return &Progress{w: w, reg: reg, total: total, begin: time.Now()}
+}
+
+// Cell is one in-flight sweep cell, produced by CellStart.
+type Cell struct {
+	p     *Progress
+	n     int
+	seed  uint64
+	start time.Time
+}
+
+// CellStart records that the (N, seed) cell began executing.
+func (p *Progress) CellStart(n int, seed uint64) Cell {
+	if p == nil {
+		return Cell{}
+	}
+	p.mu.Lock()
+	p.started++
+	p.mu.Unlock()
+	return Cell{p: p, n: n, seed: seed, start: time.Now()}
+}
+
+// Done records the cell's outcome, printing its wall time and the
+// sweep's progress and ETA.
+func (c Cell) Done(err error) {
+	p := c.p
+	if p == nil {
+		return
+	}
+	wall := time.Since(c.start)
+	p.reg.Timer(SweepCell).Observe(wall)
+	if err != nil {
+		p.reg.Counter(SweepCellsFailed).Inc()
+	} else {
+		p.reg.Counter(SweepCellsOK).Inc()
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.finished++
+	if err != nil {
+		p.failed++
+	}
+	if p.w == nil {
+		return
+	}
+	status := "ok"
+	if err != nil {
+		status = "FAILED"
+	}
+	line := fmt.Sprintf("sweep: %d/%d cells done", p.finished, p.total)
+	if p.failed > 0 {
+		line += fmt.Sprintf(" (%d failed)", p.failed)
+	}
+	line += fmt.Sprintf("  N=%d seed=%d %s in %s",
+		c.n, c.seed, status, wall.Round(time.Millisecond))
+	if eta := p.etaLocked(); eta > 0 {
+		line += fmt.Sprintf("  ETA %s", eta.Round(time.Second))
+	}
+	fmt.Fprintln(p.w, line)
+}
+
+// etaLocked estimates the remaining wall time from the mean pace so
+// far. Requires p.mu held; 0 means "no estimate" (nothing finished
+// yet, or nothing remains).
+func (p *Progress) etaLocked() time.Duration {
+	if p.finished == 0 || p.finished >= p.total {
+		return 0
+	}
+	elapsed := time.Since(p.begin)
+	perCell := elapsed / time.Duration(p.finished)
+	return perCell * time.Duration(p.total-p.finished)
+}
+
+// Counts returns (started, finished, failed).
+func (p *Progress) Counts() (started, finished, failed int) {
+	if p == nil {
+		return 0, 0, 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.started, p.finished, p.failed
+}

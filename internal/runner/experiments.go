@@ -10,6 +10,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/geom"
 	"repro/internal/gls"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/simnet"
 	"repro/internal/stats"
@@ -19,12 +20,21 @@ import (
 // Scale sizes an experiment run. Quick keeps everything test-sized;
 // Full reproduces the shapes with enough range to fit scaling laws.
 type Scale struct {
-	Ns       []int   // sweep node counts
-	Seeds    int     // seeds per cell
-	Duration float64 // measured sim seconds
-	Warmup   float64
-	BigN     int // node count for single-N experiments
-	Par      int // worker-pool width (0 = GOMAXPROCS)
+	Ns       []int   `json:"ns"`       // sweep node counts
+	Seeds    int     `json:"seeds"`    // seeds per cell
+	Duration float64 `json:"duration"` // measured sim seconds
+	Warmup   float64 `json:"warmup"`
+	BigN     int     `json:"big_n"` // node count for single-N experiments
+	Par      int     `json:"par"`   // worker-pool width (0 = GOMAXPROCS)
+
+	// Metrics, when non-nil, receives run observability from every
+	// simulation the experiment launches (phase timers, tick counters;
+	// see internal/obs) plus sweep-level cell metrics. Threaded into
+	// each config by baseConfig.
+	Metrics *obs.Registry `json:"-"`
+	// Progress, when non-nil, receives sweep progress lines (cells
+	// finished/failed, per-cell wall time, ETA), typically os.Stderr.
+	Progress io.Writer `json:"-"`
 }
 
 // QuickScale is used by tests and smoke runs.
@@ -125,7 +135,17 @@ func staticHierarchy(n int, seed uint64) (*cluster.Hierarchy, *topology.Graph) {
 }
 
 func baseConfig(sc Scale) simnet.Config {
-	return simnet.Config{Duration: sc.Duration, Warmup: sc.Warmup}
+	return simnet.Config{Duration: sc.Duration, Warmup: sc.Warmup, Metrics: sc.Metrics}
+}
+
+// sweepSpec builds the standard sweep for an experiment: the scale's
+// Ns × Seeds grid over base, with the scale's parallelism budget and
+// progress sink attached.
+func sweepSpec(sc Scale, base simnet.Config, seedBase uint64) SweepSpec {
+	return SweepSpec{
+		Ns: sc.Ns, Seeds: sc.Seeds, Base: base,
+		Parallelism: sc.Par, SeedBase: seedBase, Progress: sc.Progress,
+	}
 }
 
 func fprintFits(w io.Writer, label string, ns, ys []float64) {
@@ -251,7 +271,7 @@ func runE3(w io.Writer, sc Scale) error {
 // --- E4: Eq. 4, f0 constant ---
 
 func runE4(w io.Writer, sc Scale) error {
-	spec := SweepSpec{Ns: sc.Ns, Seeds: sc.Seeds, Base: baseConfig(sc), Parallelism: sc.Par, SeedBase: 400}
+	spec := sweepSpec(sc, baseConfig(sc), 400)
 	rows, errs := Aggregate(Sweep(spec))
 	if len(errs) > 0 {
 		return errs[0]
@@ -319,7 +339,7 @@ func runE5(w io.Writer, sc Scale) error {
 func runE6(w io.Writer, sc Scale) error {
 	base := baseConfig(sc)
 	base.SampleHops = 25
-	spec := SweepSpec{Ns: sc.Ns, Seeds: sc.Seeds, Base: base, Parallelism: sc.Par, SeedBase: 600}
+	spec := sweepSpec(sc, base, 600)
 	rows, errs := Aggregate(Sweep(spec))
 	if len(errs) > 0 {
 		return errs[0]

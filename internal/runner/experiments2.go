@@ -21,7 +21,7 @@ import (
 // --- E7: φ(N) scaling ---
 
 func runE7(w io.Writer, sc Scale) error {
-	spec := SweepSpec{Ns: sc.Ns, Seeds: sc.Seeds, Base: baseConfig(sc), Parallelism: sc.Par, SeedBase: 700}
+	spec := sweepSpec(sc, baseConfig(sc), 700)
 	rows, errs := Aggregate(Sweep(spec))
 	if len(errs) > 0 {
 		return errs[0]
@@ -51,7 +51,7 @@ func runE7(w io.Writer, sc Scale) error {
 func runE8(w io.Writer, sc Scale) error {
 	base := baseConfig(sc)
 	base.SampleHops = 25
-	spec := SweepSpec{Ns: sc.Ns, Seeds: sc.Seeds, Base: base, Parallelism: sc.Par, SeedBase: 800}
+	spec := sweepSpec(sc, base, 800)
 	rows, errs := Aggregate(Sweep(spec))
 	if len(errs) > 0 {
 		return errs[0]
@@ -80,7 +80,7 @@ func runE8(w io.Writer, sc Scale) error {
 // --- E9: γ(N) scaling ---
 
 func runE9(w io.Writer, sc Scale) error {
-	spec := SweepSpec{Ns: sc.Ns, Seeds: sc.Seeds, Base: baseConfig(sc), Parallelism: sc.Par, SeedBase: 900}
+	spec := sweepSpec(sc, baseConfig(sc), 900)
 	rows, errs := Aggregate(Sweep(spec))
 	if len(errs) > 0 {
 		return errs[0]
@@ -279,7 +279,7 @@ func runE15(w io.Writer, sc Scale) error {
 	// Two regimes: the paper's literal memoryless ALCA, and the
 	// stabilized clustering stack (debounced elections + forced top)
 	// under which the paper's event-frequency premises hold best.
-	literal := SweepSpec{Ns: sc.Ns, Seeds: sc.Seeds, Base: baseConfig(sc), Parallelism: sc.Par, SeedBase: 1500}
+	literal := sweepSpec(sc, baseConfig(sc), 1500)
 	rowsLit, errs := Aggregate(Sweep(literal))
 	if len(errs) > 0 {
 		return errs[0]

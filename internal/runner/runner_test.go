@@ -276,3 +276,144 @@ func TestSweepCoreBudget(t *testing.T) {
 		}
 	}
 }
+
+// TestCoreBudgetMatrix pins the invariant cellPar·max(intra,1) ≤ cores
+// across the budget matrix, including the former oversubscription bug
+// (cores=4, intra=8 used to yield cellPar=1 with intra=8 → 8 workers).
+func TestCoreBudgetMatrix(t *testing.T) {
+	cases := []struct {
+		cores, intra, jobs     int
+		wantCellPar, wantIntra int
+	}{
+		{cores: 4, intra: 8, jobs: 16, wantCellPar: 1, wantIntra: 4}, // the bug: clamp intra to cores
+		{cores: 4, intra: 2, jobs: 16, wantCellPar: 2, wantIntra: 2}, // exact split
+		{cores: 8, intra: 3, jobs: 16, wantCellPar: 2, wantIntra: 3}, // floor division
+		{cores: 1, intra: 8, jobs: 16, wantCellPar: 1, wantIntra: 1}, // single core
+		{cores: 4, intra: 1, jobs: 16, wantCellPar: 4, wantIntra: 1}, // explicitly serial cells
+		{cores: 4, intra: 0, jobs: 16, wantCellPar: 4, wantIntra: 0}, // enough jobs: serial cells
+		{cores: 8, intra: 0, jobs: 2, wantCellPar: 2, wantIntra: 4},  // spare cores → intra
+		{cores: 8, intra: 0, jobs: 3, wantCellPar: 3, wantIntra: 2},  // spare floor
+		{cores: 4, intra: 0, jobs: 3, wantCellPar: 3, wantIntra: 0},  // spare of 1 is no split
+		{cores: 0, intra: 0, jobs: 4, wantCellPar: 1, wantIntra: 0},  // degenerate cores
+		{cores: 4, intra: 0, jobs: 0, wantCellPar: 4, wantIntra: 0},  // empty sweep
+	}
+	for _, c := range cases {
+		cellPar, intra := coreBudget(c.cores, c.intra, c.jobs)
+		if cellPar != c.wantCellPar || intra != c.wantIntra {
+			t.Errorf("coreBudget(%d,%d,%d) = (%d,%d), want (%d,%d)",
+				c.cores, c.intra, c.jobs, cellPar, intra, c.wantCellPar, c.wantIntra)
+		}
+		eff := intra
+		if eff < 1 {
+			eff = 1
+		}
+		budget := c.cores
+		if budget < 1 {
+			budget = 1
+		}
+		if cellPar < 1 || cellPar*eff > budget {
+			t.Errorf("coreBudget(%d,%d,%d) = (%d,%d) violates cellPar·max(intra,1) ≤ cores",
+				c.cores, c.intra, c.jobs, cellPar, intra)
+		}
+	}
+}
+
+// TestAggregateRaggedLevels: per-seed Results may carry per-level
+// slices of different lengths (one seed's hierarchy a level shallower,
+// or slices populated by other tooling). Aggregate used to index every
+// slice with one shared range and panicked on the shorter ones.
+func TestAggregateRaggedLevels(t *testing.T) {
+	cells := []CellResult{
+		{N: 50, Seed: 1, R: &simnet.Results{
+			PhiRate: 1, GammaRate: 2,
+			PhiRateByLevel:   []float64{1, 2, 3},
+			GammaRateByLevel: []float64{1},        // shorter than Phi
+			FMigByLevel:      []float64{0.5, 0.5}, // mid length
+			GPrimeByLevel:    nil,                 // absent entirely
+			NodesByLevel:     []float64{50, 10, 2},
+			EdgesByLevel:     []float64{120},
+			HopMeanByLevel:   []float64{0, 2.5}, // level 0 unsampled
+		}},
+		{N: 50, Seed: 2, R: &simnet.Results{
+			PhiRate: 3, GammaRate: 4,
+			PhiRateByLevel:   []float64{2},
+			GammaRateByLevel: []float64{3, 4, 5, 6}, // longer than seed 1's
+			NodesByLevel:     []float64{50, 12},
+		}},
+	}
+	rows, errs := Aggregate(cells)
+	if len(errs) != 0 {
+		t.Fatal(errs)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	row := rows[0]
+	if got := len(row.PhiByLevel); got != 3 {
+		t.Fatalf("PhiByLevel levels = %d, want 3", got)
+	}
+	if got := row.PhiByLevel[0].N(); got != 2 {
+		t.Fatalf("PhiByLevel[0] samples = %d, want 2", got)
+	}
+	if got := row.PhiByLevel[2].N(); got != 1 {
+		t.Fatalf("PhiByLevel[2] samples = %d, want 1 (only seed 1 reached level 2)", got)
+	}
+	if got := len(row.GammaByLevel); got != 4 {
+		t.Fatalf("GammaByLevel levels = %d, want 4", got)
+	}
+	if got := len(row.GPrimeByLevel); got != 0 {
+		t.Fatalf("GPrimeByLevel levels = %d, want 0", got)
+	}
+	// HopMeanByLevel zeros mean "unsampled" and must not enter the mean.
+	if got := len(row.HopByLevel); got != 2 {
+		t.Fatalf("HopByLevel levels = %d, want 2", got)
+	}
+	if got := row.HopByLevel[0].N(); got != 0 {
+		t.Fatalf("HopByLevel[0] samples = %d, want 0 (zero = unsampled)", got)
+	}
+}
+
+// TestSweepProgress: a Progress writer receives one line per cell with
+// running done/failed counts, and failed cells are counted as such.
+func TestSweepProgress(t *testing.T) {
+	var buf bytes.Buffer
+	spec := SweepSpec{
+		Ns: []int{24, 32}, Seeds: 2,
+		Base:     simnet.Config{Duration: 5, Warmup: -1},
+		Progress: &buf,
+	}
+	cells := Sweep(spec)
+	for _, c := range cells {
+		if c.Err != nil {
+			t.Fatal(c.Err)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("progress lines = %d, want 4:\n%s", len(lines), buf.String())
+	}
+	for _, ln := range lines {
+		if !strings.Contains(ln, "/4 cells done") {
+			t.Fatalf("malformed progress line %q", ln)
+		}
+	}
+	if !strings.Contains(lines[3], "4/4 cells done") || strings.Contains(lines[3], "failed") {
+		t.Fatalf("final line %q", lines[3])
+	}
+
+	// A failing cell (N=0 is rejected by simnet.Run) shows up in the
+	// failed count rather than being silently folded into "done".
+	buf.Reset()
+	spec = SweepSpec{
+		Ns: []int{0}, Seeds: 1,
+		Base:     simnet.Config{Duration: 5, Warmup: -1},
+		Progress: &buf,
+	}
+	cells = Sweep(spec)
+	if cells[0].Err == nil {
+		t.Fatal("expected N=0 cell to fail")
+	}
+	if !strings.Contains(buf.String(), "(1 failed)") || !strings.Contains(buf.String(), "FAILED") {
+		t.Fatalf("failure not reported: %q", buf.String())
+	}
+}

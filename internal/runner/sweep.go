@@ -7,9 +7,11 @@ package runner
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/simnet"
 	"repro/internal/stats"
@@ -20,12 +22,16 @@ type SweepSpec struct {
 	Ns    []int
 	Seeds int
 	// Base is the configuration template; N and Seed are overwritten
-	// per cell.
+	// per cell. Base.Metrics, when set, also receives the sweep-level
+	// metrics (per-cell wall time, cells ok/failed).
 	Base simnet.Config
 	// Parallelism bounds concurrent simulations (default GOMAXPROCS).
 	Parallelism int
 	// SeedBase offsets the seeds so different experiments decorrelate.
 	SeedBase uint64
+	// Progress, when non-nil, receives one line per completed cell:
+	// cells finished/failed, the cell's wall time, and an ETA.
+	Progress io.Writer
 }
 
 // CellResult is one simulation outcome within a sweep.
@@ -48,7 +54,8 @@ type CellResult struct {
 // product stays within budget. When it is unset and the sweep has
 // fewer cells than the budget, the spare cores are handed to every
 // cell as intra-tick workers — a sweep of a few large cells then uses
-// the machine instead of idling most of it.
+// the machine instead of idling most of it. In every case
+// cellPar·intra ≤ cores holds (see coreBudget).
 func Sweep(spec SweepSpec) []CellResult {
 	cores := spec.Parallelism
 	if cores <= 0 {
@@ -69,19 +76,8 @@ func Sweep(spec SweepSpec) []CellResult {
 			jobs = append(jobs, job{idx: idx, n: n, seed: spec.SeedBase + uint64(idx)*1000003})
 		}
 	}
-	intra := spec.Base.IntraTickParallelism
-	cellPar := cores
-	if intra > 1 {
-		cellPar = cores / intra
-		if cellPar < 1 {
-			cellPar = 1
-		}
-	} else if intra == 0 && len(jobs) > 0 && len(jobs) < cores {
-		cellPar = len(jobs)
-		if spare := cores / cellPar; spare > 1 {
-			intra = spare
-		}
-	}
+	cellPar, intra := coreBudget(cores, spec.Base.IntraTickParallelism, len(jobs))
+	prog := obs.NewProgress(spec.Progress, len(jobs), spec.Base.Metrics)
 	out := make([]CellResult, len(jobs))
 	ch := make(chan job)
 	var wg sync.WaitGroup
@@ -94,11 +90,13 @@ func Sweep(spec SweepSpec) []CellResult {
 				cfg.N = j.n
 				cfg.Seed = j.seed
 				cfg.IntraTickParallelism = intra
+				cell := prog.CellStart(j.n, j.seed)
 				var r *simnet.Results
 				var err error
 				if perr := par.Recover(func() { r, err = simnet.Run(cfg) }); perr != nil {
 					r, err = nil, perr
 				}
+				cell.Done(err)
 				out[j.idx] = CellResult{N: j.n, Seed: j.seed, R: r, Err: err}
 			}
 		}()
@@ -109,6 +107,45 @@ func Sweep(spec SweepSpec) []CellResult {
 	close(ch)
 	wg.Wait()
 	return out
+}
+
+// coreBudget splits a budget of cores between cell-level workers and
+// per-cell intra-tick workers. Invariants, for any input:
+//
+//	cellPar ≥ 1
+//	cellPar · max(intra, 1) ≤ max(cores, 1)
+//
+// intra > 1 is an explicit per-cell worker request: it is clamped to
+// the budget (cores/intra used to round to 0 and leave cellPar at 1
+// with the full intra — cores=4, intra=8 oversubscribed to 8 workers).
+// intra == 0 with fewer jobs than cores hands the spare cores to every
+// cell; intra == 0 is returned unchanged when no spare exists, meaning
+// "serial cells". The returned intra, not the requested one, must be
+// written into each cell's config.
+func coreBudget(cores, intra, jobs int) (cellPar, intraOut int) {
+	if cores < 1 {
+		cores = 1
+	}
+	switch {
+	case intra > 1:
+		if intra > cores {
+			intra = cores
+		}
+		cellPar = cores / intra
+	case intra == 0 && jobs > 0 && jobs < cores:
+		cellPar = jobs
+		if spare := cores / cellPar; spare > 1 {
+			intra = spare
+		}
+	default:
+		// intra == 1 (explicitly serial cells) or enough jobs to fill
+		// the budget with serial cells.
+		cellPar = cores
+	}
+	if cellPar < 1 {
+		cellPar = 1
+	}
+	return cellPar, intra
 }
 
 // AggRow aggregates all seeds of one N.
@@ -160,19 +197,31 @@ func Aggregate(cells []CellResult) (rows []*AggRow, errs []error) {
 		row.F0.Add(r.F0)
 		row.MeanLevels.Add(r.MeanLevels)
 		row.Giant.Add(r.GiantFraction)
-		for k := range r.PhiRateByLevel {
-			addAt(&row.PhiByLevel, k, r.PhiRateByLevel[k])
-			addAt(&row.GammaByLevel, k, r.GammaRateByLevel[k])
-			addAt(&row.FMigByLevel, k, r.FMigByLevel[k])
+		// Each per-level slice is iterated by its own length: a seed
+		// whose hierarchy is one level shallower (or a Results built by
+		// other tooling) may carry slices of unequal lengths, and
+		// indexing them all by one range used to panic.
+		for k, v := range r.PhiRateByLevel {
+			addAt(&row.PhiByLevel, k, v)
 		}
-		for k := range r.GPrimeByLevel {
-			addAt(&row.GPrimeByLevel, k, r.GPrimeByLevel[k])
-			addAt(&row.NodesByLevel, k, r.NodesByLevel[k])
-			addAt(&row.EdgesByLevel, k, r.EdgesByLevel[k])
+		for k, v := range r.GammaRateByLevel {
+			addAt(&row.GammaByLevel, k, v)
 		}
-		for k := range r.HopMeanByLevel {
-			if r.HopMeanByLevel[k] > 0 {
-				addAt(&row.HopByLevel, k, r.HopMeanByLevel[k])
+		for k, v := range r.FMigByLevel {
+			addAt(&row.FMigByLevel, k, v)
+		}
+		for k, v := range r.GPrimeByLevel {
+			addAt(&row.GPrimeByLevel, k, v)
+		}
+		for k, v := range r.NodesByLevel {
+			addAt(&row.NodesByLevel, k, v)
+		}
+		for k, v := range r.EdgesByLevel {
+			addAt(&row.EdgesByLevel, k, v)
+		}
+		for k, v := range r.HopMeanByLevel {
+			if v > 0 {
+				addAt(&row.HopByLevel, k, v)
 			}
 		}
 	}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/lm"
 	"repro/internal/mobility"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -112,6 +113,15 @@ type Config struct {
 	// Observer, when non-nil, is invoked after every scan tick with
 	// the live state. Used by examples and the trace tool.
 	Observer func(ObsEvent)
+
+	// Metrics, when non-nil, receives run observability: wall-clock
+	// phase timers for every stage of the scan tick (obs.PhaseTick and
+	// its sub-phases), tick/transfer counters, and a hierarchy-depth
+	// gauge. Purely observational — metrics never feed back into
+	// simulation state or randomness, so Results and traces are
+	// byte-identical with Metrics on or off (enforced by
+	// TestMetricsDoNotPerturbResults).
+	Metrics *obs.Registry
 }
 
 // ObsEvent is the per-tick observer payload.
@@ -323,6 +333,7 @@ func setupRun(cfg Config) (*looper, error) {
 
 	lp := &looper{
 		pool:       pool,
+		tm:         newPhaseTimers(cfg.Metrics),
 		cfg:        cfg,
 		clusterCfg: clusterCfg,
 		model:      model,

@@ -7,11 +7,56 @@ import (
 	"repro/internal/geom"
 	"repro/internal/lm"
 	"repro/internal/mobility"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/spatial"
 	"repro/internal/topology"
 )
+
+// phaseTimers is the looper's pre-resolved observability instrument:
+// one timer per tick phase plus the tick-level counters and gauges,
+// looked up once at setup so the hot loop never touches the registry's
+// lock. With Metrics unset every field is nil and each instrumentation
+// point costs one nil check (obs types are nil-safe no-ops).
+type phaseTimers struct {
+	tick     *obs.Timer
+	advance  *obs.Timer
+	rebuild  *obs.Timer
+	cluster  *obs.Timer
+	diff     *obs.Timer
+	lmUpdate *obs.Timer
+	measure  *obs.Timer
+	hops     *obs.Timer
+	observer *obs.Timer
+
+	ticks         *obs.Counter
+	measuredTicks *obs.Counter
+	transfers     *obs.Counter
+	levels        *obs.Gauge
+}
+
+func newPhaseTimers(reg *obs.Registry) phaseTimers {
+	if reg == nil {
+		return phaseTimers{}
+	}
+	return phaseTimers{
+		tick:     reg.Timer(obs.PhaseTick),
+		advance:  reg.Timer(obs.PhaseAdvance),
+		rebuild:  reg.Timer(obs.PhaseRebuild),
+		cluster:  reg.Timer(obs.PhaseCluster),
+		diff:     reg.Timer(obs.PhaseDiff),
+		lmUpdate: reg.Timer(obs.PhaseLMUpdate),
+		measure:  reg.Timer(obs.PhaseMeasure),
+		hops:     reg.Timer(obs.PhaseHops),
+		observer: reg.Timer(obs.PhaseObserver),
+
+		ticks:         reg.Counter("sim.ticks"),
+		measuredTicks: reg.Counter("sim.measured_ticks"),
+		transfers:     reg.Counter("sim.transfers"),
+		levels:        reg.Gauge("sim.levels"),
+	}
+}
 
 // looper is the steady-state scan tick with all of its double-buffered
 // storage. The reuse contract is two-generational: at tick t, the t-1
@@ -73,6 +118,10 @@ type looper struct {
 	buildScratch topology.BuildScratch
 	updParScr    lm.UpdateParScratch
 
+	// Observability (Config.Metrics): pre-resolved phase timers and
+	// counters; all nil (no-op) when metrics are off.
+	tm phaseTimers
+
 	// Churn state (E18): alive flags and pending revivals.
 	alive      []bool
 	reviveAt   []float64
@@ -81,11 +130,17 @@ type looper struct {
 	tick       int
 }
 
-// step advances the simulation by one scan tick.
+// step advances the simulation by one scan tick. The obs spans wrap
+// each phase without influencing it: timers are nil-safe no-ops when
+// metrics are off, and never touch simulation state or randomness.
 func (lp *looper) step(now float64) {
 	cfg := &lp.cfg
 	st := lp.st
+	spTick := lp.tm.tick.Start()
 	lp.tick++
+	lp.tm.ticks.Inc()
+
+	spAdvance := lp.tm.advance.Start()
 	lp.model.AdvanceTo(now, lp.pos)
 	if cfg.ChurnRate > 0 {
 		pDeath := cfg.ChurnRate * cfg.ScanInterval
@@ -111,12 +166,18 @@ func (lp *looper) step(now float64) {
 			lp.aliveNodes = append(lp.aliveNodes, i)
 		}
 	}
+	spAdvance.Stop()
+
+	spRebuild := lp.tm.rebuild.Start()
 	newGraph := topology.BuildUnitDiskIntoPar(
 		lp.spareGraph, cfg.N, lp.pos, cfg.RTX, lp.grid, lp.pool, &lp.buildScratch)
 	lp.spareGraph = nil
 	if lp.bfsHop != nil {
 		lp.bfsHop.Rebind(newGraph)
 	}
+	spRebuild.Stop()
+
+	spCluster := lp.tm.cluster.Start()
 	lp.arena.Recycle(lp.retiredH, lp.retiredIDs)
 	lp.retiredH, lp.retiredIDs = nil, nil
 	giant := lp.giantScr.Giant(newGraph, lp.aliveNodes)
@@ -127,18 +188,29 @@ func (lp *looper) step(now float64) {
 			panic(fmt.Sprintf("simnet: t=%.2f: %v", now, err))
 		}
 	}
+	spCluster.Stop()
+	lp.tm.levels.Set(float64(newHier.L()))
+
+	spDiff := lp.tm.diff.Start()
 	lp.diff = cluster.ComputeDiffInto(lp.diff, lp.hier, newHier, &lp.diffScratch)
+	spDiff.Stop()
+
+	spLM := lp.tm.lmUpdate.Start()
 	newTable := lp.selector.UpdateTableIntoPar(
 		lp.spareTable, &lp.updScratch, &lp.updParScr,
 		lp.table, lp.hier, lp.idents, newHier, newIdents, lp.pool)
 	lp.spareTable = nil
+	spLM.Stop()
 
 	measuring := now > cfg.Warmup
 	var transfers []lm.Transfer
 	if measuring {
+		spMeasure := lp.tm.measure.Start()
 		st.measuredTicks++
+		lp.tm.measuredTicks.Inc()
 		st.countLinkEvents(&lp.linkScratch, lp.graph, newGraph)
 		transfers = lp.accountant.Apply(lp.table, newTable, &st.totals)
+		lp.tm.transfers.Add(int64(len(transfers)))
 		st.observe(newHier, newGraph, lp.tick)
 		if cfg.TrackStates {
 			st.states.Observe(newHier)
@@ -148,16 +220,21 @@ func (lp *looper) step(now float64) {
 			st.classes.Merge(lm.ClassifyReorg(lp.hier, newHier, lp.diff))
 		}
 		st.countClusterLinkEvents(lp.hier, lp.idents, newHier, newIdents, lp.table, newTable)
+		spMeasure.Stop()
 		if cfg.SampleHops > 0 && lp.tick%cfg.SampleHops == 0 {
+			spHops := lp.tm.hops.Start()
 			st.sampleHops(newHier, newGraph)
+			spHops.Stop()
 		}
 	}
 
 	if cfg.Observer != nil {
+		spObs := lp.tm.observer.Start()
 		cfg.Observer(ObsEvent{
 			Time: now, Hierarchy: newHier, Diff: lp.diff,
 			Transfers: transfers, Positions: lp.pos,
 		})
+		spObs.Stop()
 	}
 
 	// Rotate: the t-1 snapshot retires, t becomes the live snapshot.
@@ -165,6 +242,7 @@ func (lp *looper) step(now float64) {
 	lp.retiredH, lp.retiredIDs = lp.hier, lp.idents
 	lp.spareTable = lp.table
 	lp.graph, lp.hier, lp.idents, lp.table = newGraph, newHier, newIdents, newTable
+	spTick.Stop()
 }
 
 // close releases the worker pool (a no-op for serial runs). The looper

@@ -114,8 +114,10 @@ func leastSquares(x, y []float64) (a, b, r2 float64) {
 }
 
 // FitModel fits one candidate model to (n, y) points. Points with
-// non-positive n (or non-positive y for the power model) are rejected
-// with an error.
+// non-finite coordinates, non-positive n, or non-positive y for the
+// power model are rejected with an error: a single NaN sample would
+// otherwise poison every sum in the regression and leave RMSE NaN,
+// which silently scrambled FitAll's report ordering.
 func FitModel(m Model, ns, ys []float64) (Fit, error) {
 	if len(ns) != len(ys) || len(ns) < 3 {
 		return Fit{}, fmt.Errorf("stats: need >=3 points, got %d/%d", len(ns), len(ys))
@@ -123,6 +125,12 @@ func FitModel(m Model, ns, ys []float64) (Fit, error) {
 	x := make([]float64, len(ns))
 	y := make([]float64, len(ys))
 	for i, n := range ns {
+		if math.IsNaN(n) || math.IsInf(n, 0) {
+			return Fit{}, fmt.Errorf("stats: non-finite N %v", n)
+		}
+		if math.IsNaN(ys[i]) || math.IsInf(ys[i], 0) {
+			return Fit{}, fmt.Errorf("stats: non-finite y %v at N=%v", ys[i], n)
+		}
 		if n <= 0 {
 			return Fit{}, fmt.Errorf("stats: non-positive N %v", n)
 		}
@@ -176,7 +184,15 @@ func FitModel(m Model, ns, ys []float64) (Fit, error) {
 
 // FitAll fits every candidate model and returns the fits sorted by
 // ascending RMSE in the original space (best first). Models that fail
-// (e.g. power law on zero data) are skipped.
+// (e.g. power law on zero data, any non-finite sample) are skipped.
+//
+// The sort is NaN-stable: sort.Slice's order is unspecified when the
+// comparator is inconsistent, which `RMSE <` is in the presence of
+// NaN. FitModel now rejects the non-finite inputs that produced NaN
+// RMSEs, and as defense in depth the comparator ranks any residual
+// non-finite RMSE after every finite one, with the fixed candidate
+// order (stable sort) breaking ties — so report ordering is
+// deterministic no matter what.
 func FitAll(ns, ys []float64) []Fit {
 	var out []Fit
 	for _, m := range []Model{ModelLog2, ModelLog, ModelSqrt, ModelLinear, ModelPower} {
@@ -184,7 +200,14 @@ func FitAll(ns, ys []float64) []Fit {
 			out = append(out, f)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].RMSE < out[j].RMSE })
+	sort.SliceStable(out, func(i, j int) bool {
+		ri, rj := out[i].RMSE, out[j].RMSE
+		fi, fj := !math.IsNaN(ri) && !math.IsInf(ri, 0), !math.IsNaN(rj) && !math.IsInf(rj, 0)
+		if fi != fj {
+			return fi // finite RMSEs rank before non-finite ones
+		}
+		return ri < rj
+	})
 	return out
 }
 

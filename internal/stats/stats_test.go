@@ -276,6 +276,74 @@ func TestFitModelErrors(t *testing.T) {
 	}
 }
 
+// TestFitRejectsNonFinite is the regression test for NaN poisoning:
+// one non-finite sample used to flow through the OLS sums, leave RMSE
+// NaN on every model, and let sort.Slice order FitAll's report
+// arbitrarily. Non-finite inputs are now rejected per model, so FitAll
+// deterministically returns no fits (and never a non-finite RMSE).
+func TestFitRejectsNonFinite(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name   string
+		ns, ys []float64
+	}{
+		{"nan-y", []float64{64, 128, 256, 512}, []float64{1, nan, 3, 4}},
+		{"inf-y", []float64{64, 128, 256, 512}, []float64{1, math.Inf(1), 3, 4}},
+		{"neg-inf-y", []float64{64, 128, 256, 512}, []float64{1, math.Inf(-1), 3, 4}},
+		{"nan-n", []float64{64, nan, 256, 512}, []float64{1, 2, 3, 4}},
+		{"inf-n", []float64{64, math.Inf(1), 256, 512}, []float64{1, 2, 3, 4}},
+	}
+	for _, tc := range cases {
+		for _, m := range []Model{ModelLog2, ModelLog, ModelSqrt, ModelLinear, ModelPower} {
+			if _, err := FitModel(m, tc.ns, tc.ys); err == nil {
+				t.Errorf("%s: model %s accepted non-finite input", tc.name, m)
+			}
+		}
+		fits := FitAll(tc.ns, tc.ys)
+		if len(fits) != 0 {
+			t.Errorf("%s: FitAll returned %d fits on non-finite data", tc.name, len(fits))
+		}
+		for _, f := range fits {
+			if math.IsNaN(f.RMSE) || math.IsInf(f.RMSE, 0) {
+				t.Errorf("%s: non-finite RMSE %v escaped for model %s", tc.name, f.RMSE, f.Model)
+			}
+		}
+	}
+}
+
+// TestFitAllOrderDeterministic pins FitAll's report ordering: repeated
+// calls on identical data must agree fit-for-fit, and RMSE must be
+// ascending over the finite prefix.
+func TestFitAllOrderDeterministic(t *testing.T) {
+	ns := []float64{64, 128, 256, 512, 1024}
+	ys := make([]float64, len(ns))
+	for i, n := range ns {
+		l := math.Log(n)
+		ys[i] = 0.3 + 0.05*l*l
+	}
+	first := FitAll(ns, ys)
+	if len(first) == 0 {
+		t.Fatal("no fits")
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i].RMSE < first[i-1].RMSE {
+			t.Fatalf("RMSE not ascending: %v then %v", first[i-1], first[i])
+		}
+	}
+	for trial := 0; trial < 10; trial++ {
+		again := FitAll(ns, ys)
+		if len(again) != len(first) {
+			t.Fatalf("trial %d: %d fits vs %d", trial, len(again), len(first))
+		}
+		for i := range first {
+			if again[i].Model != first[i].Model {
+				t.Fatalf("trial %d: order differs at %d: %s vs %s",
+					trial, i, again[i].Model, first[i].Model)
+			}
+		}
+	}
+}
+
 // TestFitDegenerateSingleN is the regression test for fits over a
 // sweep with one distinct N: these used to return NaN R² or garbage
 // slopes from a near-zero OLS denominator; now every model reports

@@ -6,13 +6,21 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
 	"repro/internal/lm"
 	"repro/internal/simnet"
 )
+
+// ErrTruncated reports a trace whose final line is an unparseable
+// partial record — the signature of a run killed mid-write. Read
+// still returns every complete record before it, so killed runs keep
+// their measured prefix. Callers distinguish it with errors.Is.
+var ErrTruncated = errors.New("trace: truncated trailing record")
 
 // TickRecord is the JSONL schema for one scan tick.
 type TickRecord struct {
@@ -103,16 +111,39 @@ func (t *Tracer) Close() error {
 func (t *Tracer) Records() int { return t.n }
 
 // Read parses a JSONL trace back into records (for tests and tools).
+//
+// Crash tolerance: a run killed mid-write leaves a partial final line
+// with no newline terminator. Read returns the successfully parsed
+// prefix together with an error wrapping ErrTruncated for that
+// trailing fragment, instead of discarding the whole trace. A final
+// line that parses completely is kept even without its newline (the
+// kill landed exactly between the record and its terminator). Corrupt
+// *interior* records — a garbage line followed by more lines — remain
+// fatal: they mean the file is damaged, not merely cut short, though
+// the prefix parsed so far is still returned alongside the error.
 func Read(r io.Reader) ([]TickRecord, error) {
-	dec := json.NewDecoder(r)
+	br := bufio.NewReader(r)
 	var out []TickRecord
 	for {
-		var rec TickRecord
-		if err := dec.Decode(&rec); err == io.EOF {
-			return out, nil
-		} else if err != nil {
+		line, err := br.ReadBytes('\n')
+		if err != nil && err != io.EOF {
 			return out, fmt.Errorf("trace: record %d: %w", len(out), err)
 		}
-		out = append(out, rec)
+		terminated := err == nil
+		if trimmed := bytes.TrimSpace(line); len(trimmed) > 0 {
+			var rec TickRecord
+			if uerr := json.Unmarshal(trimmed, &rec); uerr != nil {
+				if !terminated {
+					// Unterminated final line: the partial record a
+					// killed run leaves behind.
+					return out, fmt.Errorf("%w after %d records: %v", ErrTruncated, len(out), uerr)
+				}
+				return out, fmt.Errorf("trace: record %d: %w", len(out), uerr)
+			}
+			out = append(out, rec)
+		}
+		if !terminated {
+			return out, nil
+		}
 	}
 }

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -48,8 +49,70 @@ func TestTraceRoundTrip(t *testing.T) {
 }
 
 func TestReadRejectsGarbage(t *testing.T) {
-	if _, err := Read(strings.NewReader("{\"t\":1}\nnot json\n")); err == nil {
+	recs, err := Read(strings.NewReader("{\"t\":1}\nnot json\n"))
+	if err == nil {
 		t.Fatal("garbage accepted")
+	}
+	if errors.Is(err, ErrTruncated) {
+		t.Fatalf("terminated interior garbage misreported as truncation: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("parsed prefix lost: got %d records", len(recs))
+	}
+}
+
+// TestReadTruncatedFinalLine is the killed-run scenario: the final
+// record is cut mid-write with no newline. Read must return the
+// parsed prefix and flag the fragment with ErrTruncated.
+func TestReadTruncatedFinalLine(t *testing.T) {
+	in := "{\"t\":1,\"levels\":2}\n{\"t\":2,\"levels\":2}\n{\"t\":3,\"lev"
+	recs, err := Read(strings.NewReader(in))
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want the 2-record prefix", len(recs))
+	}
+	if recs[0].Time != 1 || recs[1].Time != 2 {
+		t.Fatalf("prefix mangled: %+v", recs)
+	}
+}
+
+// TestReadTruncatedAtRecordBoundary: the kill landed between a
+// complete record and its newline. The record is intact, so it is
+// kept and no error is reported.
+func TestReadTruncatedAtRecordBoundary(t *testing.T) {
+	in := "{\"t\":1,\"levels\":2}\n{\"t\":2,\"levels\":3}"
+	recs, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("err = %v, want nil", err)
+	}
+	if len(recs) != 2 || recs[1].Time != 2 {
+		t.Fatalf("got %+v, want both records", recs)
+	}
+}
+
+// TestReadInteriorCorruptionFatal: damage followed by further records
+// is file corruption, not a crash tail — the error must not be
+// ErrTruncated, and the prefix before the damage is still returned.
+func TestReadInteriorCorruptionFatal(t *testing.T) {
+	in := "{\"t\":1}\n{\"t\":2,BROKEN}\n{\"t\":3}\n"
+	recs, err := Read(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("interior corruption accepted")
+	}
+	if errors.Is(err, ErrTruncated) {
+		t.Fatalf("interior corruption misreported as truncation: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("prefix = %d records, want 1", len(recs))
+	}
+}
+
+func TestReadBlankTail(t *testing.T) {
+	recs, err := Read(strings.NewReader("{\"t\":1}\n\n  \n"))
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("blank tail: recs=%d err=%v", len(recs), err)
 	}
 }
 

@@ -47,6 +47,19 @@ END {
 	print "}"
 }' "$raw" >"$entry"
 
+# Merge a wall-clock phase breakdown (graph rebuild / cluster / diff /
+# LM update shares of the tick) from a short instrumented run, so the
+# JSON records not just per-stage microbenchmarks but how the stages
+# divide a real tick. Needs jq; silently skipped without it.
+if command -v jq >/dev/null 2>&1; then
+	phases="$(mktemp)"
+	if go run ./cmd/lmsim -n 256 -duration 30 -warmup 10 -manifest "$phases" >/dev/null 2>&1; then
+		jq --slurpfile m "$phases" '.phases = $m[0].metrics.phases' "$entry" >"$entry.tmp"
+		mv "$entry.tmp" "$entry"
+	fi
+	rm -f "$phases"
+fi
+
 if [ -f "$out" ]; then
 	if command -v jq >/dev/null 2>&1; then
 		# Legacy single-run files (no "entries") are wrapped first.

@@ -22,6 +22,29 @@ go vet ./... || fail=1
 echo "== manetlint"
 go run ./cmd/manetlint ./... || fail=1
 
+echo "== race tests (measurement pipeline)"
+go test -race ./internal/obs ./internal/trace ./internal/stats ./internal/runner || fail=1
+
+echo "== manifest smoke"
+manifest_tmp=$(mktemp)
+if go run ./cmd/experiments -run E4 -quick -manifest "$manifest_tmp" >/dev/null 2>&1; then
+    if command -v jq >/dev/null 2>&1; then
+        # The manifest must be valid JSON with per-phase timings and a
+        # tick total at least as large as any sub-phase sum component.
+        jq -e '.tool == "experiments"
+               and (.metrics.phases | has("tick.total"))
+               and (.metrics.phases["tick.total"].seconds > 0)
+               and (.metrics.counters["sweep.cells_ok"] > 0)' \
+            "$manifest_tmp" >/dev/null || { echo "manifest smoke: bad manifest" >&2; fail=1; }
+    else
+        echo "manifest smoke: jq not found, skipping schema assertion" >&2
+    fi
+else
+    echo "manifest smoke: experiments run failed" >&2
+    fail=1
+fi
+rm -f "$manifest_tmp"
+
 if [ "$fail" -ne 0 ]; then
     echo "check: FAILED" >&2
     exit 1
