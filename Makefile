@@ -1,6 +1,6 @@
 # Verification entry points. `make check test race` is what CI runs.
 
-.PHONY: all build check test race lint bench bench-json
+.PHONY: all build check test race lint bench bench-json fuzz manet-fuzz
 
 all: build check test
 
@@ -20,6 +20,15 @@ test:
 
 race:
 	go test -race ./...
+
+# Property-based scenario fuzzing: random configs run with every-tick
+# invariant checks and a serial-vs-parallel differential; failures are
+# shrunk to a minimal (config, seed, tick) repro. Override the budget
+# with FUZZTIME=10m; set MANET_FUZZ_FAILURES=<dir> to persist shrunk
+# repros as corpus files.
+FUZZTIME ?= 30s
+fuzz manet-fuzz:
+	go test ./internal/invariant/prop -run FuzzScenario -fuzz FuzzScenario -fuzztime $(FUZZTIME)
 
 # Steady-state tick benchmarks, fresh vs reuse variants.
 bench:

@@ -75,6 +75,7 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit results as JSON")
 		manifest = flag.String("manifest", "", "write a run manifest (config, seed, per-phase timings) to this JSON file")
 		progress = flag.Bool("progress", false, "report simulated-time progress on stderr")
+		invarLvl = flag.String("invariants", "off", "runtime invariant checks: off|sampled|every-tick (violations abort with tick, seed, and state dump)")
 	)
 	flag.Parse()
 
@@ -90,6 +91,7 @@ func main() {
 	cfg.GroupSize = *groupSz
 	cfg.GroupRadius = *groupRad
 	cfg.ChurnRate = *churn / 3600
+	cfg.CheckLevel = *invarLvl
 	switch *elector {
 	case "lca":
 	case "sticky":
@@ -129,6 +131,7 @@ func main() {
 			"mu": *mu, "rtx": *rtx, "degree": *degree, "scan": *scan,
 			"mobility": *mob, "hops": *hopM, "elector": *elector,
 			"hash": *hash, "churn_per_hour": *churn,
+			"invariants": *invarLvl,
 		}
 		cfg.Metrics = obs.NewRegistry()
 	}

@@ -1,0 +1,314 @@
+// Edge-case coverage for election/rejection cascades: the adversarial
+// transitions the Eq. 22 damping argument must survive — simultaneous
+// head loss at several adjacent levels, a single-node cluster at the
+// top level, and rejection chains longer than two levels. Each case
+// asserts the structural shape of the Diff AND runs the full invariant
+// catalog over the transition: every state change must decompose into
+// unit elector flips (Fig. 3), so no damping counterexample can hide
+// in the cascade.
+package cluster_test
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/invariant"
+	"repro/internal/lm"
+	"repro/internal/topology"
+)
+
+// chainOfCliques builds the 16-node tower: four 4-cliques bridged in a
+// chain (3–7, 7–11, 11–15). Max-ID election cascades it to
+//
+//	L1 {3,7,11,15} → L2 {7,11,15} → L3 {11,15} → L4 {15}
+//
+// so node 15 is a head at four consecutive levels and the top-level
+// cluster is a singleton.
+func chainOfCliques(omit map[topology.EdgeKey]bool) *topology.Graph {
+	g := topology.NewGraph(16)
+	add := func(a, b int) {
+		if !omit[topology.MakeEdgeKey(a, b)] {
+			g.AddEdge(a, b)
+		}
+	}
+	for base := 0; base < 16; base += 4 {
+		for i := base; i < base+4; i++ {
+			for j := i + 1; j < base+4; j++ {
+				add(i, j)
+			}
+		}
+	}
+	add(3, 7)
+	add(7, 11)
+	add(11, 15)
+	return g
+}
+
+func allNodes(n int) []int {
+	nodes := make([]int, n)
+	for i := range nodes {
+		nodes[i] = i
+	}
+	return nodes
+}
+
+// buildTower clusters g (giant component, memoryless LCA, no forced
+// top) with identity continuity from prev.
+func buildTower(g *topology.Graph, prevH *cluster.Hierarchy, prevIDs *cluster.Identities,
+	tracker *cluster.IdentityTracker, now float64,
+) (*cluster.Hierarchy, *cluster.Identities) {
+	return cluster.BuildWithIdentities(
+		g, topology.GiantComponent(g, allNodes(16)), cluster.Config{},
+		prevH, prevIDs, tracker, now)
+}
+
+// levelNodes flattens h's per-level node counts for shape assertions.
+func levelNodes(h *cluster.Hierarchy) []int {
+	out := make([]int, len(h.Levels))
+	for k, lvl := range h.Levels {
+		out[k] = len(lvl.Nodes)
+	}
+	return out
+}
+
+// runInvariants runs the full catalog over the transition and fails
+// the test on any violation — the Eq. 22 guarantee that even an
+// adversarial cascade decomposes into unit elector flips.
+func runInvariants(t *testing.T, prevH, nextH *cluster.Hierarchy,
+	prevIDs, nextIDs *cluster.Identities, prevT, nextT *lm.Table, sel *lm.Selector,
+) {
+	t.Helper()
+	d := cluster.ComputeDiff(prevH, nextH)
+	c := invariant.New(invariant.EveryTick, nil, func(v invariant.Violation) {
+		t.Errorf("invariant violated across the transition: %v", v)
+	})
+	c.CheckTick(&invariant.Snapshot{
+		Tick: 1, Time: 1, Seed: 0,
+		Prev:     &invariant.State{Hier: prevH, IDs: prevIDs, Table: prevT},
+		Next:     &invariant.State{Hier: nextH, IDs: nextIDs, Table: nextT},
+		Diff:     d,
+		Selector: sel,
+	})
+}
+
+func TestTowerShape(t *testing.T) {
+	tracker := cluster.NewIdentityTracker()
+	h, _ := buildTower(chainOfCliques(nil), nil, nil, tracker, 0)
+	want := []int{16, 4, 3, 2, 1}
+	got := levelNodes(h)
+	if len(got) != len(want) {
+		t.Fatalf("tower levels %v, want %v", got, want)
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("tower levels %v, want %v", got, want)
+		}
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The top level is a single-node cluster: {15} leading {11,15}.
+	top := h.Levels[len(h.Levels)-1]
+	if len(top.Nodes) != 1 || top.Nodes[0] != 15 {
+		t.Fatalf("top level = %v, want [15]", top.Nodes)
+	}
+	// And the tower also carries true singleton clusters mid-tower
+	// (e.g. level-1 head 11 clusters alone at level 2).
+	singleton := false
+	for k := 0; k+1 < len(h.Levels); k++ {
+		for _, c := range h.Levels[k+1].Nodes {
+			if len(h.Levels[k].Members[c]) == 1 {
+				singleton = true
+			}
+		}
+	}
+	if !singleton {
+		t.Error("tower has no singleton cluster; edge case not exercised")
+	}
+}
+
+// TestRejectionCascadeEdgeCases drives the tower through adversarial
+// single-tick transitions and pins the rejection structure plus the
+// invariant battery on each.
+func TestRejectionCascadeEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		omit [][2]int
+		// rejectedLevels[v] = levels v must be rejected from,
+		// simultaneously, in one tick.
+		rejected map[int][]int
+		// wantLevels is the next hierarchy's level population.
+		wantLevels []int
+	}{
+		{
+			// Isolating node 15 tears the head out of levels 1–4 at
+			// once: simultaneous head loss at four adjacent levels and
+			// a rejection chain of length 4 > 2. The clique {12,13,14}
+			// also detaches from the giant component.
+			name: "rejection-chain-length-4",
+			omit: [][2]int{{11, 15}, {12, 15}, {13, 15}, {14, 15}},
+			rejected: map[int][]int{
+				15: {1, 2, 3, 4},
+			},
+			wantLevels: []int{12, 3, 2, 1},
+		},
+		{
+			// Cutting the single 11–15 bridge splits the chain: the
+			// right half {12..15} leaves the giant component, so head
+			// 15 again vanishes from every level it led while head 11
+			// is simultaneously promoted to the new top.
+			name: "adjacent-level-head-loss",
+			omit: [][2]int{{11, 15}},
+			rejected: map[int][]int{
+				15: {1, 2, 3, 4},
+			},
+			wantLevels: []int{12, 3, 2, 1},
+		},
+		{
+			// Cutting 7–11 makes the two halves equal-sized; the giant
+			// component tie-breaks to the {0..7} half, so heads 11 and
+			// 15 vanish together — simultaneous loss at every level
+			// both led, two overlapping rejection chains of length 3
+			// and 4.
+			name: "equal-split-adjacent-loss",
+			omit: [][2]int{{7, 11}},
+			rejected: map[int][]int{
+				11: {1, 2, 3},
+				15: {1, 2, 3, 4},
+			},
+			wantLevels: []int{8, 2, 1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tracker := cluster.NewIdentityTracker()
+			sel := lm.NewSelector(nil)
+			prevH, prevIDs := buildTower(chainOfCliques(nil), nil, nil, tracker, 0)
+			prevT := sel.BuildTable(prevH, prevIDs)
+
+			omit := map[topology.EdgeKey]bool{}
+			for _, e := range tc.omit {
+				omit[topology.MakeEdgeKey(e[0], e[1])] = true
+			}
+			nextH, nextIDs := buildTower(chainOfCliques(omit), prevH, prevIDs, tracker, 1)
+			// The incremental (zero-alloc reuse) update path, which the
+			// invariant battery then compares against a fresh rebuild.
+			nextT := sel.UpdateTable(prevT, prevH, prevIDs, nextH, nextIDs)
+
+			got := levelNodes(nextH)
+			if len(got) != len(tc.wantLevels) {
+				t.Fatalf("next levels %v, want %v", got, tc.wantLevels)
+			}
+			for k := range got {
+				if got[k] != tc.wantLevels[k] {
+					t.Fatalf("next levels %v, want %v", got, tc.wantLevels)
+				}
+			}
+
+			d := cluster.ComputeDiff(prevH, nextH)
+			for v, levels := range tc.rejected {
+				for _, k := range levels {
+					if !containsInt(d.Rejections[k], v) {
+						t.Errorf("node %d not rejected at level %d (rejections: %v)",
+							v, k, d.Rejections[k])
+					}
+				}
+				if len(levels) > 2 {
+					// The defining predicate of a rejection chain > 2:
+					// the same node leaves more than two consecutive
+					// levels in one tick.
+					for i := 1; i < len(levels); i++ {
+						if levels[i] != levels[i-1]+1 {
+							t.Fatalf("rejection levels %v not consecutive", levels)
+						}
+					}
+				}
+			}
+
+			runInvariants(t, prevH, nextH, prevIDs, nextIDs, prevT, nextT, sel)
+		})
+	}
+}
+
+// TestStableTowerTickIsQuiet pins the other direction: re-clustering
+// an unchanged tower produces an empty diff, no rejections anywhere,
+// and a clean invariant pass — the damping argument's fixed point.
+func TestStableTowerTickIsQuiet(t *testing.T) {
+	tracker := cluster.NewIdentityTracker()
+	sel := lm.NewSelector(nil)
+	prevH, prevIDs := buildTower(chainOfCliques(nil), nil, nil, tracker, 0)
+	prevT := sel.BuildTable(prevH, prevIDs)
+	nextH, nextIDs := buildTower(chainOfCliques(nil), prevH, prevIDs, tracker, 1)
+	nextT := sel.UpdateTable(prevT, prevH, prevIDs, nextH, nextIDs)
+
+	d := cluster.ComputeDiff(prevH, nextH)
+	if !d.Empty() {
+		t.Errorf("unchanged topology produced a non-empty diff: %+v", d)
+	}
+	runInvariants(t, prevH, nextH, prevIDs, nextIDs, prevT, nextT, sel)
+}
+
+// TestDebouncedElectorDepartedHead is the regression for a bug found
+// by the scenario fuzzer (prop/testdata/regress/debounced-departed-head
+// pins the original reproduction): buildPrevHead at level 0 used to
+// return the raw previous head even after that node had left the
+// covered node set, so DebouncedLCA's grace period kept electing the
+// departed node and the hierarchy gained a level-1 "node" that was not
+// a level-0 node. The previous-head memory must report no carrier for
+// a departed head, forcing a fresh election.
+func TestDebouncedElectorDepartedHead(t *testing.T) {
+	star := func(withHead bool) *topology.Graph {
+		g := topology.NewGraph(10)
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				g.AddEdge(i, j)
+			}
+		}
+		if withHead {
+			for i := 0; i < 4; i++ {
+				g.AddEdge(i, 9)
+			}
+		}
+		return g
+	}
+	cfg := cluster.Config{Elector: &cluster.DebouncedLCA{Grace: 100}, Reach: -1}
+	tracker := cluster.NewIdentityTracker()
+	build := func(g *topology.Graph, prevH *cluster.Hierarchy, prevIDs *cluster.Identities, now float64) (*cluster.Hierarchy, *cluster.Identities) {
+		return cluster.BuildWithIdentities(
+			g, topology.GiantComponent(g, allNodes(10)), cfg, prevH, prevIDs, tracker, now)
+	}
+
+	prevH, prevIDs := build(star(true), nil, nil, 0)
+	if top := prevH.Levels[1].Nodes; len(top) != 1 || top[0] != 9 {
+		t.Fatalf("initial head = %v, want [9]", top)
+	}
+
+	// Node 9 vanishes from the component while every survivor is still
+	// well inside the 100 s grace window.
+	nextH, _ := build(star(false), prevH, prevIDs, 1)
+	if err := nextH.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k < len(nextH.Levels); k++ {
+		for _, u := range nextH.Levels[k].Nodes {
+			if !nextH.Levels[k-1].IsNode(u) {
+				t.Fatalf("level-%d node %d is not a level-%d node", k, u, k-1)
+			}
+		}
+	}
+	if containsInt(nextH.Levels[1].Nodes, 9) {
+		t.Fatal("departed node 9 still elected clusterhead through the grace period")
+	}
+	if top := nextH.Levels[1].Nodes; len(top) != 1 || top[0] != 3 {
+		t.Fatalf("re-election chose %v, want [3]", top)
+	}
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

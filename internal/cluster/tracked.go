@@ -211,14 +211,21 @@ func buildPrevHead(
 	prevElect map[int]map[uint64]uint64,
 ) func(int) int {
 	if k == 0 {
-		// Level-0 nodes are persistent; use the raw previous election.
+		// Level-0 identities are the node IDs themselves, but the nodes
+		// are only persistent while they remain covered: a previous head
+		// that churned out or drifted off the giant component has no
+		// current carrier and must report -1, or a grace-period elector
+		// (DebouncedLCA) would keep electing the departed node and
+		// promote a head that is not a level-0 node at all.
 		if prevH == nil || prevH.Level(0) == nil || prevH.Level(0).Head == nil {
 			return func(int) int { return -1 }
 		}
 		heads := prevH.Level(0).Head
 		return func(u int) int {
 			if hd, ok := heads[u]; ok {
-				return hd
+				if _, live := slices.BinarySearch(curNodes, hd); live {
+					return hd
+				}
 			}
 			return -1
 		}

@@ -19,6 +19,11 @@
 //	sharedrng       a go statement whose function literal captures an
 //	                rng stream from the enclosing scope (rng.Source is
 //	                not goroutine-safe)
+//	statemut        a direct field write to a simulator-state type
+//	                (looper, stateRun) outside that type's own methods
+//	                or the allow-listed setup constructors — state must
+//	                only change inside tick phases, or the invariant
+//	                checker's before/after reconciliation is meaningless
 //	typecheck       parse or type errors (reported, never a panic)
 //	badignore       a malformed //lint:ignore directive
 //
@@ -58,6 +63,16 @@ type Config struct {
 	// contains one is an approved epsilon helper and may compare
 	// floats with == / !=.
 	EpsilonMarkers []string
+	// StateTypes are simulator-state types, each named as
+	// "<package-path-suffix>.<TypeName>" (e.g. "internal/simnet.looper").
+	// Direct field writes through a value of one of these types are
+	// confined to the types' own methods (tick-phase code) and the
+	// StateMutators allow list; anywhere else they are a statemut
+	// finding. Empty disables the rule.
+	StateTypes []string
+	// StateMutators are names of plain functions (constructors/setup)
+	// allowed to mutate StateTypes directly.
+	StateMutators []string
 }
 
 // DefaultConfig is the policy enforced on this repository.
@@ -74,6 +89,8 @@ func DefaultConfig() Config {
 			"internal/workload",
 		},
 		EpsilonMarkers: []string{"approx", "almost", "close", "eps"},
+		StateTypes:     []string{"internal/simnet.looper", "internal/simnet.stateRun"},
+		StateMutators:  []string{"setupRun", "newStateRun"},
 	}
 }
 
@@ -142,6 +159,7 @@ func CheckPackage(m *Module, pkg *Package, cfg Config) []Finding {
 		c.floateq(f)
 		c.rawrng(f)
 		c.sharedrng(f)
+		c.statemut(f)
 		c.forbiddenImports(f)
 	}
 	// Import hygiene applies to test files too: a _test.go pulling in

@@ -16,6 +16,8 @@ var update = flag.Bool("update", false, "rewrite golden files")
 func testConfig() Config {
 	cfg := DefaultConfig()
 	cfg.SimPackages = []string{"internal/sim"}
+	cfg.StateTypes = []string{"statemut.engine"}
+	cfg.StateMutators = []string{"setup"}
 	return cfg
 }
 
@@ -70,6 +72,7 @@ func TestRuleBadrand(t *testing.T)    { checkGolden(t, testdataModule(t), "inter
 func TestRuleSimTime(t *testing.T)    { checkGolden(t, testdataModule(t), "internal/sim", "simtime") }
 func TestRuleTimeImport(t *testing.T) { checkGolden(t, testdataModule(t), "timeimport", "timeimport") }
 func TestRuleIgnores(t *testing.T)    { checkGolden(t, testdataModule(t), "ignores", "ignores") }
+func TestRuleStatemut(t *testing.T)   { checkGolden(t, testdataModule(t), "statemut", "statemut") }
 
 // TestTypeErrorReported loads a package that fails type-checking: the
 // analyzer must surface the diagnostics as typecheck findings (and

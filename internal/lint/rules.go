@@ -305,6 +305,124 @@ func (c *checker) sharedrng(f *ast.File) {
 	})
 }
 
+// ---------------------------------------------------------------- statemut
+
+// statemut confines direct simulator-state mutation to tick-phase
+// code. A write through a value of a Config.StateTypes type — field
+// assignment, op-assignment, ++/--, or a write into an element of a
+// state-typed field — is only legal inside a method declared on a
+// state type or inside an allow-listed StateMutators function. Every
+// other site is flagged: the runtime invariant checker reconciles
+// before/after snapshots across tick phases, and an out-of-band
+// mutation would invalidate exactly the reconciliation it relies on.
+func (c *checker) statemut(f *ast.File) {
+	info := c.pkg.Info
+	if info == nil || len(c.cfg.StateTypes) == 0 {
+		return
+	}
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		if c.isStateMethod(fd) || c.isStateMutator(fd) {
+			continue // tick-phase code: free to mutate its own state
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if n.Tok == token.DEFINE {
+					return true // := declares locals, never state fields
+				}
+				for _, lhs := range n.Lhs {
+					c.checkStateWrite(lhs, fd.Name.Name)
+				}
+			case *ast.IncDecStmt:
+				c.checkStateWrite(n.X, fd.Name.Name)
+			}
+			return true
+		})
+	}
+}
+
+// checkStateWrite flags lhs if, after peeling index/deref/paren
+// wrappers, it is a selector whose base is state-typed.
+func (c *checker) checkStateWrite(lhs ast.Expr, fn string) {
+	info := c.pkg.Info
+	for {
+		switch e := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = e.X
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		case *ast.SelectorExpr:
+			if c.isStateType(info.TypeOf(e.X)) {
+				c.addf(lhs.Pos(), "statemut",
+					"direct write to simulator state %s outside tick-phase code; mutate state only in the state type's methods or a registered mutator (%s is neither), or annotate //lint:ignore statemut <reason>",
+					types.ExprString(e), fn)
+				return
+			}
+			lhs = e.X
+		default:
+			return
+		}
+	}
+}
+
+// isStateMethod reports whether fd is declared on (a pointer to) one
+// of the configured state types.
+func (c *checker) isStateMethod(fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	return c.isStateType(c.pkg.Info.TypeOf(fd.Recv.List[0].Type))
+}
+
+func (c *checker) isStateMutator(fd *ast.FuncDecl) bool {
+	if fd.Recv != nil {
+		return false
+	}
+	for _, name := range c.cfg.StateMutators {
+		if fd.Name.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// isStateType reports whether t (possibly behind a pointer) is one of
+// cfg.StateTypes, each spelled "<pkg-path-suffix>.<TypeName>".
+func (c *checker) isStateType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	for _, spec := range c.cfg.StateTypes {
+		dot := strings.LastIndex(spec, ".")
+		if dot < 0 || obj.Name() != spec[dot+1:] {
+			continue
+		}
+		pkgSpec := spec[:dot]
+		if path == pkgSpec || strings.HasSuffix(path, "/"+pkgSpec) {
+			return true
+		}
+	}
+	return false
+}
+
 // ------------------------------------------------------------------ shared
 
 func sprintf(format string, args ...any) string {

@@ -1,0 +1,61 @@
+// Package statemut exercises the statemut rule: engine stands in for
+// the simulator's looper/stateRun, and the test config registers
+// statemut.engine as a state type with setup as its only allow-listed
+// mutator.
+package statemut
+
+type engine struct {
+	tick  int
+	alive []bool
+	peers map[int]int
+	inner *engine
+}
+
+// step is a method on the state type: tick-phase code, every write is
+// legal.
+func (e *engine) step() {
+	e.tick++
+	e.alive[0] = true
+	helper := func() { e.tick += 2 } // closure inside a state method: legal
+	helper()
+}
+
+// setup is the allow-listed mutator: legal.
+func setup(n int) *engine {
+	e := &engine{peers: map[int]int{}}
+	e.alive = make([]bool, n)
+	for i := range e.alive {
+		e.alive[i] = true
+	}
+	return e
+}
+
+// drive is neither a state method nor a registered mutator: every
+// write through the engine must be flagged.
+func drive(e *engine) {
+	e.tick++                 // flagged: inc/dec
+	e.tick = 7               // flagged: field assignment
+	e.alive[1] = false       // flagged: element of a state-typed field
+	e.peers[3] = 4           // flagged: map entry of a state-typed field
+	e.inner.tick = 1         // flagged: nested state access
+	go func() { e.tick-- }() // flagged: closure does not launder the write
+}
+
+// inspect only reads state: legal.
+func inspect(e *engine) int {
+	t := e.tick
+	return t + len(e.alive)
+}
+
+// annotated carries a waiver and must not be reported.
+func annotated(e *engine) {
+	//lint:ignore statemut resetting between test cases
+	e.tick = 0
+}
+
+// localMutation writes a plain local, not state: legal.
+func localMutation() {
+	x := 3
+	x = 4
+	_ = x
+}

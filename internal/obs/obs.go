@@ -30,15 +30,16 @@ import (
 // their totals sum to at most (and in practice almost exactly) the
 // PhaseTick total.
 const (
-	PhaseTick     = "tick.total"
-	PhaseAdvance  = "tick.advance" // mobility, churn, spatial grid update
-	PhaseRebuild  = "tick.rebuild" // unit-disk graph rebuild
-	PhaseCluster  = "tick.cluster" // hierarchy (re)construction
-	PhaseDiff     = "tick.diff"    // hierarchy diffing
-	PhaseLMUpdate = "tick.lm_update"
-	PhaseMeasure  = "tick.measure" // handoff accounting and classifiers
-	PhaseHops     = "tick.hops"    // intra-cluster hop sampling (BFS)
-	PhaseObserver = "tick.observer"
+	PhaseTick      = "tick.total"
+	PhaseAdvance   = "tick.advance" // mobility, churn, spatial grid update
+	PhaseRebuild   = "tick.rebuild" // unit-disk graph rebuild
+	PhaseCluster   = "tick.cluster" // hierarchy (re)construction
+	PhaseDiff      = "tick.diff"    // hierarchy diffing
+	PhaseLMUpdate  = "tick.lm_update"
+	PhaseMeasure   = "tick.measure" // handoff accounting and classifiers
+	PhaseHops      = "tick.hops"    // intra-cluster hop sampling (BFS)
+	PhaseInvariant = "tick.invariant"
+	PhaseObserver  = "tick.observer"
 )
 
 // Sweep-level metric names recorded by runner.Sweep through Progress.
@@ -46,6 +47,12 @@ const (
 	SweepCell        = "sweep.cell" // per-cell wall time
 	SweepCellsOK     = "sweep.cells_ok"
 	SweepCellsFailed = "sweep.cells_failed"
+)
+
+// Invariant-checker metric names recorded by internal/invariant.
+const (
+	InvariantTicksChecked = "invariant.ticks_checked"
+	InvariantViolations   = "invariant.violations"
 )
 
 // Counter is a monotonically accumulating integer metric. Safe for

@@ -90,14 +90,7 @@ func Sweep(spec SweepSpec) []CellResult {
 				cfg.N = j.n
 				cfg.Seed = j.seed
 				cfg.IntraTickParallelism = intra
-				cell := prog.CellStart(j.n, j.seed)
-				var r *simnet.Results
-				var err error
-				if perr := par.Recover(func() { r, err = simnet.Run(cfg) }); perr != nil {
-					r, err = nil, perr
-				}
-				cell.Done(err)
-				out[j.idx] = CellResult{N: j.n, Seed: j.seed, R: r, Err: err}
+				out[j.idx] = runCell(cfg, j.n, j.seed, prog)
 			}
 		}()
 	}
@@ -107,6 +100,39 @@ func Sweep(spec SweepSpec) []CellResult {
 	close(ch)
 	wg.Wait()
 	return out
+}
+
+// errCellTerminated marks a cell whose goroutine exited without
+// completing — a runtime.Goexit mid-run (e.g. a test helper calling
+// FailNow from an Observer). par.Recover cannot intercept Goexit, so
+// the deferred accounting reports this sentinel instead of success.
+var errCellTerminated = fmt.Errorf("runner: cell goroutine terminated before completion")
+
+// runCell executes one sweep cell on a dedicated goroutine so that
+// nothing a cell does can kill the shared worker: a panic is captured
+// by par.Recover into Err, and a runtime.Goexit (which unwinds past
+// Recover) still runs the deferred cell accounting — counted failed,
+// with errCellTerminated recorded — and still returns to the worker
+// loop. Without the extra goroutine a Goexit would take the worker
+// down with the cell's progress never reported, deadlocking Sweep's
+// unbuffered job send once every worker died that way.
+func runCell(cfg simnet.Config, n int, seed uint64, prog *obs.Progress) CellResult {
+	res := CellResult{N: n, Seed: seed}
+	done := make(chan struct{})
+	go func() {
+		defer close(done) // registered first so it runs after the cell accounting
+		cell := prog.CellStart(n, seed)
+		res.Err = errCellTerminated // overwritten on normal completion
+		defer func() { cell.Done(res.Err) }()
+		var r *simnet.Results
+		var err error
+		if perr := par.Recover(func() { r, err = simnet.Run(cfg) }); perr != nil {
+			r, err = nil, perr
+		}
+		res.R, res.Err = r, err
+	}()
+	<-done
+	return res
 }
 
 // coreBudget splits a budget of cores between cell-level workers and

@@ -1,0 +1,125 @@
+package runner
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+// setupPanicElector panics inside cluster construction, which during
+// setupRun happens before the looper exists — i.e. before any phase
+// span has been opened for the cell.
+type setupPanicElector struct{}
+
+func (setupPanicElector) Name() string { return "setup-panic" }
+func (setupPanicElector) Elect([]int, *topology.Graph, func(int) int) map[int]int {
+	panic("elector exploded during setup")
+}
+
+// TestSweepCountsEarlySetupPanic is the satellite-1 regression: a cell
+// that panics during setup — before the first phase span is opened —
+// must still be recovered into CellResult.Err AND counted in the obs
+// sweep cells_failed counter. (Audit outcome: obs.Cell.Done performs
+// the counting and is independent of phase spans, so early panics were
+// already counted correctly; this test pins that.)
+func TestSweepCountsEarlySetupPanic(t *testing.T) {
+	reg := obs.NewRegistry()
+	spec := SweepSpec{
+		Ns: []int{12}, Seeds: 2, Parallelism: 2,
+		Base: simnet.Config{
+			Duration: 2, Warmup: -1,
+			Elector: setupPanicElector{},
+			Metrics: reg,
+		},
+	}
+	cells := Sweep(spec)
+	if len(cells) != 2 {
+		t.Fatalf("cell count %d, want 2", len(cells))
+	}
+	for _, c := range cells {
+		if c.Err == nil {
+			t.Fatalf("setup panic not captured: %+v", c)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[obs.SweepCellsFailed]; got != 2 {
+		t.Errorf("%s = %d, want 2", obs.SweepCellsFailed, got)
+	}
+	if got := snap.Counters[obs.SweepCellsOK]; got != 0 {
+		t.Errorf("%s = %d, want 0", obs.SweepCellsFailed, got)
+	}
+}
+
+// TestSweepSurvivesGoexit covers the adjacent gap found by the audit:
+// runtime.Goexit (e.g. t.FailNow called from an Observer) unwinds past
+// par.Recover and used to kill the sweep worker outright — the cell
+// was never counted, its result stayed zero (Err == nil, indistinct
+// from success), and with every worker dead the unbuffered job send
+// deadlocked Sweep. Each cell now runs on a dedicated goroutine:
+// Goexit is accounted as a failed cell with errCellTerminated and the
+// sweep finishes.
+func TestSweepSurvivesGoexit(t *testing.T) {
+	reg := obs.NewRegistry()
+	spec := SweepSpec{
+		// 4 cells on 1 worker: with the old code the first Goexit killed
+		// the only worker and the sweep deadlocked on the job channel.
+		Ns: []int{12}, Seeds: 4, Parallelism: 1,
+		Base: simnet.Config{
+			Duration: 2, Warmup: -1,
+			Observer: func(simnet.ObsEvent) { runtime.Goexit() },
+			Metrics:  reg,
+		},
+	}
+	cells := Sweep(spec)
+	if len(cells) != 4 {
+		t.Fatalf("cell count %d, want 4", len(cells))
+	}
+	for _, c := range cells {
+		if !errors.Is(c.Err, errCellTerminated) {
+			t.Fatalf("Goexit cell Err = %v, want errCellTerminated", c.Err)
+		}
+		if c.R != nil {
+			t.Fatalf("Goexit cell carries results: %+v", c)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[obs.SweepCellsFailed]; got != 4 {
+		t.Errorf("%s = %d, want 4", obs.SweepCellsFailed, got)
+	}
+}
+
+// TestSweepGoexitDoesNotPoisonHealthyCells mixes one Goexit cell with
+// a healthy one on a single worker: the worker must survive the Goexit
+// and run the remaining cell to normal completion.
+func TestSweepGoexitDoesNotPoisonHealthyCells(t *testing.T) {
+	// Parallelism 1 runs the cells sequentially on one worker, so the
+	// observer's call counter is race-free and the first cell is the
+	// one that dies.
+	var calls int
+	spec := SweepSpec{
+		Ns: []int{12, 14}, Seeds: 1, Parallelism: 1,
+		Base: simnet.Config{
+			Duration: 2, Warmup: -1,
+			Observer: func(simnet.ObsEvent) {
+				calls++
+				if calls == 1 {
+					runtime.Goexit()
+				}
+			},
+		},
+	}
+	cells := Sweep(spec)
+	if !errors.Is(cells[0].Err, errCellTerminated) {
+		t.Fatalf("first cell Err = %v, want errCellTerminated", cells[0].Err)
+	}
+	if cells[1].Err != nil || cells[1].R == nil {
+		t.Fatalf("second cell did not survive the worker's Goexit: %+v", cells[1])
+	}
+}
+
+var _ cluster.Elector = setupPanicElector{}

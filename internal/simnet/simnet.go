@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/geom"
+	"repro/internal/invariant"
 	"repro/internal/lm"
 	"repro/internal/mobility"
 	"repro/internal/obs"
@@ -35,6 +36,20 @@ const (
 	HopEuclidean = "euclid"
 	HopBFS       = "bfs"
 )
+
+// Fault names accepted by Config.Fault (fault injection for the
+// invariant harness; see the Fault field).
+const (
+	// FaultHandoffMisroute periodically rewrites one live LM table
+	// entry to point at the wrong (but live) server — a handoff that
+	// failed to rehome an entry. Only the table-rebuild-equal invariant
+	// can see it, which is exactly what it exists to demonstrate.
+	FaultHandoffMisroute = "handoff-misroute"
+)
+
+// faultPeriod is the tick period of fault injection: prime and < 200
+// so a shrunk reproduction always fits the ≤ 200-tick budget.
+const faultPeriod = 37
 
 // Config parameterizes one simulation run. Zero fields take the
 // defaults documented on each field.
@@ -113,6 +128,24 @@ type Config struct {
 	// Observer, when non-nil, is invoked after every scan tick with
 	// the live state. Used by examples and the trace tool.
 	Observer func(ObsEvent)
+
+	// CheckLevel selects how often the runtime invariant checker
+	// (internal/invariant) audits the tick's snapshots: "" or "off"
+	// (default) disables it, "sampled" checks every 16th tick, and
+	// "every-tick" checks all of them. Violations carry the offending
+	// tick, seed, and a minimal state dump; they are delivered to
+	// OnViolation when set and panic otherwise.
+	CheckLevel string
+
+	// OnViolation receives invariant violations instead of panicking.
+	// Used by the fuzzing harness (internal/invariant/prop) to collect,
+	// shrink, and replay failing scenarios.
+	OnViolation func(invariant.Violation)
+
+	// Fault injects a deliberate bug into the tick loop (see the Fault*
+	// constants) so tests can prove the invariant checker catches it.
+	// Empty (default) injects nothing.
+	Fault string
 
 	// Metrics, when non-nil, receives run observability: wall-clock
 	// phase timers for every stage of the scan tick (obs.PhaseTick and
@@ -209,6 +242,14 @@ func (c Config) validate() error {
 	}
 	if c.IntraTickParallelism < 0 {
 		return fmt.Errorf("simnet: IntraTickParallelism must be >= 0 (got %d)", c.IntraTickParallelism)
+	}
+	if _, err := invariant.ParseLevel(c.CheckLevel); err != nil {
+		return fmt.Errorf("simnet: %v", err)
+	}
+	switch c.Fault {
+	case "", FaultHandoffMisroute:
+	default:
+		return fmt.Errorf("simnet: unknown fault %q", c.Fault)
 	}
 	return nil
 }
@@ -331,8 +372,14 @@ func setupRun(cfg Config) (*looper, error) {
 	st.bindPool(pool)
 	st.observe(hier, graph, 0)
 
+	// Invariant checker (Config.CheckLevel). The level was validated
+	// before setupRun, so the parse cannot fail here.
+	checkLevel, _ := invariant.ParseLevel(cfg.CheckLevel)
+	checker := invariant.New(checkLevel, cfg.Metrics, cfg.OnViolation)
+
 	lp := &looper{
 		pool:       pool,
+		checker:    checker,
 		tm:         newPhaseTimers(cfg.Metrics),
 		cfg:        cfg,
 		clusterCfg: clusterCfg,
@@ -356,6 +403,17 @@ func setupRun(cfg Config) (*looper, error) {
 	}
 	for i := range lp.alive {
 		lp.alive[i] = true
+	}
+
+	// Audit the setup snapshot too (tick 0, no prev/diff): a run must
+	// not start from a corrupt structure. Only every-tick mode fires
+	// here — Sampled starts at tick 1.
+	if checker.ShouldCheck(0) {
+		checker.CheckTick(&invariant.Snapshot{
+			Tick: 0, Time: 0, Seed: cfg.Seed,
+			Next:     &invariant.State{Hier: hier, IDs: idents, Table: table},
+			Selector: selector,
+		})
 	}
 	return lp, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/geom"
+	"repro/internal/invariant"
 	"repro/internal/lm"
 	"repro/internal/mobility"
 	"repro/internal/obs"
@@ -20,15 +21,16 @@ import (
 // lock. With Metrics unset every field is nil and each instrumentation
 // point costs one nil check (obs types are nil-safe no-ops).
 type phaseTimers struct {
-	tick     *obs.Timer
-	advance  *obs.Timer
-	rebuild  *obs.Timer
-	cluster  *obs.Timer
-	diff     *obs.Timer
-	lmUpdate *obs.Timer
-	measure  *obs.Timer
-	hops     *obs.Timer
-	observer *obs.Timer
+	tick      *obs.Timer
+	advance   *obs.Timer
+	rebuild   *obs.Timer
+	cluster   *obs.Timer
+	diff      *obs.Timer
+	lmUpdate  *obs.Timer
+	measure   *obs.Timer
+	hops      *obs.Timer
+	invariant *obs.Timer
+	observer  *obs.Timer
 
 	ticks         *obs.Counter
 	measuredTicks *obs.Counter
@@ -41,15 +43,16 @@ func newPhaseTimers(reg *obs.Registry) phaseTimers {
 		return phaseTimers{}
 	}
 	return phaseTimers{
-		tick:     reg.Timer(obs.PhaseTick),
-		advance:  reg.Timer(obs.PhaseAdvance),
-		rebuild:  reg.Timer(obs.PhaseRebuild),
-		cluster:  reg.Timer(obs.PhaseCluster),
-		diff:     reg.Timer(obs.PhaseDiff),
-		lmUpdate: reg.Timer(obs.PhaseLMUpdate),
-		measure:  reg.Timer(obs.PhaseMeasure),
-		hops:     reg.Timer(obs.PhaseHops),
-		observer: reg.Timer(obs.PhaseObserver),
+		tick:      reg.Timer(obs.PhaseTick),
+		advance:   reg.Timer(obs.PhaseAdvance),
+		rebuild:   reg.Timer(obs.PhaseRebuild),
+		cluster:   reg.Timer(obs.PhaseCluster),
+		diff:      reg.Timer(obs.PhaseDiff),
+		lmUpdate:  reg.Timer(obs.PhaseLMUpdate),
+		measure:   reg.Timer(obs.PhaseMeasure),
+		hops:      reg.Timer(obs.PhaseHops),
+		invariant: reg.Timer(obs.PhaseInvariant),
+		observer:  reg.Timer(obs.PhaseObserver),
 
 		ticks:         reg.Counter("sim.ticks"),
 		measuredTicks: reg.Counter("sim.measured_ticks"),
@@ -117,6 +120,9 @@ type looper struct {
 	pool         *par.Pool
 	buildScratch topology.BuildScratch
 	updParScr    lm.UpdateParScratch
+
+	// Invariant checker (Config.CheckLevel); nil checks nothing.
+	checker *invariant.Checker
 
 	// Observability (Config.Metrics): pre-resolved phase timers and
 	// counters; all nil (no-op) when metrics are off.
@@ -202,6 +208,13 @@ func (lp *looper) step(now float64) {
 	lp.spareTable = nil
 	spLM.Stop()
 
+	// Fault injection (Config.Fault): corrupt the fresh table before
+	// anything downstream — accounting, observer, and the invariant
+	// checker all see the corrupted state, as a real bug would present.
+	if cfg.Fault == FaultHandoffMisroute && lp.tick%faultPeriod == 0 {
+		newTable.CorruptServer(cfg.Seed + uint64(lp.tick))
+	}
+
 	measuring := now > cfg.Warmup
 	var transfers []lm.Transfer
 	if measuring {
@@ -226,6 +239,18 @@ func (lp *looper) step(now float64) {
 			st.sampleHops(newHier, newGraph)
 			spHops.Stop()
 		}
+	}
+
+	if lp.checker.ShouldCheck(lp.tick) {
+		spInv := lp.tm.invariant.Start()
+		lp.checker.CheckTick(&invariant.Snapshot{
+			Tick: lp.tick, Time: now, Seed: cfg.Seed,
+			Prev:     &invariant.State{Hier: lp.hier, IDs: lp.idents, Table: lp.table},
+			Next:     &invariant.State{Hier: newHier, IDs: newIdents, Table: newTable},
+			Diff:     lp.diff,
+			Selector: lp.selector,
+		})
+		spInv.Stop()
 	}
 
 	if cfg.Observer != nil {

@@ -143,6 +143,25 @@ func (g *Graph) Edges() []EdgeKey {
 	return g.AppendEdges(make([]EdgeKey, 0, g.EdgeCount()))
 }
 
+// Equal reports whether g and o have the same edge set, regardless of
+// which store (bulk or incremental) each edge lives in.
+func (g *Graph) Equal(o *Graph) bool {
+	if g == nil || o == nil {
+		return g == o
+	}
+	if g.EdgeCount() != o.EdgeCount() {
+		return false
+	}
+	equal := true
+	g.ForEachEdge(func(e EdgeKey) {
+		if equal {
+			a, b := e.Nodes()
+			equal = o.HasEdge(a, b)
+		}
+	})
+	return equal
+}
+
 // ForEachEdge invokes fn once per edge. Bulk-built edges are visited
 // in ascending key order; incrementally added edges follow in
 // unspecified order, so fn must be order-free unless the graph is
