@@ -1,6 +1,6 @@
 # Verification entry points. `make check test race` is what CI runs.
 
-.PHONY: all build check test race lint bench bench-json fuzz manet-fuzz
+.PHONY: all build check test race multicore lint bench bench-json fuzz manet-fuzz
 
 all: build check test
 
@@ -20,6 +20,13 @@ test:
 
 race:
 	go test -race ./...
+
+# Multi-core determinism gate: the serial-vs-parallel equivalence suite
+# and a one-iteration smoke of the /par tick benchmarks, GOMAXPROCS
+# pinned so the worker pool actually fans out.
+multicore:
+	GOMAXPROCS=4 go test -run TestParallelMatchesSerial -count=1 ./internal/simnet
+	GOMAXPROCS=4 go test -run '^$$' -bench 'BenchmarkTick(GraphRebuild|LMUpdate)/par' -benchtime=1x -cpu=4 .
 
 # Property-based scenario fuzzing: random configs run with every-tick
 # invariant checks and a serial-vs-parallel differential; failures are

@@ -1,0 +1,229 @@
+// Package analysistest runs analyzers over testdata fixture modules
+// and checks their diagnostics against expectations written in the
+// fixture source, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// An expectation is a comment of the form
+//
+//	// want "regexp" "another regexp"
+//
+// on the line the diagnostic is reported at. Every expectation must be
+// matched by a distinct diagnostic on that line and every diagnostic
+// must match an expectation, otherwise the test fails with both lists.
+//
+// Fixtures live under <dir>/src, which must be a valid module
+// (a go.mod naming the fixture module path); patterns are package
+// directories relative to that module root. The analyzers run through
+// the production driver, so the //lint:ignore suppression layer and
+// stale-directive detection behave exactly as in cmd/manetlint.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run applies one analyzer to the fixture packages named by patterns
+// under dir/src and checks // want expectations.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	RunSuite(t, dir, []*analysis.Analyzer{a}, patterns...)
+}
+
+// RunSuite is Run for several analyzers at once (diagnostics from all
+// of them participate in matching) — used by fixtures that exercise
+// cross-analyzer behavior such as stale-ignore detection.
+func RunSuite(t *testing.T, dir string, analyzers []*analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	src := filepath.Join(dir, "src")
+	m, err := analysis.NewModule(src)
+	if err != nil {
+		t.Fatalf("analysistest: open fixture module: %v", err)
+	}
+	paths := make([]string, len(patterns))
+	for i, p := range patterns {
+		paths[i] = m.Path + "/" + p
+	}
+
+	d := &analysis.Driver{Analyzers: analyzers}
+	findings, err := d.Run(src, src, paths)
+	if err != nil {
+		t.Fatalf("analysistest: driver: %v", err)
+	}
+
+	wants := collectWants(t, m, paths)
+
+	got := map[lineKey][]analysis.Finding{}
+	for _, f := range findings {
+		k := lineKey{f.File, f.Line}
+		got[k] = append(got[k], f)
+	}
+
+	for _, k := range sortedKeys(wants) {
+		ws := wants[k]
+		diags := got[k]
+		used := make([]bool, len(diags))
+		for _, w := range ws {
+			matched := false
+			for i, d := range diags {
+				if !used[i] && w.re.MatchString(d.Message) {
+					used[i] = true
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("%s:%d: no diagnostic matches want %q (got %s)",
+					k.file, k.line, w.re.String(), renderDiags(diags))
+			}
+		}
+		for i, d := range diags {
+			if !used[i] {
+				t.Errorf("%s:%d: unexpected diagnostic: %s: %s", k.file, k.line, d.Rule, d.Message)
+			}
+		}
+		delete(got, k)
+	}
+	for _, k := range sortedKeys(got) {
+		t.Errorf("%s:%d: unexpected diagnostic(s) with no want comment: %s", k.file, k.line, renderDiags(got[k]))
+	}
+}
+
+// lineKey addresses one source line of the fixture module.
+type lineKey struct {
+	file string
+	line int
+}
+
+// sortedKeys returns the keys of a lineKey-keyed map in source order.
+func sortedKeys[V any](m map[lineKey]V) []lineKey {
+	keys := make([]lineKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	return keys
+}
+
+type want struct {
+	re *regexp.Regexp
+}
+
+func renderDiags(diags []analysis.Finding) string {
+	if len(diags) == 0 {
+		return "none"
+	}
+	var parts []string
+	for _, d := range diags {
+		parts = append(parts, fmt.Sprintf("%s: %q", d.Rule, d.Message))
+	}
+	return strings.Join(parts, "; ")
+}
+
+// collectWants scans the source files of the requested packages for
+// // want comments.
+func collectWants(t *testing.T, m *analysis.Module, paths []string) map[lineKey][]want {
+	t.Helper()
+	out := map[lineKey][]want{}
+	for _, p := range paths {
+		pkg, err := m.Load(p)
+		if err != nil {
+			t.Fatalf("analysistest: load %s: %v", p, err)
+		}
+		for _, f := range append(append([]*ast.File{}, pkg.Files...), pkg.TestFiles...) {
+			for _, cg := range f.Comments {
+				for _, cm := range cg.List {
+					rest, ok := wantPayload(cm.Text)
+					if !ok {
+						continue
+					}
+					pos := m.FileSet().Position(cm.Pos())
+					rel, err := filepath.Rel(m.Root, pos.Filename)
+					if err != nil {
+						rel = pos.Filename
+					}
+					k := lineKey{filepath.ToSlash(rel), pos.Line}
+					for _, pat := range splitWantPatterns(rest) {
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", k.file, k.line, pat, err)
+						}
+						out[k] = append(out[k], want{re})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// wantPayload extracts the expectation list from a want comment. The
+// line form `// want ...` is the default; the block form
+// `/* want ... */` exists for diagnostics reported on a line that is
+// itself a line comment (e.g. ignorecheck findings on //lint:ignore
+// directives), where a trailing line comment cannot be attached.
+func wantPayload(text string) (string, bool) {
+	if rest, ok := strings.CutPrefix(text, "// want "); ok {
+		return rest, true
+	}
+	if rest, ok := strings.CutPrefix(text, "/* want "); ok {
+		if trimmed, ok := strings.CutSuffix(rest, "*/"); ok {
+			return strings.TrimSpace(trimmed), true
+		}
+	}
+	return "", false
+}
+
+// splitWantPatterns parses the payload of a want comment: a sequence
+// of double-quoted Go strings or backquoted raw strings.
+func splitWantPatterns(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) {
+				if s[end] == '\\' {
+					end += 2
+					continue
+				}
+				if s[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(s) {
+				return append(out, s) // unterminated; surface as-is
+			}
+			unq, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				unq = s[1:end]
+			}
+			out = append(out, unq)
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return append(out, s)
+			}
+			out = append(out, s[1:end+1])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			return append(out, s)
+		}
+	}
+	return out
+}

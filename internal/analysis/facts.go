@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/types"
+	"reflect"
+)
+
+// factBank is the in-process fact store of one driver run. Fact
+// identity is (object, concrete fact type) — the same keying the real
+// framework uses — and propagation is by reference: the loader shares
+// *types.Package values between importer and importee, so an object
+// seen from a dependent package is the very object the fact was
+// exported on.
+type factBank struct {
+	obj map[objFactKey]Fact
+	pkg map[pkgFactKey]Fact
+}
+
+type objFactKey struct {
+	obj types.Object
+	t   reflect.Type
+}
+
+type pkgFactKey struct {
+	pkg *types.Package
+	t   reflect.Type
+}
+
+func newFactBank() *factBank {
+	return &factBank{obj: map[objFactKey]Fact{}, pkg: map[pkgFactKey]Fact{}}
+}
+
+// plumb wires a pass's fact methods to this bank.
+func (b *factBank) plumb(pass *Pass) {
+	current := pass.Pkg
+	pass.SetFactPlumbing(
+		func(obj types.Object, fact Fact) bool {
+			stored, ok := b.obj[objFactKey{obj, reflect.TypeOf(fact)}]
+			if ok {
+				reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+			}
+			return ok
+		},
+		func(obj types.Object, fact Fact) {
+			b.obj[objFactKey{obj, reflect.TypeOf(fact)}] = fact
+		},
+		func(pkg *types.Package, fact Fact) bool {
+			stored, ok := b.pkg[pkgFactKey{pkg, reflect.TypeOf(fact)}]
+			if ok {
+				reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+			}
+			return ok
+		},
+		func(fact Fact) {
+			b.pkg[pkgFactKey{current, reflect.TypeOf(fact)}] = fact
+		},
+	)
+}
+
+// ObjectFactsOf returns the facts attached to top-level objects (and
+// methods) of pkg, for serialization by the unitchecker driver.
+func (b *factBank) ObjectFactsOf(pkg *types.Package) map[types.Object][]Fact {
+	out := map[types.Object][]Fact{}
+	//lint:ignore maprange result is itself a map; grouping is order-insensitive
+	for k, f := range b.obj {
+		if k.obj.Pkg() == pkg {
+			out[k.obj] = append(out[k.obj], f)
+		}
+	}
+	return out
+}

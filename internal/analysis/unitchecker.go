@@ -1,0 +1,420 @@
+package analysis
+
+// Unitchecker mode: run the analyzer suite on a single compilation
+// unit described by a JSON config file, the protocol `go vet -vettool`
+// speaks. cmd/go typechecks nothing itself — it hands the tool a .cfg
+// naming the unit's Go files plus export-data files for every
+// dependency, and expects diagnostics on stderr (file:line:col:
+// message) with a nonzero exit when any are found. Facts flow between
+// units through "vetx" files: cmd/go tells us where each dependency's
+// fact file lives (PackageVetx) and where to write ours (VetxOutput),
+// and caches both. Objects are named across units by a simplified
+// path — "F:Name" for package-level functions, "M:Type.Method" for
+// methods, "V:Name" for package-level variables — resolved against the
+// importer's view of the dependency.
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// VetConfig is the subset of cmd/go's vet config this driver reads.
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetxEntry is one serialized fact. Key "" addresses the package
+// itself; otherwise it is a simplified object path.
+type vetxEntry struct {
+	Key  string
+	Fact Fact
+}
+
+// RunUnitchecker analyzes the unit described by cfgFile and returns a
+// process exit code (0 clean, 1 internal error, 2 findings).
+func RunUnitchecker(analyzers []*Analyzer, cfgFile string) int {
+	findings, err := runUnit(analyzers, cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "manetlint: %v\n", err)
+		return 1
+	}
+	if len(findings) == 0 {
+		return 0
+	}
+	SortFindings(findings)
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f.String())
+	}
+	return 2
+}
+
+func runUnit(analyzers []*Analyzer, cfgFile string) ([]Finding, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", cfgFile, err)
+	}
+
+	// cmd/go hands test variants ("pkg [pkg.test]", "pkg_test") to the
+	// vettool as ordinary units with _test.go files mixed in. The native
+	// driver keeps test files out of Pass.Files (analyzers exempt test
+	// code), so split by suffix here; type-checking still sees the whole
+	// unit.
+	fset := token.NewFileSet()
+	var files, nonTest, testFiles []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+		if strings.HasSuffix(name, "_test.go") {
+			testFiles = append(testFiles, f)
+		} else {
+			nonTest = append(nonTest, f)
+		}
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	compilerImporter := importer.ForCompiler(fset, gcCompiler(cfg.Compiler), func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	tc := &types.Config{Importer: imp, Sizes: types.SizesFor("gc", "amd64")}
+	var typeErrs []types.Error
+	tc.Error = func(err error) {
+		if te, ok := err.(types.Error); ok {
+			typeErrs = append(typeErrs, te)
+		}
+	}
+	pkg, _ := tc.Check(cfg.ImportPath, fset, files, info)
+	if len(typeErrs) > 0 && cfg.SucceedOnTypecheckFailure {
+		return nil, nil
+	}
+
+	bank := newVetFactBank(analyzers)
+	if err := bank.load(cfg, imp); err != nil {
+		return nil, err
+	}
+
+	seq := Sequence(analyzers)
+	var findings []Finding
+	results := map[*Analyzer]any{}
+	ignores := CollectIgnores(fset, cfg.Dir, files)
+	matched := make([]map[string]bool, len(ignores))
+	for i := range matched {
+		matched[i] = map[string]bool{}
+	}
+	active := map[string]bool{"typecheck": true}
+	for _, a := range seq {
+		active[a.Name] = true
+	}
+	report := func(a *Analyzer, d Diagnostic) {
+		pos := fset.Position(d.Pos)
+		f := Finding{
+			File: relUnitFile(cfg.Dir, pos.Filename), Line: pos.Line, Col: pos.Column,
+			Rule: a.Name, Message: d.Message, strict: d.Category == CategoryStrict,
+		}
+		if !f.strict {
+			for i, dir := range ignores {
+				if dir.File != f.File || (dir.Line != f.Line && dir.Line != f.Line-1) {
+					continue
+				}
+				for _, rule := range dir.Rules {
+					if rule == f.Rule {
+						matched[i][rule] = true
+						return
+					}
+				}
+			}
+		}
+		findings = append(findings, f)
+	}
+
+	for _, a := range seq {
+		if len(typeErrs) > 0 && !a.RunDespiteErrors {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a, Fset: fset, Files: nonTest, TestFiles: testFiles,
+			PkgPath: cfg.ImportPath, Pkg: pkg, TypesInfo: info, TypeErrors: typeErrs,
+			ResultOf: map[*Analyzer]any{},
+		}
+		for _, req := range a.Requires {
+			pass.ResultOf[req] = results[req]
+		}
+		ana := a
+		pass.Report = func(d Diagnostic) { report(ana, d) }
+		bank.plumb(pass, pkg)
+		res, err := a.Run(pass)
+		if err != nil {
+			findings = append(findings, Finding{
+				File: cfg.ImportPath, Line: 1, Col: 1, Rule: a.Name,
+				Message: fmt.Sprintf("analyzer failed: %v", err), strict: true,
+			})
+			continue
+		}
+		results[a] = res
+	}
+
+	for i, dir := range ignores {
+		for _, rule := range dir.Rules {
+			if active[rule] && !matched[i][rule] {
+				findings = append(findings, Finding{
+					File: dir.File, Line: dir.Line, Col: dir.Col, Rule: "ignorecheck",
+					Message: fmt.Sprintf("stale //lint:ignore %s: no %s finding on this or the next line; remove the directive", rule, rule),
+					strict:  true,
+				})
+			}
+		}
+	}
+
+	if cfg.VetxOutput != "" {
+		if err := bank.save(cfg.VetxOutput, pkg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+	return findings, nil
+}
+
+func gcCompiler(c string) string {
+	if c == "" {
+		return "gc"
+	}
+	return c
+}
+
+func relUnitFile(dir, name string) string {
+	if dir != "" && strings.HasPrefix(name, dir+string(os.PathSeparator)) {
+		return strings.ReplaceAll(name[len(dir)+1:], string(os.PathSeparator), "/")
+	}
+	return name
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// vetFactBank is the fact store for unitchecker mode: facts on
+// imported objects come from dependency vetx files, facts exported
+// here are written to VetxOutput for dependents.
+type vetFactBank struct {
+	factTypes map[string]reflect.Type // gob name -> concrete type
+	imported  map[string]Fact         // pkgPath \x00 objKey \x00 typeName
+	exported  map[objFactKey]Fact
+	exportPkg map[pkgFactKey]Fact
+}
+
+func newVetFactBank(analyzers []*Analyzer) *vetFactBank {
+	b := &vetFactBank{
+		factTypes: map[string]reflect.Type{},
+		imported:  map[string]Fact{},
+		exported:  map[objFactKey]Fact{},
+		exportPkg: map[pkgFactKey]Fact{},
+	}
+	for _, a := range Sequence(analyzers) {
+		for _, f := range a.FactTypes {
+			t := reflect.TypeOf(f)
+			gob.Register(f)
+			b.factTypes[t.String()] = t
+		}
+	}
+	return b
+}
+
+func (b *vetFactBank) key(pkgPath, objKey string, t reflect.Type) string {
+	return pkgPath + "\x00" + objKey + "\x00" + t.String()
+}
+
+// load decodes every dependency's vetx file.
+func (b *vetFactBank) load(cfg VetConfig, imp types.Importer) error {
+	paths := make([]string, 0, len(cfg.PackageVetx))
+	for p := range cfg.PackageVetx {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		// The native driver analyzes module packages only, so stdlib
+		// callees carry no facts there; drop stdlib vetx facts to keep
+		// the two modes reporting identically.
+		if cfg.Standard[p] {
+			continue
+		}
+		f, err := os.Open(cfg.PackageVetx[p])
+		if err != nil {
+			continue // missing facts for a dep degrade analysis, not correctness
+		}
+		var entries []vetxEntry
+		err = gob.NewDecoder(f).Decode(&entries)
+		f.Close()
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			t := reflect.TypeOf(e.Fact)
+			b.imported[b.key(p, e.Key, t)] = e.Fact
+		}
+	}
+	return nil
+}
+
+// objKey flattens a package-level object to its cross-unit name;
+// "" means the object is not addressable across units.
+func objKey(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	switch o := obj.(type) {
+	case *types.Func:
+		sig := o.Type().(*types.Signature)
+		if recv := sig.Recv(); recv != nil {
+			t := recv.Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok || named.Obj() == nil {
+				return ""
+			}
+			return "M:" + named.Obj().Name() + "." + o.Name()
+		}
+		return "F:" + o.Name()
+	case *types.Var:
+		if o.Parent() == o.Pkg().Scope() {
+			return "V:" + o.Name()
+		}
+	}
+	return ""
+}
+
+// plumb wires the Pass fact accessors for unitchecker mode.
+func (b *vetFactBank) plumb(pass *Pass, current *types.Package) {
+	pass.SetFactPlumbing(
+		func(obj types.Object, ptr Fact) bool {
+			t := reflect.TypeOf(ptr)
+			if obj != nil && current != nil && obj.Pkg() == current {
+				if stored, ok := b.exported[objFactKey{obj, t}]; ok {
+					reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(stored).Elem())
+					return true
+				}
+				return false
+			}
+			k := objKey(obj)
+			if k == "" || obj.Pkg() == nil {
+				return false
+			}
+			if stored, ok := b.imported[b.key(obj.Pkg().Path(), k, t)]; ok {
+				reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(stored).Elem())
+				return true
+			}
+			return false
+		},
+		func(obj types.Object, fact Fact) {
+			b.exported[objFactKey{obj, reflect.TypeOf(fact)}] = fact
+		},
+		func(pkg *types.Package, ptr Fact) bool {
+			t := reflect.TypeOf(ptr)
+			if pkg == current {
+				if stored, ok := b.exportPkg[pkgFactKey{pkg, t}]; ok {
+					reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(stored).Elem())
+					return true
+				}
+				return false
+			}
+			if pkg == nil {
+				return false
+			}
+			if stored, ok := b.imported[b.key(pkg.Path(), "", t)]; ok {
+				reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(stored).Elem())
+				return true
+			}
+			return false
+		},
+		func(fact Fact) {
+			if current != nil {
+				b.exportPkg[pkgFactKey{current, reflect.TypeOf(fact)}] = fact
+			}
+		},
+	)
+}
+
+// save writes the unit's exported facts as its vetx file.
+func (b *vetFactBank) save(path string, current *types.Package) error {
+	var entries []vetxEntry
+	//lint:ignore maprange entries are sorted by key before encoding
+	for k, fact := range b.exported {
+		if key := objKey(k.obj); key != "" {
+			entries = append(entries, vetxEntry{Key: key, Fact: fact})
+		}
+	}
+	//lint:ignore maprange entries are sorted by key before encoding
+	for k, fact := range b.exportPkg {
+		if k.pkg == current {
+			entries = append(entries, vetxEntry{Key: "", Fact: fact})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return gob.NewEncoder(f).Encode(entries)
+}

@@ -57,6 +57,8 @@ func NewArena() *Arena { return &Arena{} }
 // must no longer be referenced by anyone: its maps are cleared and its
 // slices will be overwritten by the next build. The level-0 graph is
 // NOT harvested — it is owned by the caller's graph double-buffer.
+//
+//manet:hotpath
 func (a *Arena) Recycle(h *Hierarchy, ids *Identities) {
 	if a == nil {
 		return
@@ -233,7 +235,6 @@ func (a *Arena) matchScratch() (map[matchPair]int, []matchPair, map[uint64]bool)
 
 // appendKeysSorted appends m's keys to dst in ascending order.
 func appendKeysSorted(dst []int, m map[int][]int) []int {
-	//lint:ignore maprange keys are collected and sorted below
 	for k := range m {
 		dst = append(dst, k)
 	}

@@ -287,7 +287,6 @@ func matchLevel(
 		}
 		counts[matchPair{prev: pc[k-1], next: nh}]++
 	}
-	//lint:ignore maprange keys are collected and sorted below
 	for p := range counts {
 		pairs = append(pairs, p)
 	}

@@ -491,7 +491,6 @@ func checkDiffState(s *Snapshot) error {
 			continue
 		}
 		ids = ids[:0]
-		//lint:ignore maprange keys are collected and sorted below
 		for id := range pl.State {
 			ids = append(ids, id)
 		}

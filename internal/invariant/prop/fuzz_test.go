@@ -62,7 +62,6 @@ func TestRegressionCorpusReplays(t *testing.T) {
 		t.Fatalf("regression corpus has %d entries, want >= 8", len(corpus))
 	}
 	names := make([]string, 0, len(corpus))
-	//lint:ignore maprange keys are sorted by ReadCorpus consumers below via subtests
 	for name := range corpus {
 		names = append(names, name)
 	}

@@ -1,0 +1,12 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/lint/floateq"
+)
+
+func TestFloateq(t *testing.T) {
+	analysistest.Run(t, "testdata", floateq.Analyzer, "a")
+}

@@ -1,0 +1,27 @@
+// Package a exercises the floateq analyzer: exact float comparison is
+// flagged outside epsilon helpers, the NaN idiom, and constant folds.
+package a
+
+func bad(a, b float64) bool {
+	return a == b // want `floating-point == comparison is exact`
+}
+
+func alsoBad(a, b float32) bool {
+	return a != b // want `floating-point != comparison is exact`
+}
+
+func isNaN(x float64) bool {
+	return x != x // ok: the NaN check idiom
+}
+
+func approxEq(a, b float64) bool {
+	return a == b // ok: epsilon helpers may compare exactly
+}
+
+func folded() bool {
+	return 1.5 == 3.0/2.0 // ok: constant-folded at compile time
+}
+
+func ints(a, b int) bool {
+	return a == b // ok: not a float comparison
+}

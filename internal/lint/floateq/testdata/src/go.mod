@@ -1,0 +1,3 @@
+module fix.example/floateq
+
+go 1.22

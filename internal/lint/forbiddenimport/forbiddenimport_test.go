@@ -1,0 +1,13 @@
+package forbiddenimport_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/lint/forbiddenimport"
+)
+
+func TestForbiddenImport(t *testing.T) {
+	analysistest.Run(t, "testdata", forbiddenimport.Analyzer,
+		"internal/a", "internal/simnet", "tools", "tools2")
+}

@@ -1,0 +1,3 @@
+module fix.example/forbidden
+
+go 1.22

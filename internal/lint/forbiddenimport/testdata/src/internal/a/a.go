@@ -1,0 +1,5 @@
+// Package a sits under internal/, where the rand ban is strict: no
+// annotation waives it.
+package a
+
+import _ "math/rand" // want `import "math/rand" is forbidden under internal/`

@@ -1,0 +1,5 @@
+// Package simnet matches the strict simulation-package list: time must
+// flow through the DES clock and no annotation waives the import.
+package simnet
+
+import _ "time" // want `import "time" is forbidden in simulation package`

@@ -1,0 +1,6 @@
+// Package tools2 waives its time import with a scoped directive, which
+// therefore suppresses the finding and is not stale.
+package tools2
+
+//lint:ignore forbiddenimport wall-clock timestamps label profiling artifacts only
+import _ "time"

@@ -1,0 +1,492 @@
+// Package hotpath defines an Analyzer that makes the repository's
+// near-zero-alloc steady-state tick a compile-time property instead of
+// a bench-time surprise. A function annotated
+//
+//	//manet:hotpath
+//
+// in its doc comment must not allocate: the analyzer flags make and
+// new calls, escaping composite literals (&T{}, slice and map
+// literals), variable-capturing closures, fmt calls, string<->[]byte
+// conversions, and interface boxing of non-pointer values. Allocation
+// status propagates: every function's "allocates" summary is exported
+// as an analysis.Fact on its *types.Func, so a hot function calling an
+// unannotated allocating function — in this package or any other — is
+// itself a finding at the call site. Annotated callees are trusted
+// (their own bodies are checked where they are declared).
+//
+// Known blind spots, by design: append (the zero-alloc tick relies on
+// amortized capacity reuse), calls through interfaces and function
+// values (no devirtualization), and standard-library calls other than
+// fmt (no facts without source analysis; fmt is the one stdlib package
+// hot code has historically reached for). Warm-up allocations behind a
+// nil check and deliberately-allocating cold branches carry a
+// //lint:ignore hotpath <reason> annotation with the allocation
+// counted in the tick budget.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Directive marks a function as hot-path in its doc comment.
+const Directive = "//manet:hotpath"
+
+// AllocFact is the cross-package allocation summary of one function.
+type AllocFact struct {
+	Allocates bool   // the function (transitively) allocates
+	Hot       bool   // annotated //manet:hotpath (trusted not to allocate)
+	Reason    string // first allocation reason, for call-site messages
+}
+
+func (*AllocFact) AFact() {}
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "hotpath",
+	Doc:       "forbid allocations in //manet:hotpath functions, with cross-package fact propagation",
+	Run:       run,
+	FactTypes: []analysis.Fact{new(AllocFact)},
+}
+
+// site is one direct allocation inside a function.
+type site struct {
+	pos    token.Pos
+	reason string
+}
+
+// callSite is one resolved static call inside a function.
+type callSite struct {
+	pos    token.Pos
+	callee *types.Func
+}
+
+// fnInfo is the per-function analysis state.
+type fnInfo struct {
+	decl      *ast.FuncDecl
+	obj       *types.Func
+	hot       bool
+	direct    []site
+	calls     []callSite
+	allocates bool
+	reason    string
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+	if info == nil || pass.Pkg == nil {
+		return nil, nil
+	}
+
+	byObj := map[*types.Func]*fnInfo{}
+	var fns []*fnInfo
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			fn := &fnInfo{decl: fd, obj: obj, hot: isHot(fd)}
+			collect(pass, fn)
+			fn.allocates = len(fn.direct) > 0
+			if fn.allocates {
+				fn.reason = fn.direct[0].reason
+			}
+			byObj[obj] = fn
+			fns = append(fns, fn)
+		}
+	}
+
+	// calleeStatus resolves a callee's allocation summary: same-package
+	// functions from the local table, everything else from facts.
+	calleeStatus := func(callee *types.Func) (allocates bool, hot bool, reason string) {
+		if local, ok := byObj[callee]; ok {
+			return local.allocates, local.hot, local.reason
+		}
+		var fact AllocFact
+		if pass.ImportObjectFact(callee, &fact) {
+			return fact.Allocates, fact.Hot, fact.Reason
+		}
+		return false, false, ""
+	}
+
+	// Fixpoint: calling an allocating, unannotated function makes the
+	// caller allocating too. Hot functions are pinned non-allocating —
+	// their own bodies are where violations are reported.
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range fns {
+			if fn.allocates || fn.hot {
+				continue
+			}
+			for _, c := range fn.calls {
+				a, hot, reason := calleeStatus(c.callee)
+				if a && !hot {
+					fn.allocates = true
+					fn.reason = "calls " + c.callee.Name()
+					if reason != "" {
+						fn.reason += " (" + reason + ")"
+					}
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for _, fn := range fns {
+		if fn.hot {
+			for _, s := range fn.direct {
+				pass.Reportf(s.pos,
+					"%s in hot path %s (//manet:hotpath functions must not allocate); hoist it to setup or annotate //lint:ignore hotpath <reason>",
+					s.reason, fn.obj.Name())
+			}
+			for _, c := range fn.calls {
+				a, hot, reason := calleeStatus(c.callee)
+				if a && !hot {
+					msg := "call to allocating function " + calleeName(c.callee) + " from hot path " + fn.obj.Name()
+					if reason != "" {
+						msg += " (" + reason + ")"
+					}
+					pass.Reportf(c.pos, "%s; annotate the callee //manet:hotpath or hoist the allocation", msg)
+				}
+			}
+		}
+		// Export the summary so dependent packages see through this
+		// function. Hot functions export Allocates=false by decree: the
+		// annotation is the contract, enforced at the declaration site.
+		fact := &AllocFact{Allocates: fn.allocates && !fn.hot, Hot: fn.hot, Reason: fn.reason}
+		if fact.Allocates || fact.Hot {
+			pass.ExportObjectFact(fn.obj, fact)
+		}
+	}
+	return nil, nil
+}
+
+func calleeName(f *types.Func) string {
+	if f.Pkg() != nil && f.Pkg().Path() != "" {
+		return f.Pkg().Name() + "." + f.Name()
+	}
+	return f.Name()
+}
+
+// isHot reports whether the function's doc comment carries the
+// //manet:hotpath directive.
+func isHot(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == Directive || strings.HasPrefix(c.Text, Directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// collect walks one function body recording direct allocation sites
+// and resolved static calls. Sites inside nested function literals are
+// attributed to the enclosing declaration: a closure created by a hot
+// function runs as hot-path code. Allocations inside the arguments of
+// a panic call are exempt — a panicking program has already left the
+// hot path, and guard panics are how tick code reports corruption.
+func collect(pass *analysis.Pass, fn *fnInfo) {
+	info := pass.TypesInfo
+	addrTaken := map[*ast.CompositeLit]bool{}
+
+	type posRange struct{ lo, hi token.Pos }
+	var panicArgs []posRange
+	ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+				for _, arg := range call.Args {
+					panicArgs = append(panicArgs, posRange{arg.Pos(), arg.End()})
+				}
+			}
+		}
+		return true
+	})
+	inPanic := func(pos token.Pos) bool {
+		for _, r := range panicArgs {
+			if pos >= r.lo && pos <= r.hi {
+				return true
+			}
+		}
+		return false
+	}
+	defer func() {
+		kept := fn.direct[:0]
+		for _, s := range fn.direct {
+			if !inPanic(s.pos) {
+				kept = append(kept, s)
+			}
+		}
+		fn.direct = kept
+		keptCalls := fn.calls[:0]
+		for _, c := range fn.calls {
+			if !inPanic(c.pos) {
+				keptCalls = append(keptCalls, c)
+			}
+		}
+		fn.calls = keptCalls
+	}()
+
+	ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					addrTaken[cl] = true
+					fn.direct = append(fn.direct, site{n.Pos(), "escaping composite literal (&" + typeLabel(info, cl) + "{})"})
+				}
+			}
+		case *ast.CompositeLit:
+			if addrTaken[n] {
+				return true
+			}
+			t := info.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				fn.direct = append(fn.direct, site{n.Pos(), "slice literal"})
+			case *types.Map:
+				fn.direct = append(fn.direct, site{n.Pos(), "map literal"})
+			}
+		case *ast.FuncLit:
+			if capturesVariables(info, n) {
+				fn.direct = append(fn.direct, site{n.Pos(), "variable-capturing closure"})
+			}
+		case *ast.CallExpr:
+			collectCall(pass, fn, n)
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i < len(n.Lhs) {
+					checkBoxing(pass, fn, info.TypeOf(n.Lhs[i]), rhs)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// collectCall classifies one call expression: builtin allocators, fmt
+// calls, allocating conversions, interface boxing of arguments, and
+// statically-resolved callees for the fact fixpoint.
+func collectCall(pass *analysis.Pass, fn *fnInfo, call *ast.CallExpr) {
+	info := pass.TypesInfo
+
+	// Conversions: T(x).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		checkConversion(fn, tv.Type, info.TypeOf(call.Args[0]), call)
+		return
+	}
+
+	switch funExpr := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := info.Uses[funExpr].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				fn.direct = append(fn.direct, site{call.Pos(), "make"})
+			case "new":
+				fn.direct = append(fn.direct, site{call.Pos(), "new"})
+			}
+			// append/copy/len/cap/delete/clear/panic: not flagged here;
+			// panic arguments still go through boxing below.
+			checkArgBoxing(pass, fn, call, nil)
+			return
+		}
+		if callee, ok := info.Uses[funExpr].(*types.Func); ok {
+			recordCallee(fn, call, callee)
+		}
+	case *ast.SelectorExpr:
+		var callee *types.Func
+		if sel, ok := info.Selections[funExpr]; ok {
+			callee, _ = sel.Obj().(*types.Func)
+		} else if obj, ok := info.Uses[funExpr.Sel].(*types.Func); ok {
+			callee = obj // package-qualified function
+		}
+		if callee != nil {
+			recordCallee(fn, call, callee)
+		}
+	}
+	checkArgBoxing(pass, fn, call, nil)
+}
+
+// recordCallee files a statically-resolved callee: fmt is flagged
+// directly, interface methods are skipped (no devirtualization), and
+// everything else feeds the allocation fixpoint.
+func recordCallee(fn *fnInfo, call *ast.CallExpr, callee *types.Func) {
+	if callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+		fn.direct = append(fn.direct, site{call.Pos(), "fmt." + callee.Name() + " call"})
+		return
+	}
+	if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if types.IsInterface(sig.Recv().Type()) {
+			return // dynamic dispatch: callee unknown
+		}
+	}
+	fn.calls = append(fn.calls, callSite{call.Pos(), callee})
+}
+
+// checkConversion flags the conversions that copy their operand to the
+// heap: string<->[]byte/[]rune and boxing into an interface type.
+func checkConversion(fn *fnInfo, to, from types.Type, call *ast.CallExpr) {
+	if to == nil || from == nil {
+		return
+	}
+	toU, fromU := to.Underlying(), from.Underlying()
+	toStr := isString(toU)
+	fromStr := isString(fromU)
+	_, toSlice := toU.(*types.Slice)
+	_, fromSlice := fromU.(*types.Slice)
+	if (toStr && fromSlice) || (toSlice && fromStr) {
+		fn.direct = append(fn.direct, site{call.Pos(), "string conversion copies its operand"})
+		return
+	}
+	if types.IsInterface(toU) && !types.IsInterface(fromU) && !isPointerLike(fromU) {
+		fn.direct = append(fn.direct, site{call.Pos(), "interface boxing (conversion to " + to.String() + ")"})
+	}
+}
+
+// checkArgBoxing flags call arguments boxed into interface parameters:
+// a non-pointer concrete value passed where an interface is expected
+// allocates its data word.
+func checkArgBoxing(pass *analysis.Pass, fn *fnInfo, call *ast.CallExpr, _ *types.Func) {
+	info := pass.TypesInfo
+	sigTV, ok := info.Types[call.Fun]
+	if !ok || sigTV.IsType() {
+		return
+	}
+	sig, ok := sigTV.Type.(*types.Signature)
+	if !ok {
+		return // builtins (panic is exempt; see collect)
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= params.Len()-1 {
+			if call.Ellipsis != token.NoPos {
+				continue // s... passes the slice through
+			}
+			st, _ := params.At(params.Len() - 1).Type().(*types.Slice)
+			if st == nil {
+				continue
+			}
+			pt = st.Elem()
+		} else if i < params.Len() {
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || types.IsInterface(at.Underlying()) || isPointerLike(at.Underlying()) {
+			continue
+		}
+		if tv, ok := info.Types[arg]; ok && tv.IsNil() {
+			continue
+		}
+		fn.direct = append(fn.direct, site{arg.Pos(), "interface boxing (arg " + types.ExprString(arg) + ")"})
+	}
+}
+
+func reportBoxedArg(fn *fnInfo, info *types.Info, arg ast.Expr, what string) {
+	at := info.TypeOf(arg)
+	if at == nil || types.IsInterface(at.Underlying()) || isPointerLike(at.Underlying()) {
+		return
+	}
+	if tv, ok := info.Types[arg]; ok && tv.IsNil() {
+		return
+	}
+	fn.direct = append(fn.direct, site{arg.Pos(), "interface boxing (" + what + " argument)"})
+}
+
+// checkBoxing flags assignments of concrete non-pointer values into
+// interface-typed destinations.
+func checkBoxing(pass *analysis.Pass, fn *fnInfo, dst types.Type, rhs ast.Expr) {
+	info := pass.TypesInfo
+	if dst == nil || !types.IsInterface(dst.Underlying()) {
+		return
+	}
+	at := info.TypeOf(rhs)
+	if at == nil || types.IsInterface(at.Underlying()) || isPointerLike(at.Underlying()) {
+		return
+	}
+	if tv, ok := info.Types[rhs]; ok && tv.IsNil() {
+		return
+	}
+	fn.direct = append(fn.direct, site{rhs.Pos(), "interface boxing (assignment of " + types.ExprString(rhs) + ")"})
+}
+
+// capturesVariables reports whether the function literal references a
+// variable declared outside itself but inside some function (package-
+// level vars don't force a closure allocation).
+func capturesVariables(info *types.Info, fl *ast.FuncLit) bool {
+	captures := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if captures {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pos() >= fl.Pos() && v.Pos() <= fl.End() {
+			return true // declared inside the literal
+		}
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true // package-level variable
+		}
+		captures = true
+		return false
+	})
+	return captures
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isPointerLike reports whether boxing a value of this underlying type
+// into an interface stores the value directly in the data word (no
+// allocation): pointers, maps, channels, funcs, and unsafe pointers.
+func isPointerLike(t types.Type) bool {
+	switch t.(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return true
+	}
+	return false
+}
+
+// typeLabel renders a composite literal's type for a diagnostic,
+// falling back to the literal's own type expression.
+func typeLabel(info *types.Info, cl *ast.CompositeLit) string {
+	if t := info.TypeOf(cl); t != nil {
+		if named, ok := t.(*types.Named); ok && named.Obj() != nil {
+			return named.Obj().Name()
+		}
+		return t.String()
+	}
+	if cl.Type != nil {
+		return types.ExprString(cl.Type)
+	}
+	return "T"
+}

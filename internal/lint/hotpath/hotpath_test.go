@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/lint/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, "testdata", hotpath.Analyzer, "a", "b")
+}

@@ -1,0 +1,31 @@
+// Package a exercises the hotpath analyzer within one package (direct
+// sites, the allocating-call fixpoint, waivers, the panic exemption)
+// and across the boundary to package b (fact propagation).
+package a
+
+import "fix.example/hotpath/b"
+
+// helper allocates; the fixpoint makes tick's call to it a finding.
+func helper() []int {
+	return []int{1, 2, 3}
+}
+
+//manet:hotpath
+func tick(xs []int) int {
+	buf := make([]int, 0, 8)             // want `make in hot path tick`
+	m := map[int]bool{}                  // want `map literal in hot path tick`
+	fn := func() int { return len(buf) } // want `variable-capturing closure in hot path tick`
+	n := b.Hot(xs)                       // ok: hot callee, trusted by its annotation
+	n += len(b.Alloc())                  // want `call to allocating function b.Alloc from hot path tick \(make\)`
+	n += len(helper())                   // want `call to allocating function a.helper from hot path tick \(slice literal\)`
+	n += fn()
+	m[n] = true
+	if buf == nil {
+		//lint:ignore hotpath warm-up: the fixture waives this allocation
+		buf = make([]int, 4)
+	}
+	if n < 0 {
+		panic(len(make([]int, 1))) // ok: allocations inside panic arguments are exempt
+	}
+	return n + len(buf)
+}

@@ -1,0 +1,19 @@
+// Package b is the downstream half of the cross-package fixture: its
+// functions' AllocFacts cross the boundary into package a.
+package b
+
+// Alloc allocates; its exported AllocFact carries the reason.
+func Alloc() []int {
+	return make([]int, 4)
+}
+
+// Hot is trusted by annotation: callers treat it as non-allocating.
+//
+//manet:hotpath
+func Hot(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}

@@ -1,0 +1,3 @@
+module fix.example/hotpath
+
+go 1.22

@@ -1,0 +1,15 @@
+package ignorecheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/lint/ignorecheck"
+)
+
+func TestIgnorecheck(t *testing.T) {
+	saved := ignorecheck.KnownRules
+	ignorecheck.KnownRules = []string{"typecheck", "floateq", "ignorecheck"}
+	t.Cleanup(func() { ignorecheck.KnownRules = saved })
+	analysistest.Run(t, "testdata", ignorecheck.Analyzer, "a")
+}

@@ -1,0 +1,17 @@
+// Package a exercises the directive police: malformed, catch-all,
+// unknown-rule, and stale //lint:ignore directives are all strict
+// findings. The expectations use the block-comment want form because
+// the diagnostics land on the directive comments themselves.
+package a
+
+/* want `malformed ignore directive` */ //lint:ignore floateq
+var x1 = 1
+
+/* want `catch-all //lint:ignore all silences every rule` */ //lint:ignore all blanket waivers hide debt
+var x2 = 2
+
+/* want `names unknown rule "nosuchrule"` */ //lint:ignore nosuchrule no analyzer has this name
+var x3 = 3
+
+/* want `stale //lint:ignore ignorecheck: no ignorecheck finding` */ //lint:ignore ignorecheck nothing on the next line needs waiving
+var x4 = 4

@@ -1,0 +1,3 @@
+module fix.example/ignorecheck
+
+go 1.22

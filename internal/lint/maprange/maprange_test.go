@@ -1,0 +1,12 @@
+package maprange_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/lint/maprange"
+)
+
+func TestMaprange(t *testing.T) {
+	analysistest.Run(t, "testdata", maprange.Analyzer, "a")
+}

@@ -1,0 +1,28 @@
+// Package a exercises the maprange analyzer: map iteration is flagged
+// unless it is the key-harvest idiom or carries a scoped waiver.
+package a
+
+func bad(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want `range over map m has nondeterministic order`
+		out = append(out, v)
+	}
+	return out
+}
+
+func harvest(m map[int]int) []int {
+	var keys []int
+	for k := range m { // ok: the key-harvest idiom needs no waiver
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func waived(m map[int]bool) int {
+	n := 0
+	//lint:ignore maprange commutative count; the result is order-free
+	for range m {
+		n++
+	}
+	return n
+}

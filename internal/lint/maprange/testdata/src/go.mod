@@ -1,0 +1,3 @@
+module fix.example/maprange
+
+go 1.22

@@ -1,0 +1,12 @@
+package rawrng_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/lint/rawrng"
+)
+
+func TestRawrng(t *testing.T) {
+	analysistest.Run(t, "testdata", rawrng.Analyzer, "a")
+}

@@ -1,0 +1,17 @@
+// Package a exercises the rawrng analyzer: rng streams must come from
+// the seeded constructors, never a literal, new(), or zero value.
+package a
+
+import "fix.example/rawrng/rng"
+
+func bad() uint64 {
+	s := rng.Source{}    // want `not a composite literal`
+	p := new(rng.Source) // want `not new\(rng.Source\)`
+	var z rng.Source     // want `zero-value rng.Source is a seed-0 stream`
+	return s.Uint64() + p.Uint64() + z.Uint64()
+}
+
+func good() uint64 {
+	s := rng.New(42)
+	return s.Uint64()
+}

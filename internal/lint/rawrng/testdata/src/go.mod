@@ -1,0 +1,3 @@
+module fix.example/rawrng
+
+go 1.22

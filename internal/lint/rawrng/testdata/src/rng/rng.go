@@ -1,0 +1,21 @@
+// Package rng is a fixture stand-in for the real stream package; the
+// analyzer recognizes Source by package and type name. The package
+// itself is exempt from the construction rules.
+package rng
+
+// Source is a deterministic stream.
+type Source struct {
+	state uint64
+}
+
+// New returns a seeded stream.
+func New(seed uint64) *Source { return &Source{state: seed} }
+
+// Uint64 advances the stream.
+func (s *Source) Uint64() uint64 {
+	s.state = s.state*6364136223846793005 + 1442695040888963407
+	return s.state
+}
+
+// Split derives an independent child stream.
+func (s *Source) Split() Source { return Source{state: s.Uint64()} }

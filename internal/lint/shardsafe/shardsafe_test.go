@@ -1,0 +1,12 @@
+package shardsafe_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/lint/shardsafe"
+)
+
+func TestShardsafe(t *testing.T) {
+	analysistest.Run(t, "testdata", shardsafe.Analyzer, "a")
+}

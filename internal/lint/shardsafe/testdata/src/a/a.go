@@ -1,0 +1,52 @@
+// Package a exercises the shardsafe analyzer: callbacks handed to
+// par.Pool.Run / RunShards may write captured state only through
+// worker- or shard-indexed slots.
+package a
+
+import "fix.example/shardsafe/par"
+
+func violations(p *par.Pool, out []int, m map[int]int, ch chan int) {
+	total := 0
+	count := 0
+	p.Run(func(w int) {
+		out[w] = w // ok: worker-indexed slot
+		total = w  // want `write to shared captured state total inside a par.Pool callback`
+		total += w // want `non-atomic op-assignment to shared captured state total`
+		count++    // want `non-atomic counter increment to shared captured state count`
+		m[w] = w   // want `map write to shared captured map m`
+		clear(m)   // want `clear on shared captured map m`
+		ch <- w    // want `channel send inside a par.Pool callback`
+	})
+	_, _ = total, count
+}
+
+func guarded(p *par.Pool, rows []int, edges []int) {
+	p.RunShards(4, func(_, sh int) {
+		lo, hi := sh*8, sh*8+8
+		for _, e := range edges {
+			if e >= lo && e < hi {
+				rows[e] = 1 // ok: index guarded against a shard-derived bound
+			}
+		}
+	})
+}
+
+func aliased(p *par.Pool, slots [][]int, back []int) {
+	for sh := 0; sh < 4; sh++ {
+		lo, hi := sh*8, sh*8+8
+		slots[sh] = back[lo:hi] // want `shard slot slots\[sh\] aliases a shared backing array`
+	}
+	p.RunShards(4, func(_, sh int) {
+		slots[sh] = append(slots[sh], sh) // ok: shard-indexed slot
+	})
+}
+
+func dedicated(p *par.Pool, slots [][]int, back []int) {
+	for sh := 0; sh < 4; sh++ {
+		lo, hi := sh*8, sh*8+8
+		slots[sh] = back[lo:hi:hi] // ok: the three-index slice caps the slot
+	}
+	p.RunShards(4, func(_, sh int) {
+		slots[sh] = append(slots[sh], sh)
+	})
+}

@@ -1,0 +1,3 @@
+module fix.example/shardsafe
+
+go 1.22

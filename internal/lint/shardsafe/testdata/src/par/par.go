@@ -1,0 +1,29 @@
+// Package par is a fixture stand-in for the real worker pool; the
+// analyzer recognizes Pool.Run / Pool.RunShards by package, type, and
+// method name.
+package par
+
+// Pool fans callbacks out over workers.
+type Pool struct {
+	n int
+}
+
+// NewPool returns a pool of n workers.
+func NewPool(n int) *Pool { return &Pool{n: n} }
+
+// Workers reports the worker count.
+func (p *Pool) Workers() int { return p.n }
+
+// Run invokes fn once per worker.
+func (p *Pool) Run(fn func(w int)) {
+	for w := 0; w < p.n; w++ {
+		fn(w)
+	}
+}
+
+// RunShards invokes fn once per shard.
+func (p *Pool) RunShards(shards int, fn func(w, s int)) {
+	for s := 0; s < shards; s++ {
+		fn(0, s)
+	}
+}

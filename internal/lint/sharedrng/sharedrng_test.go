@@ -1,0 +1,12 @@
+package sharedrng_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/lint/sharedrng"
+)
+
+func TestSharedrng(t *testing.T) {
+	analysistest.Run(t, "testdata", sharedrng.Analyzer, "a")
+}

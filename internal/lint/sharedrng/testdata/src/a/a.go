@@ -1,0 +1,24 @@
+// Package a exercises the sharedrng analyzer: a goroutine must not
+// capture an rng stream from the enclosing scope.
+package a
+
+import "fix.example/sharedrng/rng"
+
+func bad(src *rng.Source) {
+	done := make(chan struct{})
+	go func() {
+		_ = src.Uint64() // want `goroutine captures rng stream src`
+		close(done)
+	}()
+	<-done
+}
+
+func good(src *rng.Source) {
+	done := make(chan struct{})
+	child := src.Split()
+	go func(s rng.Source) { // ok: the goroutine owns its Split() child
+		_ = s.Uint64()
+		close(done)
+	}(child)
+	<-done
+}

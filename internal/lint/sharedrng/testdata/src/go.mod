@@ -1,0 +1,3 @@
+module fix.example/sharedrng
+
+go 1.22

@@ -1,0 +1,12 @@
+package statemut_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/lint/statemut"
+)
+
+func TestStatemut(t *testing.T) {
+	analysistest.Run(t, "testdata", statemut.Analyzer, "internal/simnet")
+}

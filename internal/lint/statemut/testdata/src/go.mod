@@ -1,0 +1,3 @@
+module fix.example/statemut
+
+go 1.22

@@ -1,0 +1,34 @@
+// Package simnet is a fixture stand-in matching the configured state
+// types: writes to looper / stateRun fields are confined to their own
+// methods and the registered mutators.
+package simnet
+
+type looper struct {
+	tick int
+	pos  []float64
+}
+
+type stateRun struct {
+	ticks int
+}
+
+func (lp *looper) step() {
+	lp.tick++ // ok: a state type mutating itself is tick-phase code
+}
+
+func newStateRun() *stateRun {
+	st := &stateRun{}
+	st.ticks = 0 // ok: registered mutator
+	return st
+}
+
+func rogue(lp *looper, st *stateRun) {
+	lp.tick++     // want `direct write to simulator state lp.tick outside tick-phase code`
+	lp.pos[0] = 1 // want `direct write to simulator state lp.pos outside tick-phase code`
+	st.ticks = 5  // want `direct write to simulator state st.ticks outside tick-phase code`
+}
+
+func waived(lp *looper) {
+	//lint:ignore statemut test scaffolding resets the tick counter
+	lp.tick = 0
+}

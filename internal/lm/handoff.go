@@ -173,6 +173,8 @@ func NewAccountant(hop topology.HopModel) *Accountant {
 // Apply accounts one tick's handoff between consecutive tables. It
 // returns the classified transfers — reused by the next Apply call, so
 // callers that retain them must copy — and accumulates into totals.
+//
+//manet:hotpath
 func (a *Accountant) Apply(prevT, nextT *Table, totals *Totals) []Transfer {
 	roots, changedAt := a.chainChanges(prevT, nextT, totals)
 
@@ -181,7 +183,6 @@ func (a *Accountant) Apply(prevT, nextT *Table, totals *Totals) []Transfer {
 	// server, whether or not the serving node moved. Owners are
 	// visited in sorted order so float accumulation is deterministic.
 	owners := a.owners[:0]
-	//lint:ignore maprange keys are collected and sorted below
 	for owner := range changedAt {
 		owners = append(owners, owner)
 	}
@@ -261,10 +262,15 @@ func (a *Accountant) Apply(prevT, nextT *Table, totals *Totals) []Transfer {
 // two tables: the root-change classification for φ/γ attribution, a
 // per-node bitmask of changed levels, and the f_k event counters. The
 // returned maps are accountant scratch, valid until the next call.
+//
+//manet:hotpath
 func (a *Accountant) chainChanges(prevT, nextT *Table, totals *Totals) (map[int]rootChange, map[int]uint64) {
 	if a.roots == nil { // zero-value Accountant (constructed without NewAccountant)
+		//lint:ignore hotpath warm-up: zero-value Accountant builds its scratch maps once
 		a.roots = map[int]rootChange{}
+		//lint:ignore hotpath warm-up: zero-value Accountant builds its scratch maps once
 		a.changedAt = map[int]uint64{}
+		//lint:ignore hotpath warm-up: zero-value Accountant builds its scratch maps once
 		a.seen = map[int]bool{}
 	}
 	roots := a.roots
@@ -275,6 +281,7 @@ func (a *Accountant) chainChanges(prevT, nextT *Table, totals *Totals) (map[int]
 		return roots, changedAt
 	}
 	liveFilled := false // lazy level-1 liveness
+	//lint:ignore hotpath non-escaping lazy-init closure, stack-allocated in practice
 	live1 := func() (map[uint64]bool, map[uint64]bool) {
 		if !liveFilled {
 			a.prevLive1 = prevT.LiveAtInto(1, a.prevLive1)

@@ -95,8 +95,11 @@ func (t *Table) LiveAt(k int) map[uint64]bool {
 
 // LiveAtInto is LiveAt filling dst (cleared first; nil allocates) so
 // per-tick consumers can reuse one map.
+//
+//manet:hotpath
 func (t *Table) LiveAtInto(k int, dst map[uint64]bool) map[uint64]bool {
 	if dst == nil {
+		//lint:ignore hotpath warm-up: nil dst allocates the reused liveness set once
 		dst = map[uint64]bool{}
 	} else {
 		clear(dst)
@@ -263,6 +266,8 @@ type keySpan struct {
 // scratch. dst must not alias prev and must no longer be referenced by
 // any consumer — in a double-buffered loop, pass the table retired two
 // ticks ago.
+//
+//manet:hotpath
 func (s *Selector) UpdateTableInto(
 	dst *Table, sc *UpdateScratch,
 	prev *Table,
@@ -270,18 +275,21 @@ func (s *Selector) UpdateTableInto(
 	nextH *cluster.Hierarchy, nextIDs *cluster.Identities,
 ) *Table {
 	if dst == nil {
+		//lint:ignore hotpath warm-up: nil dst allocates the double-buffered table once
 		dst = &Table{}
 	}
 	if dst == prev {
 		panic("lm: UpdateTableInto dst must not alias prev")
 	}
 	if sc == nil {
+		//lint:ignore hotpath warm-up: callers reuse one scratch across ticks
 		sc = &UpdateScratch{}
 	}
 	dirty := sc.dirtySubtrees(prevH, prevIDs, nextH, nextIDs)
 	owners := nextH.LevelNodes(0)
 	dst.owners = owners
 	if dst.index == nil {
+		//lint:ignore hotpath warm-up: the first update builds the reused row index
 		dst.index = make(map[int]int, len(owners))
 	} else {
 		clear(dst.index)
@@ -370,6 +378,8 @@ func (d dirtySet) mark(k int, id uint64) bool {
 // one), with dirtiness propagated to all ancestors in both snapshots.
 // The returned set aliases the scratch and is valid until its next
 // call.
+//
+//manet:hotpath
 func (sc *UpdateScratch) dirtySubtrees(
 	prevH *cluster.Hierarchy, prevIDs *cluster.Identities,
 	nextH *cluster.Hierarchy, nextIDs *cluster.Identities,
@@ -379,6 +389,7 @@ func (sc *UpdateScratch) dirtySubtrees(
 		maxL = nextH.L()
 	}
 	for len(sc.dirty) <= maxL {
+		//lint:ignore hotpath amortized growth: one set per hierarchy level, reused after
 		sc.dirty = append(sc.dirty, map[uint64]bool{})
 	}
 	dirty := sc.dirty[:maxL+1]
@@ -386,7 +397,9 @@ func (sc *UpdateScratch) dirtySubtrees(
 		clear(dirty[k])
 	}
 	if sc.pm == nil {
+		//lint:ignore hotpath warm-up: the first call builds the reused member-key maps
 		sc.pm = map[uint64][]uint64{}
+		//lint:ignore hotpath warm-up: the first call builds the reused member-key maps
 		sc.nm = map[uint64][]uint64{}
 	}
 	for k := 1; k <= maxL; k++ {
@@ -413,7 +426,6 @@ func (sc *UpdateScratch) dirtySubtrees(
 	// walk it, and ranging over a map under mutation is unspecified.
 	for k := 1; k <= maxL; k++ {
 		sc.idsBuf = sc.idsBuf[:0]
-		//lint:ignore maprange keys are collected and sorted below
 		for id := range dirty[k] {
 			sc.idsBuf = append(sc.idsBuf, id)
 		}
@@ -520,8 +532,11 @@ func DiffTables(prev, next *Table) []TableDiff {
 // are appended to out (pass out[:0] — the whole slice is sorted before
 // returning) and seen (cleared first; nil allocates) is the visited-
 // owner scratch.
+//
+//manet:hotpath
 func appendTableDiffs(out []TableDiff, prev, next *Table, seen map[int]bool) []TableDiff {
 	if seen == nil {
+		//lint:ignore hotpath warm-up: nil seen allocates the visited-owner scratch once
 		seen = make(map[int]bool, len(next.owners))
 	} else {
 		clear(seen)

@@ -32,6 +32,8 @@ type updateShardBuf struct {
 // allocate fresh) supplies the per-shard buffers; reusing one scratch
 // across ticks amortizes them. The result is byte-identical to the
 // serial path.
+//
+//manet:hotpath
 func (s *Selector) UpdateTableIntoPar(
 	dst *Table, sc *UpdateScratch, psc *UpdateParScratch,
 	prev *Table,
@@ -43,15 +45,18 @@ func (s *Selector) UpdateTableIntoPar(
 		return s.UpdateTableInto(dst, sc, prev, prevH, prevIDs, nextH, nextIDs)
 	}
 	if dst == nil {
+		//lint:ignore hotpath warm-up: nil dst allocates the double-buffered table once
 		dst = &Table{}
 	}
 	if dst == prev {
 		panic("lm: UpdateTableIntoPar dst must not alias prev")
 	}
 	if sc == nil {
+		//lint:ignore hotpath warm-up: callers reuse one scratch across ticks
 		sc = &UpdateScratch{}
 	}
 	if psc == nil {
+		//lint:ignore hotpath warm-up: callers reuse one parallel scratch across ticks
 		psc = &UpdateParScratch{}
 	}
 	// The dirty-subtree analysis is cheap (per-cluster, not per-row) and
@@ -60,6 +65,7 @@ func (s *Selector) UpdateTableIntoPar(
 	owners := nextH.LevelNodes(0)
 	dst.owners = owners
 	if dst.index == nil {
+		//lint:ignore hotpath warm-up: the first update builds the reused row index
 		dst.index = make(map[int]int, len(owners))
 	} else {
 		clear(dst.index)
@@ -75,6 +81,7 @@ func (s *Selector) UpdateTableIntoPar(
 
 	// Fan out: each shard owns the contiguous owner range
 	// Shard(len(owners), shards, sh) and fills its own buffers.
+	//lint:ignore hotpath per-tick shard callback closure, counted in the tick alloc budget
 	p.RunShards(shards, func(_, sh int) {
 		lo, hi := par.Shard(len(owners), shards, sh)
 		b := &psc.shards[sh]

@@ -30,6 +30,8 @@ type hopCand struct {
 
 // sampleHopsPar is the parallel form of sampleHops; the BFS probes of
 // one level fan out over the run's worker pool.
+//
+//manet:hotpath
 func (st *stateRun) sampleHopsPar(h *cluster.Hierarchy, g *topology.Graph) {
 	for k := 1; k <= h.L(); k++ {
 		clusters := h.LevelNodes(k)
@@ -44,6 +46,7 @@ func (st *stateRun) sampleHopsPar(h *cluster.Hierarchy, g *topology.Graph) {
 		st.hopSnaps = st.hopSnaps[:0]
 		for attempts := 0; attempts < maxAttempts; attempts++ {
 			c := clusters[st.hopRng.Intn(len(clusters))]
+			//lint:ignore hotpath descendant enumeration, counted in the interval-gated sampling budget
 			desc := h.Descendants(k, c)
 			cand := hopCand{skip: true}
 			if len(desc) >= 2 {
@@ -60,6 +63,7 @@ func (st *stateRun) sampleHopsPar(h *cluster.Hierarchy, g *topology.Graph) {
 		// Phase 2 (parallel): BFS every surviving attempt. Each worker
 		// owns its BFS scratch and membership set; each candidate's hops
 		// field is a disjoint write.
+		//lint:ignore hotpath per-sample shard callback closure, counted in the tick alloc budget
 		st.hopPool.RunShards(len(st.hopCands), func(w, s int) {
 			cand := &st.hopCands[s]
 			if cand.skip {
@@ -70,6 +74,7 @@ func (st *stateRun) sampleHopsPar(h *cluster.Hierarchy, g *topology.Graph) {
 			for _, v := range cand.desc {
 				in[v] = true
 			}
+			//lint:ignore hotpath non-escaping membership predicate, stack-allocated in practice
 			cand.hops = st.hopScrW[w].HopCount(g, cand.a, cand.b, func(v int) bool { return in[v] })
 		})
 

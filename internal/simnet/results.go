@@ -83,6 +83,8 @@ func newStateRun(cfg Config, region geom.Disc) *stateRun {
 }
 
 // observe accumulates per-snapshot structural statistics.
+//
+//manet:hotpath
 func (st *stateRun) observe(h *cluster.Hierarchy, g *topology.Graph, tick int) {
 	st.levelsAvg.Add(float64(h.L()))
 	for k := 0; k <= h.L(); k++ {
@@ -94,6 +96,7 @@ func (st *stateRun) observe(h *cluster.Hierarchy, g *topology.Graph, tick int) {
 	st.giantFrac.Add(float64(len(giant)) / float64(st.cfg.N))
 }
 
+//manet:hotpath
 func (st *stateRun) countLinkEvents(s *topology.DiffScratch, prev, next *topology.Graph) {
 	st.linkEvents += int64(len(s.Diff(prev, next)))
 }
@@ -102,6 +105,8 @@ func (st *stateRun) countLinkEvents(s *topology.DiffScratch, prev, next *topolog
 // logical ID space, restricted to endpoints that persist across the
 // tick — the paper's "cluster migration" link events (i, ii), free of
 // relabeling artifacts. This is the g'_k numerator.
+//
+//manet:hotpath
 func (st *stateRun) countClusterLinkEvents(
 	prevH *cluster.Hierarchy, prevIDs *cluster.Identities,
 	nextH *cluster.Hierarchy, nextIDs *cluster.Identities,
@@ -121,6 +126,7 @@ func (st *stateRun) countClusterLinkEvents(
 		prevLive := prevT.LiveAtInto(k, st.prevLiveK)
 		nextLive := nextT.LiveAtInto(k, st.nextLiveK)
 		st.prevLiveK, st.nextLiveK = prevLive, nextLive
+		//lint:ignore hotpath non-escaping persistence predicate, stack-allocated in practice
 		persists := func(e cluster.LogicalEdge) bool {
 			return prevLive[e.A] && prevLive[e.B] && nextLive[e.A] && nextLive[e.B]
 		}
@@ -146,6 +152,8 @@ func (st *stateRun) countClusterLinkEvents(
 
 // sampleHops measures mean intra-cluster hop counts at each level by
 // BFS restricted to the cluster's level-0 descendants.
+//
+//manet:hotpath
 func (st *stateRun) sampleHops(h *cluster.Hierarchy, g *topology.Graph) {
 	if st.hopPool != nil {
 		st.sampleHopsPar(h, g)
@@ -156,6 +164,7 @@ func (st *stateRun) sampleHops(h *cluster.Hierarchy, g *topology.Graph) {
 		pairs := 0
 		for attempts := 0; attempts < st.cfg.HopPairs*4 && pairs < st.cfg.HopPairs; attempts++ {
 			c := clusters[st.hopRng.Intn(len(clusters))]
+			//lint:ignore hotpath descendant enumeration, counted in the interval-gated sampling budget
 			desc := h.Descendants(k, c)
 			if len(desc) < 2 {
 				continue
@@ -166,6 +175,7 @@ func (st *stateRun) sampleHops(h *cluster.Hierarchy, g *topology.Graph) {
 				continue
 			}
 			if st.inCluster == nil {
+				//lint:ignore hotpath warm-up: the first sample builds the reused membership set
 				st.inCluster = make(map[int]bool, len(desc))
 			} else {
 				clear(st.inCluster)
@@ -174,6 +184,7 @@ func (st *stateRun) sampleHops(h *cluster.Hierarchy, g *topology.Graph) {
 			for _, v := range desc {
 				inCluster[v] = true
 			}
+			//lint:ignore hotpath non-escaping membership predicate, stack-allocated in practice
 			hops := st.hopScratch.HopCount(g, a, b, func(v int) bool { return inCluster[v] })
 			if hops > 0 {
 				st.hopByLevel.Add(k, float64(hops))

@@ -139,6 +139,8 @@ type looper struct {
 // step advances the simulation by one scan tick. The obs spans wrap
 // each phase without influencing it: timers are nil-safe no-ops when
 // metrics are off, and never touch simulation state or randomness.
+//
+//manet:hotpath
 func (lp *looper) step(now float64) {
 	cfg := &lp.cfg
 	st := lp.st
@@ -187,9 +189,11 @@ func (lp *looper) step(now float64) {
 	lp.arena.Recycle(lp.retiredH, lp.retiredIDs)
 	lp.retiredH, lp.retiredIDs = nil, nil
 	giant := lp.giantScr.Giant(newGraph, lp.aliveNodes)
+	//lint:ignore hotpath elector per-level head maps and closures, counted in the tick alloc budget
 	newHier, newIdents := cluster.BuildWithIdentitiesArena(
 		lp.arena, newGraph, giant, lp.clusterCfg, lp.hier, lp.idents, lp.tracker, now)
 	if cfg.Paranoid {
+		//lint:ignore hotpath Paranoid-only cold branch; off in measured runs
 		if err := newHier.Validate(); err != nil {
 			panic(fmt.Sprintf("simnet: t=%.2f: %v", now, err))
 		}
@@ -226,10 +230,12 @@ func (lp *looper) step(now float64) {
 		lp.tm.transfers.Add(int64(len(transfers)))
 		st.observe(newHier, newGraph, lp.tick)
 		if cfg.TrackStates {
+			//lint:ignore hotpath opt-in state tracking (TrackStates); off in measured runs
 			st.states.Observe(newHier)
 			st.states.ObserveDiff(lp.diff)
 		}
 		if cfg.TrackClasses {
+			//lint:ignore hotpath opt-in reorg classification (TrackClasses); off in measured runs
 			st.classes.Merge(lm.ClassifyReorg(lp.hier, newHier, lp.diff))
 		}
 		st.countClusterLinkEvents(lp.hier, lp.idents, newHier, newIdents, lp.table, newTable)
@@ -243,9 +249,12 @@ func (lp *looper) step(now float64) {
 
 	if lp.checker.ShouldCheck(lp.tick) {
 		spInv := lp.tm.invariant.Start()
+		//lint:ignore hotpath periodic invariant check; interval-gated, off the steady tick
 		lp.checker.CheckTick(&invariant.Snapshot{
 			Tick: lp.tick, Time: now, Seed: cfg.Seed,
-			Prev:     &invariant.State{Hier: lp.hier, IDs: lp.idents, Table: lp.table},
+			//lint:ignore hotpath periodic invariant check; interval-gated, off the steady tick
+			Prev: &invariant.State{Hier: lp.hier, IDs: lp.idents, Table: lp.table},
+			//lint:ignore hotpath periodic invariant check; interval-gated, off the steady tick
 			Next:     &invariant.State{Hier: newHier, IDs: newIdents, Table: newTable},
 			Diff:     lp.diff,
 			Selector: lp.selector,

@@ -63,6 +63,8 @@ func NewGraph(n int) *Graph {
 // all allocated storage (adjacency slices, edge list, hash buckets).
 // Together with BuildUnitDiskInto this lets the simulation loop
 // double-buffer graphs instead of reallocating one per scan.
+//
+//manet:hotpath
 func (g *Graph) Reset(n int) {
 	g.n = n
 	if g.edges != nil {
@@ -70,6 +72,7 @@ func (g *Graph) Reset(n int) {
 	}
 	g.bulk = g.bulk[:0]
 	if cap(g.adj) < n {
+		//lint:ignore hotpath amortized capacity growth when the id space expands
 		g.adj = append(g.adj[:cap(g.adj)], make([][]int, n-cap(g.adj))...)
 	}
 	g.adj = g.adj[:n]
@@ -204,13 +207,18 @@ func BuildUnitDisk(n int, pos []geom.Vec, rtx float64, idx *spatial.Grid) *Graph
 // exactly once, so edges bypass the dedup hash set — adjacency lists
 // grow in grid emission order (row-major over owner cells) and the
 // edge keys are collected and sorted once at the end.
+//
+//manet:hotpath
 func BuildUnitDiskInto(g *Graph, n int, pos []geom.Vec, rtx float64, idx *spatial.Grid) *Graph {
 	if g == nil {
+		//lint:ignore hotpath warm-up: nil dst allocates the double-buffered graph once
 		g = NewGraph(n)
 	} else {
 		g.Reset(n)
 	}
+	//lint:ignore hotpath per-tick accessor closure, counted in the tick alloc budget
 	at := func(i int) geom.Vec { return pos[i] }
+	//lint:ignore hotpath per-tick emit closure, counted in the tick alloc budget
 	idx.ForEachPair(rtx, at, func(a, b int) {
 		g.adj[a] = append(g.adj[a], b)
 		g.adj[b] = append(g.adj[b], a)
@@ -248,7 +256,6 @@ func (g *Graph) AppendEdges(dst []EdgeKey) []EdgeKey {
 	base := len(dst)
 	dst = append(dst, g.bulk...)
 	if len(g.edges) > 0 {
-		//lint:ignore maprange keys are collected and sorted below
 		for k := range g.edges {
 			dst = append(dst, k)
 		}

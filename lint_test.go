@@ -3,22 +3,27 @@ package manet_test
 import (
 	"testing"
 
+	"repro/internal/analysis"
 	"repro/internal/lint"
 )
 
-// TestManetlintClean makes the determinism linter part of tier-1
+// TestManetlintClean makes the static gates part of tier-1
 // verification: `go test ./...` fails if any package in the module
-// violates the invariants manetlint enforces (map-order-dependent
-// iteration, stray randomness or wall-clock time in simulation code,
-// exact float comparison, unseeded or goroutine-shared rng streams).
+// violates an invariant the internal/lint analyzer suite enforces
+// (map-order-dependent iteration, stray randomness or wall-clock time
+// in simulation code, exact float comparison, unseeded or
+// goroutine-shared rng streams, out-of-band state mutation,
+// allocations on //manet:hotpath functions, unsafe writes in par.Pool
+// callbacks, and stale or catch-all //lint:ignore directives).
 // Run `go run ./cmd/manetlint ./...` for the same report from the
-// command line.
+// command line; DESIGN.md §10 catalogs the analyzers.
 func TestManetlintClean(t *testing.T) {
-	root, err := lint.FindModuleRoot(".")
+	root, err := analysis.FindModuleRoot(".")
 	if err != nil {
 		t.Fatalf("module root: %v", err)
 	}
-	findings, err := lint.Run(root, root, []string{"./..."}, lint.DefaultConfig())
+	d := &analysis.Driver{Analyzers: lint.Analyzers()}
+	findings, err := d.Run(root, root, []string{"./..."})
 	if err != nil {
 		t.Fatalf("manetlint: %v", err)
 	}
@@ -26,6 +31,6 @@ func TestManetlintClean(t *testing.T) {
 		t.Errorf("%s", f)
 	}
 	if len(findings) > 0 {
-		t.Logf("%d finding(s); see internal/lint for rules and the //lint:ignore syntax", len(findings))
+		t.Logf("%d finding(s); see DESIGN.md §10 for the analyzer catalog and the //lint:ignore syntax", len(findings))
 	}
 }

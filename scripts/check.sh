@@ -22,6 +22,33 @@ go vet ./... || fail=1
 echo "== manetlint"
 go run ./cmd/manetlint ./... || fail=1
 
+# Third-party static gates. Pinned versions match .github/workflows/
+# ci.yml; install with
+#   go install honnef.co/go/tools/cmd/staticcheck@2023.1.7
+#   go install golang.org/x/vuln/cmd/govulncheck@v1.1.3
+# Escape hatch: export SKIP_STATICCHECK / SKIP_GOVULNCHECK with a
+# reason string to skip a gate while a false positive is triaged.
+echo "== staticcheck"
+if [ -n "${SKIP_STATICCHECK:-}" ]; then
+    echo "staticcheck: skipped ($SKIP_STATICCHECK)" >&2
+elif command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./... || fail=1
+else
+    echo "staticcheck: not installed, skipping" >&2
+fi
+
+echo "== govulncheck"
+if [ -n "${SKIP_GOVULNCHECK:-}" ]; then
+    echo "govulncheck: skipped ($SKIP_GOVULNCHECK)" >&2
+elif command -v govulncheck >/dev/null 2>&1; then
+    govulncheck ./... || fail=1
+else
+    echo "govulncheck: not installed, skipping" >&2
+fi
+
+echo "== parallel equivalence (GOMAXPROCS=4)"
+GOMAXPROCS=4 go test -run TestParallelMatchesSerial -count=1 ./internal/simnet || fail=1
+
 echo "== race tests (measurement pipeline)"
 go test -race ./internal/obs ./internal/trace ./internal/stats ./internal/runner || fail=1
 
