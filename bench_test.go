@@ -7,12 +7,14 @@ package manet
 // machinery; `cmd/experiments -run E15` produces the full-scale report.
 
 import (
+	"fmt"
 	"io"
 	"runtime"
 	"testing"
 
 	"repro/internal/cluster"
 	"repro/internal/geom"
+	"repro/internal/kinetic"
 	"repro/internal/lm"
 	"repro/internal/mobility"
 	"repro/internal/par"
@@ -274,6 +276,77 @@ func BenchmarkTickLMUpdate(b *testing.B) {
 			dst = f.sel.UpdateTableIntoPar(dst, &sc, &psc, f.t0, f.h0, f.ids0, f.h1, f.ids1, p)
 		}
 	})
+}
+
+// BenchmarkTickLinkMaintain compares the two link engines' topology
+// maintenance: "scan" is the per-tick full grid rescan
+// (BuildUnitDiskInto), "kinetic" the event-driven tracker (advance +
+// event drain + graph materialization). The matrix varies the scan
+// interval at fixed mobility: the scan's cost per simulated second is
+// proportional to the tick rate (N work per tick regardless of what
+// changed), while the kinetic engine's cost tracks the link/cell/
+// segment event rate — per-event, not per-N×ticks — as its
+// events/tick metric shows. The µs/simsec metric is the comparable
+// figure across intervals; the engines cross over as the interval
+// shrinks.
+func BenchmarkTickLinkMaintain(b *testing.B) {
+	const rtx, mu = 100.0, 10.0
+	n := tickN
+	region := simnet.Config{N: n, Seed: 99}.Region()
+	for _, interval := range []float64{1.0, 0.2} {
+		b.Run(fmt.Sprintf("scan/interval=%v", interval), func(b *testing.B) {
+			model := mobility.NewWaypoint(region, mu, rng.NewRoot(99).Stream("mobility"))
+			pos := model.Init(n)
+			grid := spatial.NewGridForDisc(region, rtx, n)
+			for i, p := range pos {
+				grid.Insert(i, p)
+			}
+			var g *topology.Graph
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t := float64(i+1) * interval
+				model.AdvanceTo(t, pos)
+				for j, p := range pos {
+					grid.Update(j, p)
+				}
+				g = topology.BuildUnitDiskInto(g, n, pos, rtx, grid)
+			}
+			b.StopTimer()
+			_ = g
+			b.ReportMetric(float64(b.Elapsed().Microseconds())/(float64(b.N)*interval), "µs/simsec")
+		})
+		b.Run(fmt.Sprintf("kinetic/interval=%v", interval), func(b *testing.B) {
+			model := mobility.NewWaypoint(region, mu, rng.NewRoot(99).Stream("mobility"))
+			pos := model.Init(n)
+			grid := spatial.NewGridForDisc(region, rtx, n)
+			for i, p := range pos {
+				grid.Insert(i, p)
+			}
+			alive := make([]bool, n)
+			for i := range alive {
+				alive[i] = true
+			}
+			tr := kinetic.New(model, grid, pos, alive, rtx, interval)
+			tr.Seed(topology.BuildUnitDisk(n, pos, rtx, grid))
+			var g *topology.Graph
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t := float64(i+1) * interval
+				model.AdvanceTo(t, pos)
+				tr.BeginTick(t)
+				tr.Advance(t)
+				g = tr.GraphInto(g)
+			}
+			b.StopTimer()
+			_ = g
+			st := tr.Stats
+			b.ReportMetric(float64(b.Elapsed().Microseconds())/(float64(b.N)*interval), "µs/simsec")
+			b.ReportMetric(float64(st.Attention+st.Rechecks)/float64(b.N), "events/tick")
+			b.ReportMetric(float64(st.Exams)/float64(b.N), "exams/tick")
+		})
+	}
 }
 
 // Motivation: measured flat-LM baselines vs the hierarchy.

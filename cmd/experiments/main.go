@@ -35,6 +35,7 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a heap profile (post-run, after GC) to this file")
 		manifest   = flag.String("manifest", "", "write a run manifest (scale, per-phase timings, cell stats) to this JSON file")
 		progress   = flag.Bool("progress", false, "report per-cell sweep progress on stderr")
+		engine     = flag.String("engine", "", "link engine for every run: scan (default) | kinetic (event-driven)")
 	)
 	flag.Parse()
 
@@ -51,12 +52,12 @@ func main() {
 
 	// Profile teardown must run before exit, so the experiment body
 	// lives in its own function and errors exit from main.
-	if err := runExperiments(*run, *quick, *cpuprofile, *memprofile, *manifest, *progress); err != nil {
+	if err := runExperiments(*run, *quick, *cpuprofile, *memprofile, *manifest, *progress, *engine); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func runExperiments(run string, quick bool, cpuprofile, memprofile, manifest string, progress bool) error {
+func runExperiments(run string, quick bool, cpuprofile, memprofile, manifest string, progress bool, engine string) error {
 	if cpuprofile != "" {
 		f, err := os.Create(cpuprofile)
 		if err != nil {
@@ -87,6 +88,7 @@ func runExperiments(run string, quick bool, cpuprofile, memprofile, manifest str
 	if quick {
 		sc = manet.QuickScale()
 	}
+	sc.Engine = engine
 	if manifest != "" {
 		man := obs.NewManifest("experiments")
 		man.Config = map[string]any{

@@ -60,6 +60,7 @@ func main() {
 		degree   = flag.Float64("degree", 9, "target mean node degree")
 		scan     = flag.Float64("scan", 0, "link scan interval, s (0 = auto)")
 		mob      = flag.String("mobility", "waypoint", "mobility model: waypoint|direction|static|group")
+		engine   = flag.String("engine", "scan", "link engine: scan (per-tick rescan) | kinetic (event-driven)")
 		groupSz  = flag.Int("group-size", 16, "RPGM nodes per group (mobility=group)")
 		groupRad = flag.Float64("group-radius", 0, "RPGM wander radius, m (0 = 2*rtx)")
 		churn    = flag.Float64("churn", 0, "node deaths per node per hour (E18 extension)")
@@ -92,6 +93,7 @@ func main() {
 	cfg.GroupRadius = *groupRad
 	cfg.ChurnRate = *churn / 3600
 	cfg.CheckLevel = *invarLvl
+	cfg.Engine = *engine
 	switch *elector {
 	case "lca":
 	case "sticky":
@@ -131,7 +133,7 @@ func main() {
 			"mu": *mu, "rtx": *rtx, "degree": *degree, "scan": *scan,
 			"mobility": *mob, "hops": *hopM, "elector": *elector,
 			"hash": *hash, "churn_per_hour": *churn,
-			"invariants": *invarLvl,
+			"invariants": *invarLvl, "engine": *engine,
 		}
 		cfg.Metrics = obs.NewRegistry()
 	}

@@ -2,7 +2,7 @@
 // runtime invariant checker: it generates random simulation
 // configurations from fuzz-provided bytes, runs short simulations with
 // every-tick invariant checks, differentially compares the serial,
-// parallel, and zero-alloc-reuse paths, and shrinks failing scenarios
+// parallel, zero-alloc-reuse, and kinetic-engine paths, and shrinks failing scenarios
 // to a minimal (config, seed, tick) triple written as a regression
 // corpus file (testdata/regress). FuzzScenario in fuzz_test.go is the
 // Go-native fuzz target; `make fuzz` drives it locally and the nightly
@@ -102,8 +102,9 @@ func FromParams(seed uint64, n uint16, mobility, hop, degree, speed, churn, topA
 
 // Config translates the scenario into a runnable simnet.Config with
 // every-tick invariant checks, a 1 s scan so Ticks counts scan ticks
-// directly, and no warmup (every tick is measured and traced).
-func (sc Scenario) Config(workers int) simnet.Config {
+// directly, and no warmup (every tick is measured and traced). engine
+// selects the link engine ("" = the simnet default, scan).
+func (sc Scenario) Config(workers int, engine string) simnet.Config {
 	cfg := simnet.Config{
 		N:                    sc.N,
 		Seed:                 sc.Seed,
@@ -125,6 +126,7 @@ func (sc Scenario) Config(workers int) simnet.Config {
 		Fault:                sc.Fault,
 		CheckLevel:           invariant.LevelEveryTick,
 		IntraTickParallelism: workers,
+		Engine:               engine,
 	}
 	if sc.Colocated {
 		// A degree target of 2N guarantees the density puts every
@@ -179,11 +181,12 @@ type runResult struct {
 }
 
 // runScenario executes the scenario on one path (workers = 0 serial,
-// > 1 parallel) with every-tick checks, capturing violations, the
-// serialized results, and the trace.
-func runScenario(sc Scenario, workers int) runResult {
+// > 1 parallel; engine "" scan or simnet.EngineKinetic) with
+// every-tick checks, capturing violations, the serialized results, and
+// the trace.
+func runScenario(sc Scenario, workers int, engine string) runResult {
 	var out runResult
-	cfg := sc.Config(workers)
+	cfg := sc.Config(workers, engine)
 	var buf bytes.Buffer
 	tr := trace.New(&buf)
 	cfg.Observer = tr.Observer()
@@ -232,14 +235,17 @@ var workerCounts = []int{2, 3}
 //  3. every-tick invariant checks must stay silent on every path;
 //  4. the parallel paths must produce byte-identical Results and
 //     traces to the serial run (which also pins the zero-alloc reuse
-//     path: every run after the first tick reuses retired storage).
+//     path: every run after the first tick reuses retired storage);
+//  5. the kinetic engine must produce byte-identical Results and
+//     traces to the scan engine, with its own every-tick checks
+//     (including the kinetic-graph-equal differential) silent.
 func CheckScenario(sc Scenario) *Failure {
-	serial := runScenario(sc, 0)
+	serial := runScenario(sc, 0, "")
 	if serial.panicErr != nil {
 		return &Failure{Scenario: sc, Kind: KindPanic, Detail: serial.panicErr.Error()}
 	}
 	if serial.configErr != nil {
-		p := runScenario(sc, workerCounts[0])
+		p := runScenario(sc, workerCounts[0], "")
 		if p.configErr == nil || p.configErr.Error() != serial.configErr.Error() {
 			return &Failure{
 				Scenario: sc, Kind: KindDifferential,
@@ -257,7 +263,7 @@ func CheckScenario(sc Scenario) *Failure {
 		}
 	}
 	for _, w := range workerCounts {
-		p := runScenario(sc, w)
+		p := runScenario(sc, w, "")
 		if p.panicErr != nil {
 			return &Failure{
 				Scenario: sc, Kind: KindPanic,
@@ -290,6 +296,40 @@ func CheckScenario(sc Scenario) *Failure {
 				Scenario: sc, Kind: KindDifferential,
 				Detail: fmt.Sprintf("results diverge between serial and %d workers", w),
 			}
+		}
+	}
+	k := runScenario(sc, 0, simnet.EngineKinetic)
+	if k.panicErr != nil {
+		return &Failure{
+			Scenario: sc, Kind: KindPanic,
+			Detail: fmt.Sprintf("kinetic engine: %v", k.panicErr),
+		}
+	}
+	if k.configErr != nil {
+		return &Failure{
+			Scenario: sc, Kind: KindDifferential,
+			Detail: fmt.Sprintf("scan accepts config but kinetic rejects it: %v", k.configErr),
+		}
+	}
+	if len(k.violations) > 0 {
+		v := k.violations[0]
+		return &Failure{
+			Scenario: sc, Kind: KindViolation,
+			Check: v.Check, Tick: v.Tick,
+			Detail: fmt.Sprintf("kinetic engine only: %s", v.Detail),
+		}
+	}
+	if !bytes.Equal(serial.trace, k.trace) {
+		return &Failure{
+			Scenario: sc, Kind: KindDifferential,
+			Tick:   diffTick(serial.trace, k.trace),
+			Detail: "trace diverges between the scan and kinetic engines",
+		}
+	}
+	if !bytes.Equal(serial.res, k.res) {
+		return &Failure{
+			Scenario: sc, Kind: KindDifferential,
+			Detail: "results diverge between the scan and kinetic engines",
 		}
 	}
 	return nil

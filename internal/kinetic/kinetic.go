@@ -1,0 +1,409 @@
+// Package kinetic is the event-driven link engine: instead of
+// rescanning all N nodes every tick, it maintains the unit-disk edge
+// set by scheduling the instants at which it could change. Under the
+// paper's mobility assumptions (§1.2) node motion is piecewise linear
+// (mobility.Kinetic), so the squared distance of any pair is a
+// quadratic in time and its crossings of R_TX² have closed-form roots.
+//
+// The tracker drives a priority queue of two event kinds over the
+// spatial grid:
+//
+//   - node attention: the node's linear segment expired (waypoint
+//     arrival, pause expiry, heading change, boundary reflection) or
+//     the node crossed a grid cell boundary. The handler updates the
+//     node's cell, re-examines every pair within the candidate radius,
+//     and reschedules.
+//   - pair recheck: the pair's certificate — the conservative root of
+//     its distance quadratic against R_TX² ∓ band — says the link
+//     state may change. The handler re-evaluates the authoritative
+//     predicate and reschedules.
+//
+// Determinism and scan equivalence: the tracker never draws
+// randomness and never advances the mobility model; the simulation
+// loop advances the model on the tick grid exactly as the scan engine
+// does, and the tracker evaluates the authoritative link predicate
+// pos[a].Dist2(pos[b]) <= RTX² only at tick instants, with the same
+// float operations as the scan. Certificates and cell crossings are
+// used exclusively to decide WHICH pairs to evaluate, never what the
+// answer is, so the maintained edge set is bit-equal to a full rescan
+// at every tick (enforced by the kinetic-graph-differential invariant
+// and the scan-vs-kinetic differential tests). Queue ties break on
+// (time, kind, node-id) — see DESIGN.md §11.
+package kinetic
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"repro/internal/geom"
+	"repro/internal/mobility"
+	"repro/internal/spatial"
+	"repro/internal/topology"
+)
+
+// Stats counts tracker work. The engine's cost is proportional to
+// these (event rate), not to N×ticks.
+type Stats struct {
+	Attention uint64 // node attention events processed
+	Rechecks  uint64 // pair recheck events processed
+	Exams     uint64 // authoritative pair evaluations
+}
+
+// Tracker maintains the unit-disk edge set event-driven. It owns the
+// spatial grid handed to New (cells are updated at attention events,
+// not every tick) and shares the caller's pos/alive slices.
+type Tracker struct {
+	model mobility.Kinetic
+	grid  *spatial.Grid
+	pos   []geom.Vec
+	alive []bool
+	n     int
+
+	r2       float64 // RTX²: the authoritative link threshold
+	band     float64 // conservative margin around r2 for scheduling
+	interval float64 // tick interval: the event fire granularity
+	rings    int     // candidate scan radius around a node, in cells
+	now      float64
+
+	q       eventHeap
+	nodeVer []uint32
+	pairVer map[topology.EdgeKey]uint32
+
+	edges  map[topology.EdgeKey]struct{}
+	sorted []topology.EdgeKey // ascending; edge set as of the last flush
+	spare  []topology.EdgeKey // double buffer for the delta merge
+	ups    []topology.EdgeKey // links made since the last flush
+	downs  []topology.EdgeKey // links broken since the last flush
+
+	// Hoisted ForEachNearbyNode callbacks: allocated once here so the
+	// hot handlers close over nothing per call; the pivot node rides
+	// through the pivot field.
+	examineFn func(j int)
+	killFn    func(j int)
+	pivot     int
+
+	Stats Stats
+}
+
+// New builds a tracker over the caller's grid, positions and liveness
+// flags. rtx is the link radius (the grid's cell side must be >= rtx
+// for 1-ring adjacency, as the simulator's grid guarantees) and
+// interval is the tick period at which Advance will be called.
+//
+// The candidate radius is 1 ring (true adjacency of an in-range pair)
+// plus twice the worst-case cell staleness: tracked cells are updated
+// only when an attention event fires at a tick, so a node's tracked
+// cell can lag its true cell by the distance traveled in one tick.
+func New(model mobility.Kinetic, grid *spatial.Grid, pos []geom.Vec, alive []bool, rtx, interval float64) *Tracker {
+	if rtx <= 0 || interval <= 0 {
+		panic("kinetic: rtx and interval must be positive")
+	}
+	stale := int(math.Ceil(model.MaxSpeed() * interval / grid.CellSide()))
+	tr := &Tracker{
+		model:    model,
+		grid:     grid,
+		pos:      pos,
+		alive:    alive,
+		n:        len(pos),
+		r2:       rtx * rtx,
+		band:     rtx * rtx * 1e-9,
+		interval: interval,
+		rings:    1 + 2*stale,
+		nodeVer:  make([]uint32, len(pos)),
+		pairVer:  make(map[topology.EdgeKey]uint32),
+		edges:    make(map[topology.EdgeKey]struct{}),
+	}
+	tr.examineFn = func(j int) { tr.examinePair(tr.pivot, j) }
+	tr.killFn = func(j int) {
+		k := topology.MakeEdgeKey(tr.pivot, j)
+		if _, ok := tr.edges[k]; ok {
+			delete(tr.edges, k)
+			tr.downs = append(tr.downs, k)
+			delete(tr.pairVer, k)
+		}
+	}
+	return tr
+}
+
+// Rings reports the candidate scan radius in cells (diagnostics).
+func (tr *Tracker) Rings() int { return tr.rings }
+
+// Seed installs the initial edge set — the setup graph the simulator
+// built with a full scan over the same grid — and schedules the
+// initial events: one attention per alive node plus a certificate for
+// every nearby pair.
+func (tr *Tracker) Seed(g *topology.Graph) {
+	tr.sorted = g.AppendEdges(tr.sorted[:0])
+	for _, k := range tr.sorted {
+		tr.edges[k] = struct{}{}
+	}
+	for i := 0; i < tr.n; i++ {
+		if !tr.alive[i] {
+			continue
+		}
+		tr.scheduleAttention(i)
+		tr.grid.ForEachNearbyNode(i, tr.rings, func(j int) {
+			if j > i && tr.alive[j] {
+				k := topology.MakeEdgeKey(i, j)
+				_, linked := tr.edges[k]
+				tr.schedulePair(k, i, j, linked)
+			}
+		})
+	}
+}
+
+// BeginTick anchors the tracker at tick time t. It must be called
+// after the mobility model has advanced to t and before any Kill,
+// Revive, or Advance call for that tick.
+func (tr *Tracker) BeginTick(t float64) { tr.now = t }
+
+// Kill removes node i (churn death): its incident links break at this
+// tick and its pending events become stale. All linked partners lie
+// within the candidate radius of i's tracked cell, so a single
+// neighborhood sweep finds every incident edge.
+//
+//manet:hotpath
+func (tr *Tracker) Kill(i int) {
+	tr.nodeVer[i]++
+	tr.pivot = i
+	tr.grid.ForEachNearbyNode(i, tr.rings, tr.killFn)
+	tr.grid.Remove(i)
+}
+
+// Revive re-inserts node i at its current position (churn rejoin),
+// evaluates its neighborhood authoritatively — the rejoin may create
+// links this very tick — and schedules its attention.
+//
+//manet:hotpath
+func (tr *Tracker) Revive(i int) {
+	tr.grid.Insert(i, tr.pos[i])
+	tr.pivot = i
+	tr.grid.ForEachNearbyNode(i, tr.rings, tr.examineFn)
+	tr.scheduleAttention(i)
+}
+
+// Advance drains every event due at or before tick time t. The caller
+// must have advanced the mobility model to t first: authoritative
+// link predicates are evaluated against the shared pos slice,
+// byte-identically to the scan engine.
+//
+//manet:hotpath
+func (tr *Tracker) Advance(t float64) {
+	tr.now = t
+	for tr.q.Len() > 0 && tr.q.top().t <= t {
+		e := tr.q.pop()
+		switch e.kind {
+		case kindAttention:
+			i := int(e.a)
+			if e.ver != tr.nodeVer[i] || !tr.alive[i] {
+				continue
+			}
+			tr.Stats.Attention++
+			tr.grid.Update(i, tr.pos[i])
+			tr.pivot = i
+			tr.grid.ForEachNearbyNode(i, tr.rings, tr.examineFn)
+			tr.scheduleAttention(i)
+		case kindRecheck:
+			k := topology.EdgeKey(uint64(uint32(e.a))<<32 | uint64(uint32(e.b)))
+			if e.ver != tr.pairVer[k] {
+				continue
+			}
+			a, b := k.Nodes()
+			if !tr.alive[a] || !tr.alive[b] {
+				// Kill invalidates linked pairs only; an unlinked pair's
+				// certificate can outlive an endpoint. Drop it here.
+				delete(tr.pairVer, k)
+				continue
+			}
+			tr.Stats.Rechecks++
+			tr.examinePair(a, b)
+		}
+	}
+}
+
+// examinePair evaluates the authoritative link predicate for (a, b)
+// at the current tick — the same float comparison the scan engine
+// performs — applies any state change to the edge set, and schedules
+// the pair's next possible change.
+//
+//manet:hotpath
+func (tr *Tracker) examinePair(a, b int) {
+	tr.Stats.Exams++
+	k := topology.MakeEdgeKey(a, b)
+	linked := tr.pos[a].Dist2(tr.pos[b]) <= tr.r2
+	_, cur := tr.edges[k]
+	if linked != cur {
+		if linked {
+			tr.edges[k] = struct{}{}
+			tr.ups = append(tr.ups, k)
+		} else {
+			delete(tr.edges, k)
+			tr.downs = append(tr.downs, k)
+		}
+	}
+	tr.schedulePair(k, a, b, linked)
+}
+
+// scheduleAttention queues node i's next attention: the earlier of
+// its segment expiry and its next cell crossing. Stationary nodes
+// (both at infinity) schedule nothing.
+//
+//manet:hotpath
+func (tr *Tracker) scheduleAttention(i int) {
+	tr.nodeVer[i]++
+	seg := tr.model.Segment(i)
+	next := seg.T1
+	if x := tr.grid.NextCrossing(tr.pos[i], seg.V, tr.now); x < next {
+		next = x
+	}
+	if math.IsInf(next, 1) {
+		return
+	}
+	if next <= tr.now {
+		// Numerically on a cell boundary: make strict progress by
+		// retrying at the next tick (the half-interval offset fires
+		// then regardless of float rounding in the tick grid).
+		next = tr.now + 0.5*tr.interval
+	}
+	tr.q.push(event{t: next, kind: kindAttention, a: int32(i), b: -1, ver: tr.nodeVer[i]})
+}
+
+// schedulePair installs the pair's certificate: a recheck at the
+// earliest future instant its link state could differ from `linked`,
+// per the distance quadratic against r² ∓ band. No event is scheduled
+// beyond the pair's segment-validity horizon — the segment owner's
+// attention event re-examines the neighborhood there.
+//
+//manet:hotpath
+func (tr *Tracker) schedulePair(k topology.EdgeKey, a, b int, linked bool) {
+	sa := tr.model.Segment(a)
+	sb := tr.model.Segment(b)
+	hi := sa.T1
+	if sb.T1 < hi {
+		hi = sb.T1
+	}
+	x := tr.nextChange(sa, sb, linked)
+	if x > hi || math.IsInf(x, 1) {
+		// No possible change before the horizon: drop the version so
+		// any queued recheck goes stale and the map does not grow. The
+		// read-before-delete keeps the common far-pair path (no active
+		// certificate) to a single map probe.
+		if _, ok := tr.pairVer[k]; ok {
+			delete(tr.pairVer, k)
+		}
+		return
+	}
+	ver := tr.pairVer[k] + 1
+	tr.pairVer[k] = ver
+	tr.q.push(event{t: x, kind: kindRecheck, a: int32(k >> 32), b: int32(uint32(k)), ver: ver})
+}
+
+// nextChange solves the pair's distance quadratic d²(τ) = |Δp+Δv·τ|²
+// for the earliest instant after now at which the link state could
+// differ from `linked`. The test is conservative: a linked pair is
+// safe while d² stays below r²−band, an unlinked pair while it stays
+// above r²+band; inside the uncertainty band the pair is rechecked
+// every tick. Returns +Inf when no change is possible.
+//
+//manet:hotpath
+func (tr *Tracker) nextChange(sa, sb mobility.Segment, linked bool) float64 {
+	dp := sb.At(tr.now).Sub(sa.At(tr.now))
+	dv := sb.V.Sub(sa.V)
+	A := dv.Len2()
+	B := 2 * dp.Dot(dv)
+	C := dp.Len2()
+	// nextTick fires strictly before the next tick instant, so the
+	// recheck runs at the very next Advance regardless of rounding in
+	// the accumulated tick grid.
+	nextTick := tr.now + 0.5*tr.interval
+
+	if linked {
+		thr := tr.r2 - tr.band
+		//lint:ignore floateq exact-zero guard before division
+		if A == 0 {
+			if C <= thr {
+				return math.Inf(1) // parallel motion, safely inside
+			}
+			return nextTick // in the band with no relative motion
+		}
+		disc := B*B - 4*A*(C-thr)
+		if disc < 0 {
+			return nextTick // never safely inside: stay on tick cadence
+		}
+		sq := math.Sqrt(disc)
+		t1 := (-B - sq) / (2 * A)
+		t2 := (-B + sq) / (2 * A)
+		if t1 > 0 || t2 <= 0 {
+			// Not currently in the safe interval [t1, t2].
+			return nextTick
+		}
+		return tr.now + t2 // safely inside until t2
+	}
+
+	thr := tr.r2 + tr.band
+	//lint:ignore floateq exact-zero guard before division
+	if A == 0 {
+		if C > thr {
+			return math.Inf(1) // parallel motion, safely outside
+		}
+		return nextTick
+	}
+	disc := B*B - 4*A*(C-thr)
+	if disc < 0 {
+		return math.Inf(1) // closest approach never enters the band
+	}
+	sq := math.Sqrt(disc)
+	u1 := (-B - sq) / (2 * A)
+	u2 := (-B + sq) / (2 * A)
+	if u2 <= 0 {
+		return math.Inf(1) // approach lies in the past
+	}
+	if u1 <= 0 {
+		return nextTick // already inside the approach band
+	}
+	return tr.now + u1 // first entry into the band
+}
+
+// GraphInto merges the tick's link deltas into the sorted edge list
+// and materializes the graph for the downstream incremental pipeline
+// (diff → cluster maintain → LM update). Adjacency fills in ascending
+// key order — deterministic, and equivalent to the scan builder's
+// emission order for every order-free consumer (the differential
+// tests enforce that no consumer is order-sensitive).
+//
+//manet:hotpath
+func (tr *Tracker) GraphInto(g *topology.Graph) *topology.Graph {
+	if len(tr.ups) > 0 || len(tr.downs) > 0 {
+		slices.Sort(tr.ups)
+		slices.Sort(tr.downs)
+		merged := tr.spare[:0]
+		si, ui, di := 0, 0, 0
+		for si < len(tr.sorted) {
+			s := tr.sorted[si]
+			if di < len(tr.downs) && tr.downs[di] == s {
+				si++
+				di++
+				continue
+			}
+			for ui < len(tr.ups) && tr.ups[ui] < s {
+				merged = append(merged, tr.ups[ui])
+				ui++
+			}
+			merged = append(merged, s)
+			si++
+		}
+		merged = append(merged, tr.ups[ui:]...)
+		if di != len(tr.downs) {
+			panic(fmt.Sprintf("kinetic: %d link-down keys missing from the edge list", len(tr.downs)-di))
+		}
+		tr.spare = tr.sorted
+		tr.sorted = merged
+		tr.ups = tr.ups[:0]
+		tr.downs = tr.downs[:0]
+	}
+	return topology.BuildFromSortedEdgesInto(g, tr.n, tr.sorted)
+}
+
+// EdgeCount reports the current edge set size (diagnostics).
+func (tr *Tracker) EdgeCount() int { return len(tr.edges) }

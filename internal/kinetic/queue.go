@@ -1,0 +1,92 @@
+package kinetic
+
+// eventKind orders same-instant events: node attention (cell update +
+// neighborhood re-examination) runs before pair rechecks so a recheck
+// popped at the same instant sees fresh cells. The ordering is part of
+// the determinism story (DESIGN.md §11): the queue is a strict weak
+// order over (time, kind, a, b), so equal-time events pop in a
+// reproducible order regardless of insertion history.
+type eventKind uint8
+
+const (
+	// kindAttention fires when node a's linear segment expires or when
+	// it crosses a grid cell boundary: update its cell, re-examine its
+	// neighborhood, reschedule.
+	kindAttention eventKind = iota
+	// kindRecheck fires when pair (a, b)'s certificate says the link
+	// state may change: re-evaluate the authoritative predicate.
+	kindRecheck
+)
+
+// event is one scheduled occurrence. Events are never removed from the
+// queue on invalidation; instead ver is compared against the owning
+// node's or pair's current version at pop time and stale events are
+// dropped (lazy deletion).
+type event struct {
+	t    float64
+	kind eventKind
+	a, b int32 // attention: a = node, b = -1; recheck: pair a < b
+	ver  uint32
+}
+
+func (e event) less(o event) bool {
+	//lint:ignore floateq exact comparison is the tie-break boundary, not an equality test
+	if e.t != o.t {
+		return e.t < o.t
+	}
+	if e.kind != o.kind {
+		return e.kind < o.kind
+	}
+	if e.a != o.a {
+		return e.a < o.a
+	}
+	return e.b < o.b
+}
+
+// eventHeap is a plain binary min-heap over events. It is hand-rolled
+// (rather than container/heap) to avoid interface boxing on the hot
+// event path.
+type eventHeap struct {
+	items []event
+}
+
+func (h *eventHeap) Len() int { return len(h.items) }
+
+func (h *eventHeap) top() event { return h.items[0] }
+
+func (h *eventHeap) push(e event) {
+	h.items = append(h.items, e)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.items[i].less(h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	out := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.items[l].less(h.items[smallest]) {
+			smallest = l
+		}
+		if r < last && h.items[r].less(h.items[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return out
+}

@@ -1,13 +1,16 @@
 // Package mobility implements the node mobility models used by the
 // paper. The primary model is random waypoint (Broch et al., MobiCom
 // '98) with zero pause time and fixed speed μ, exactly as assumed in
-// §1.2 of the paper; a random-direction model and a stationary model
-// are provided for ablations and tests.
+// §1.2 of the paper; a random-direction model, an RPGM group model and
+// a stationary model are provided for ablations and tests.
 //
 // Models expose piecewise-linear kinematics: a node's position is an
 // analytic function of time between waypoint decisions, so the
 // simulator can advance all nodes to an arbitrary instant without
-// accumulating per-tick integration error.
+// accumulating per-tick integration error. The Kinetic sub-interface
+// exposes that structure directly — each node's current linear segment
+// — which is what the event-driven engine (internal/kinetic) schedules
+// against.
 package mobility
 
 import (
@@ -27,6 +30,39 @@ type Model interface {
 	// Speed returns the configured node speed μ in m/s (mean speed for
 	// models with varying speed).
 	Speed() float64
+}
+
+// Segment is one linear piece of a node's trajectory: position P and
+// velocity V at anchor time T0, valid until T1 (the node moves as
+// P + V·(t-T0) for t in [T0, T1]). A paused node exposes a zero
+// velocity with T1 at the pause expiry; a stationary node exposes
+// T1 = +Inf.
+type Segment struct {
+	P      geom.Vec // position at T0
+	V      geom.Vec // velocity, m/s
+	T0, T1 float64  // validity interval
+}
+
+// At returns the position at time t (t should lie in [T0, T1]).
+func (s Segment) At(t float64) geom.Vec {
+	return s.P.Add(s.V.Scale(t - s.T0))
+}
+
+// Kinetic is the sub-interface of Model exposed by models whose motion
+// is exactly piecewise linear, which is what the event-driven engine
+// requires. Segment(i) is anchored at the model's current time and is
+// valid only until the next AdvanceTo call; the returned T1 is the
+// earliest future instant at which node i's velocity may change (a
+// waypoint arrival, pause expiry, heading change, or boundary
+// reflection). AdvanceTo must remain the only mutator, and all models
+// here draw randomness in node order inside AdvanceTo, so trajectories
+// depend only on the sequence of times passed to AdvanceTo — never on
+// who reads segments in between. MaxSpeed bounds |V| over every
+// segment the model can ever produce.
+type Kinetic interface {
+	Model
+	Segment(i int) Segment
+	MaxSpeed() float64
 }
 
 // leg is one linear segment of travel: from origin at time t0 toward
@@ -74,6 +110,9 @@ func NewWaypoint(region geom.Disc, mu float64, src *rng.Source) *Waypoint {
 // Speed returns μ.
 func (w *Waypoint) Speed() float64 { return w.Mu }
 
+// MaxSpeed returns μ (travel speed; pauses only go slower).
+func (w *Waypoint) MaxSpeed() float64 { return w.Mu }
+
 // Init samples n uniform initial positions and initial waypoints.
 //
 // Note: sampling the initial position uniformly (rather than from the
@@ -117,21 +156,53 @@ func (w *Waypoint) AdvanceTo(t float64, pos []geom.Vec) {
 	w.now = t
 }
 
+// Segment returns node i's current linear piece: the pause at the
+// origin waypoint (zero velocity until departure at t0) or the travel
+// leg toward dest (arriving at t1). Valid until the next AdvanceTo.
+func (w *Waypoint) Segment(i int) Segment {
+	l := &w.legs[i]
+	if w.now < l.t0 {
+		return Segment{P: l.origin, T0: w.now, T1: l.t0}
+	}
+	v := l.dest.Sub(l.origin).Scale(1 / (l.t1 - l.t0))
+	return Segment{P: l.at(w.now), V: v, T0: w.now, T1: l.t1}
+}
+
 // RandomDirection is the random direction model: each node travels in
 // a uniformly random heading for an exponentially distributed duration,
 // reflecting off the region boundary. Unlike random waypoint it has a
 // uniform stationary spatial distribution, so it serves as a robustness
 // check that results are not artifacts of RWP center-weighting.
+//
+// Motion is maintained as exact linear legs: each leg ends either at
+// the heading's expiry instant or at the precise boundary-crossing
+// instant (solved in closed form), whichever comes first. A heading
+// change that lands exactly on an advance boundary is therefore just a
+// leg whose t1 equals the advance time — the roll loop consumes it like
+// any other expired leg, with no step-size-dependent special case.
 type RandomDirection struct {
 	Region   geom.Disc
 	Mu       float64
 	MeanLegT float64 // mean leg duration, s
 
-	src      *rng.Source
-	dirs     []geom.Vec
-	until    []float64 // time current heading expires
-	position []geom.Vec
-	now      float64
+	src  *rng.Source
+	legs []dirLeg
+	now  float64
+}
+
+// dirLeg is one linear piece of a random-direction trajectory: travel
+// from origin at t0 with unit heading dir until t1, where t1 =
+// min(until, boundary-exit time) and until is the instant the current
+// heading expires.
+type dirLeg struct {
+	origin geom.Vec
+	dir    geom.Vec // unit heading
+	t0, t1 float64
+	until  float64 // heading expiry; t1 < until means a boundary reflection at t1
+}
+
+func (l *dirLeg) posAt(mu, t float64) geom.Vec {
+	return l.origin.Add(l.dir.Scale(mu * (t - l.t0)))
 }
 
 // NewRandomDirection builds a random-direction model. meanLegT is the
@@ -146,19 +217,23 @@ func NewRandomDirection(region geom.Disc, mu, meanLegT float64, src *rng.Source)
 // Speed returns μ.
 func (r *RandomDirection) Speed() float64 { return r.Mu }
 
+// MaxSpeed returns μ.
+func (r *RandomDirection) MaxSpeed() float64 { return r.Mu }
+
 // Init places n nodes uniformly with random headings.
 func (r *RandomDirection) Init(n int) []geom.Vec {
-	r.position = make([]geom.Vec, n)
-	r.dirs = make([]geom.Vec, n)
-	r.until = make([]float64, n)
-	for i := range r.position {
-		r.position[i] = r.Region.Sample(r.src)
-		r.dirs[i] = r.randomHeading()
-		r.until[i] = r.src.Exp(1 / r.MeanLegT)
+	r.legs = make([]dirLeg, n)
+	out := make([]geom.Vec, n)
+	for i := range r.legs {
+		l := &r.legs[i]
+		l.origin = r.Region.Sample(r.src)
+		l.dir = r.randomHeading()
+		l.t0 = 0
+		l.until = r.src.Exp(1 / r.MeanLegT)
+		l.t1 = r.legEnd(l)
+		out[i] = l.origin
 	}
 	r.now = 0
-	out := make([]geom.Vec, n)
-	copy(out, r.position)
 	return out
 }
 
@@ -167,45 +242,62 @@ func (r *RandomDirection) randomHeading() geom.Vec {
 	return geom.Vec{X: math.Cos(theta), Y: math.Sin(theta)}
 }
 
-// AdvanceTo integrates motion to time t with boundary reflection.
+// legEnd returns the end time of the leg: the heading expiry, or the
+// exact boundary-crossing instant if the heading would leave the
+// region first.
+func (r *RandomDirection) legEnd(l *dirLeg) float64 {
+	span := l.until - l.t0
+	if span <= 0 {
+		return l.t0
+	}
+	end := l.origin.Add(l.dir.Scale(r.Mu * span))
+	u := r.Region.SegmentCircleExit(l.origin, end)
+	return l.t0 + u*span
+}
+
+// rollLeg replaces an expired leg (t >= t1) with its successor. At a
+// heading expiry (t1 >= until) the node draws a fresh heading and
+// duration; at a boundary crossing (t1 < until) it reflects inward
+// with a random perturbation to avoid boundary cycling. A heading
+// expiry landing exactly on the boundary-crossing instant counts as a
+// heading expiry; if the fresh heading points outward the successor
+// leg is zero-length and the next roll reflects it — every case makes
+// progress, there is no step-granularity special case.
+func (r *RandomDirection) rollLeg(l *dirLeg) {
+	p := l.posAt(r.Mu, l.t1)
+	if l.t1 >= l.until {
+		l.dir = r.randomHeading()
+		l.until = l.t1 + r.src.Exp(1/r.MeanLegT)
+	} else {
+		inward := r.Region.C.Sub(p).Normalize()
+		l.dir = inward.Add(r.randomHeading().Scale(0.5)).Normalize()
+	}
+	l.origin = p
+	l.t0 = l.t1
+	l.t1 = r.legEnd(l)
+}
+
+// AdvanceTo integrates motion to time t with exact boundary reflection.
 func (r *RandomDirection) AdvanceTo(t float64, pos []geom.Vec) {
 	if t < r.now {
 		panic("mobility: AdvanceTo moved backwards")
 	}
-	for i := range r.position {
-		cur := r.now
-		for cur < t {
-			step := t - cur
-			if r.until[i] < cur+step {
-				step = r.until[i] - cur
-				if step < 0 {
-					step = 0
-				}
-			}
-			next := r.position[i].Add(r.dirs[i].Scale(r.Mu * step))
-			if !r.Region.Contains(next) {
-				// Reflect: clamp to boundary, reverse with a random
-				// inward perturbation to avoid boundary cycling.
-				next = r.Region.Clamp(next)
-				inward := r.Region.C.Sub(next).Normalize()
-				r.dirs[i] = inward.Add(r.randomHeading().Scale(0.5)).Normalize()
-			}
-			r.position[i] = next
-			cur += step
-			if cur >= r.until[i] {
-				r.dirs[i] = r.randomHeading()
-				r.until[i] = cur + r.src.Exp(1/r.MeanLegT)
-			}
-			//lint:ignore floateq zero step means the min() below selected the event boundary exactly
-			if step == 0 && cur < t {
-				// Heading change fired exactly at cur; continue the
-				// remaining interval with the fresh heading.
-				continue
-			}
+	for i := range r.legs {
+		l := &r.legs[i]
+		for t >= l.t1 {
+			r.rollLeg(l)
 		}
-		pos[i] = r.position[i]
+		pos[i] = l.posAt(r.Mu, t)
 	}
 	r.now = t
+}
+
+// Segment returns node i's current linear piece, ending at the next
+// heading change or boundary reflection. Valid until the next
+// AdvanceTo.
+func (r *RandomDirection) Segment(i int) Segment {
+	l := &r.legs[i]
+	return Segment{P: l.posAt(r.Mu, r.now), V: l.dir.Scale(r.Mu), T0: r.now, T1: l.t1}
 }
 
 // Stationary keeps all nodes fixed; useful for static-topology
@@ -224,6 +316,9 @@ func NewStationary(region geom.Disc, src *rng.Source) *Stationary {
 // Speed returns 0.
 func (s *Stationary) Speed() float64 { return 0 }
 
+// MaxSpeed returns 0.
+func (s *Stationary) MaxSpeed() float64 { return 0 }
+
 // Init places n nodes uniformly.
 func (s *Stationary) Init(n int) []geom.Vec {
 	s.fixed = make([]geom.Vec, n)
@@ -240,11 +335,16 @@ func (s *Stationary) AdvanceTo(t float64, pos []geom.Vec) {
 	copy(pos, s.fixed)
 }
 
+// Segment returns a zero-velocity segment that never expires.
+func (s *Stationary) Segment(i int) Segment {
+	return Segment{P: s.fixed[i], T1: math.Inf(1)}
+}
+
 // compile-time interface checks
 var (
-	_ Model = (*Waypoint)(nil)
-	_ Model = (*RandomDirection)(nil)
-	_ Model = (*Stationary)(nil)
+	_ Kinetic = (*Waypoint)(nil)
+	_ Kinetic = (*RandomDirection)(nil)
+	_ Kinetic = (*Stationary)(nil)
 )
 
 // GroupMobility is the reference-point group mobility model (RPGM,
@@ -262,13 +362,15 @@ type GroupMobility struct {
 	GroupRadius float64 // member wander radius around the reference point
 	MemberMu    float64 // member wander speed (default Mu/2)
 
-	src     *rng.Source
-	refs    *Waypoint // reference points
-	refPos  []geom.Vec
-	offsets *Waypoint // member offsets, in a zero-centered disc
-	offPos  []geom.Vec
-	group   []int // node -> group index
-	n       int
+	src       *rng.Source
+	refs      *Waypoint // reference points
+	refPos    []geom.Vec
+	offsets   *Waypoint // member offsets, in a zero-centered disc
+	offPos    []geom.Vec
+	group     []int // node -> group index
+	n         int
+	memberMu  float64 // effective member speed
+	effRadius float64 // effective wander radius after region-fitting
 }
 
 // NewGroupMobility builds an RPGM model: ceil(n/groupSize) groups over
@@ -286,23 +388,34 @@ func NewGroupMobility(region geom.Disc, mu, groupRadius float64, groupSize int, 
 // Speed returns the reference-point speed μ.
 func (g *GroupMobility) Speed() float64 { return g.Mu }
 
-// Init places groups and members.
+// MaxSpeed bounds a member's speed: reference speed plus wander speed
+// (a member position is the sum of two waypoint trajectories, and Init
+// sizes the regions so the boundary clamp never binds).
+func (g *GroupMobility) MaxSpeed() float64 { return g.Mu + g.memberMu }
+
+// Init places groups and members. The reference region and the wander
+// radius are sized so their sum never exceeds the region radius: the
+// wander radius is capped at R/2 and the reference region shrinks by
+// exactly that amount. Members therefore never clamp against the disc
+// boundary, which keeps per-step displacement bounded by
+// (Mu+MemberMu)·dt and member motion exactly piecewise linear (the
+// kinetic engine's bounded-velocity assumption).
 func (g *GroupMobility) Init(n int) []geom.Vec {
 	g.n = n
 	groups := (n + g.GroupSize - 1) / g.GroupSize
-	// Reference points roam a slightly shrunken region so member
-	// offsets rarely clamp at the boundary.
-	refRegion := g.Region
-	if refRegion.R > g.GroupRadius*2 {
-		refRegion.R -= g.GroupRadius
+	g.effRadius = g.GroupRadius
+	if g.effRadius > g.Region.R/2 {
+		g.effRadius = g.Region.R / 2
 	}
+	refRegion := g.Region
+	refRegion.R -= g.effRadius
 	g.refs = NewWaypoint(refRegion, g.Mu, g.src.Split())
 	g.refPos = g.refs.Init(groups)
-	memberMu := g.MemberMu
-	if memberMu <= 0 {
-		memberMu = g.Mu / 2
+	g.memberMu = g.MemberMu
+	if g.memberMu <= 0 {
+		g.memberMu = g.Mu / 2
 	}
-	g.offsets = NewWaypoint(geom.Disc{R: g.GroupRadius}, memberMu, g.src.Split())
+	g.offsets = NewWaypoint(geom.Disc{R: g.effRadius}, g.memberMu, g.src.Split())
 	g.offPos = g.offsets.Init(n)
 	g.group = make([]int, n)
 	out := make([]geom.Vec, n)
@@ -313,7 +426,10 @@ func (g *GroupMobility) Init(n int) []geom.Vec {
 	return out
 }
 
-// AdvanceTo moves reference points and member offsets to time t.
+// AdvanceTo moves reference points and member offsets to time t. The
+// Clamp is belt-and-braces against float dust: Init sizes the two
+// regions so |ref| + |offset| <= R, so it never moves a point by more
+// than a rounding error.
 func (g *GroupMobility) AdvanceTo(t float64, pos []geom.Vec) {
 	g.refs.AdvanceTo(t, g.refPos)
 	g.offsets.AdvanceTo(t, g.offPos)
@@ -322,7 +438,20 @@ func (g *GroupMobility) AdvanceTo(t float64, pos []geom.Vec) {
 	}
 }
 
+// Segment composes the reference point's segment with the member's
+// offset segment: positions and velocities add, and the composite is
+// valid until the earlier of the two expiries.
+func (g *GroupMobility) Segment(i int) Segment {
+	rs := g.refs.Segment(g.group[i])
+	os := g.offsets.Segment(i)
+	t1 := rs.T1
+	if os.T1 < t1 {
+		t1 = os.T1
+	}
+	return Segment{P: rs.P.Add(os.P), V: rs.V.Add(os.V), T0: rs.T0, T1: t1}
+}
+
 // GroupOf reports the group index of a node (for tests and analysis).
 func (g *GroupMobility) GroupOf(v int) int { return g.group[v] }
 
-var _ Model = (*GroupMobility)(nil)
+var _ Kinetic = (*GroupMobility)(nil)

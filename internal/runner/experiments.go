@@ -26,6 +26,10 @@ type Scale struct {
 	Warmup   float64 `json:"warmup"`
 	BigN     int     `json:"big_n"` // node count for single-N experiments
 	Par      int     `json:"par"`   // worker-pool width (0 = GOMAXPROCS)
+	// Engine selects the link engine for every simulation the
+	// experiment launches ("" or "scan" = per-tick rescan, "kinetic" =
+	// event-driven; see simnet.Config.Engine).
+	Engine string `json:"engine,omitempty"`
 
 	// Metrics, when non-nil, receives run observability from every
 	// simulation the experiment launches (phase timers, tick counters;
@@ -135,7 +139,7 @@ func staticHierarchy(n int, seed uint64) (*cluster.Hierarchy, *topology.Graph) {
 }
 
 func baseConfig(sc Scale) simnet.Config {
-	return simnet.Config{Duration: sc.Duration, Warmup: sc.Warmup, Metrics: sc.Metrics}
+	return simnet.Config{Duration: sc.Duration, Warmup: sc.Warmup, Metrics: sc.Metrics, Engine: sc.Engine}
 }
 
 // sweepSpec builds the standard sweep for an experiment: the scale's

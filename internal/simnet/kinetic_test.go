@@ -1,0 +1,108 @@
+package simnet_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+// TestKineticMatchesScan is the end-to-end equivalence contract of
+// Config.Engine: for every scenario, every mobility model, and both
+// serial and intra-tick-parallel execution, the event-driven kinetic
+// engine must produce byte-identical Results (minus Config) and a
+// byte-identical per-tick trace to the default scan engine. Both
+// engines advance the mobility model at the same tick instants (so
+// the shared RNG stream is consumed identically) and evaluate the same
+// link predicate over the same positions; the kinetic engine differs
+// only in WHICH pairs it evaluates, which this test pins down as an
+// invisible implementation detail.
+func TestKineticMatchesScan(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  simnet.Config
+	}{
+		{"base", simnet.Config{
+			N: 48, Seed: 7, Duration: 15, Warmup: 4,
+		}},
+		{"churn", simnet.Config{
+			N: 48, Seed: 11, Duration: 15, Warmup: 4,
+			ChurnRate: 0.02, MeanDowntime: 8,
+		}},
+		{"tracking", simnet.Config{
+			N: 47, Seed: 3, Duration: 15, Warmup: 4,
+			TrackStates: true, TrackClasses: true,
+		}},
+		{"bfs-hops", simnet.Config{
+			N: 48, Seed: 5, Duration: 12, Warmup: 3,
+			HopModel: simnet.HopBFS, SampleHops: 2, HopPairs: 16,
+		}},
+		{"tiny", simnet.Config{
+			N: 5, Seed: 2, Duration: 12, Warmup: 3,
+			SampleHops: 3, HopPairs: 8,
+		}},
+		{"direction", simnet.Config{
+			N: 40, Seed: 13, Duration: 15, Warmup: 4,
+			Mobility: simnet.MobilityDirection,
+		}},
+		{"group", simnet.Config{
+			N: 48, Seed: 17, Duration: 15, Warmup: 4,
+			Mobility: simnet.MobilityGroup,
+		}},
+		{"static", simnet.Config{
+			N: 40, Seed: 19, Duration: 10, Warmup: 2,
+			Mobility: simnet.MobilityStatic,
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			scanRes, scanTrace := marshalRun(t, tc.cfg)
+			if len(scanTrace) == 0 {
+				t.Fatal("trace output is empty; comparison is vacuous")
+			}
+			kcfg := tc.cfg
+			kcfg.Engine = simnet.EngineKinetic
+			// Every-tick checking keeps the kinetic-graph-equal
+			// differential hot throughout the run.
+			kcfg.CheckLevel = "every-tick"
+			kinRes, kinTrace := marshalRun(t, kcfg)
+			// CheckLevel does not influence Results or trace, so the
+			// comparison against the unchecked scan run stays valid.
+			if !bytes.Equal(scanRes, kinRes) {
+				t.Errorf("kinetic results differ from scan:\nscan:    %s\nkinetic: %s",
+					scanRes, kinRes)
+			}
+			if !bytes.Equal(scanTrace, kinTrace) {
+				t.Errorf("kinetic trace differs from scan")
+			}
+			// The engines must also agree under intra-tick parallelism
+			// (the kinetic engine shares the parallel cluster/LM phases).
+			pcfg := kcfg
+			pcfg.CheckLevel = ""
+			pcfg.IntraTickParallelism = 3
+			parRes, parTrace := marshalRun(t, pcfg)
+			if !bytes.Equal(scanRes, parRes) {
+				t.Errorf("kinetic+parallel results differ from scan")
+			}
+			if !bytes.Equal(scanTrace, parTrace) {
+				t.Errorf("kinetic+parallel trace differs from scan")
+			}
+		})
+	}
+}
+
+// TestKineticConfigValidation: the engine knob rejects unknown values
+// and accepts the two engines by name (empty defaults to scan).
+func TestKineticConfigValidation(t *testing.T) {
+	cfg := simnet.Config{N: 8, Duration: 2, Warmup: -1, Engine: "warp"}
+	if _, err := simnet.Run(cfg); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	for _, e := range []string{"", simnet.EngineScan, simnet.EngineKinetic} {
+		cfg := simnet.Config{N: 8, Duration: 2, Warmup: -1, Engine: e}
+		if _, err := simnet.Run(cfg); err != nil {
+			t.Fatalf("engine %q rejected: %v", e, err)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/geom"
 	"repro/internal/invariant"
+	"repro/internal/kinetic"
 	"repro/internal/lm"
 	"repro/internal/mobility"
 	"repro/internal/obs"
@@ -35,6 +36,20 @@ const (
 const (
 	HopEuclidean = "euclid"
 	HopBFS       = "bfs"
+)
+
+// Engine names accepted by Config.Engine.
+const (
+	// EngineScan rebuilds the unit-disk graph with a full grid scan
+	// over all N nodes every tick (the original engine).
+	EngineScan = "scan"
+	// EngineKinetic maintains the edge set event-driven: link
+	// make/break instants are scheduled in closed form from each
+	// node's current linear motion segment, so per-tick cost is
+	// proportional to the topology event rate instead of N. Results
+	// and traces are byte-identical to EngineScan (enforced by
+	// TestKineticMatchesScan and the prop-corpus differential).
+	EngineKinetic = "kinetic"
 )
 
 // Fault names accepted by Config.Fault (fault injection for the
@@ -77,6 +92,7 @@ type Config struct {
 
 	Mobility string  // waypoint (default) | direction | static | group
 	HopModel string  // euclid (default) | bfs
+	Engine   string  // scan (default) | kinetic — link-maintenance engine
 	Detour   float64 // Euclidean hop detour factor (default 1.3; 0 = default, < 0 rejected)
 
 	// Group-mobility parameters (Mobility == "group"): nodes per group
@@ -199,6 +215,9 @@ func (c Config) withDefaults() Config {
 	if c.HopModel == "" {
 		c.HopModel = HopEuclidean
 	}
+	if c.Engine == "" {
+		c.Engine = EngineScan
+	}
 	c.Detour = fdef(c.Detour, 1.3)
 	if c.Hash == nil {
 		c.Hash = lm.Rendezvous{}
@@ -242,6 +261,11 @@ func (c Config) validate() error {
 	}
 	if c.IntraTickParallelism < 0 {
 		return fmt.Errorf("simnet: IntraTickParallelism must be >= 0 (got %d)", c.IntraTickParallelism)
+	}
+	switch c.Engine {
+	case EngineScan, EngineKinetic:
+	default:
+		return fmt.Errorf("simnet: unknown engine %q (want %s|%s)", c.Engine, EngineScan, EngineKinetic)
 	}
 	if _, err := invariant.ParseLevel(c.CheckLevel); err != nil {
 		return fmt.Errorf("simnet: %v", err)
@@ -377,6 +401,25 @@ func setupRun(cfg Config) (*looper, error) {
 	checkLevel, _ := invariant.ParseLevel(cfg.CheckLevel)
 	checker := invariant.New(checkLevel, cfg.Metrics, cfg.OnViolation)
 
+	alive := make([]bool, cfg.N)
+	for i := range alive {
+		alive[i] = true
+	}
+
+	// Kinetic engine (Config.Engine): the tracker takes over the grid
+	// and maintains the edge set event-driven, seeded from the setup
+	// graph. The scan engine leaves kin nil.
+	var kin *kinetic.Tracker
+	if cfg.Engine == EngineKinetic {
+		km, ok := model.(mobility.Kinetic)
+		if !ok {
+			return nil, fmt.Errorf("simnet: engine %q requires a kinetic-capable mobility model (%q is not)",
+				cfg.Engine, cfg.Mobility)
+		}
+		kin = kinetic.New(km, grid, pos, alive, cfg.RTX, cfg.ScanInterval)
+		kin.Seed(graph)
+	}
+
 	lp := &looper{
 		pool:       pool,
 		checker:    checker,
@@ -385,6 +428,8 @@ func setupRun(cfg Config) (*looper, error) {
 		clusterCfg: clusterCfg,
 		model:      model,
 		grid:       grid,
+		kin:        kin,
+		region:     region,
 		pos:        pos,
 		selector:   selector,
 		tracker:    tracker,
@@ -396,13 +441,10 @@ func setupRun(cfg Config) (*looper, error) {
 		idents:     idents,
 		table:      table,
 		arena:      cluster.NewArena(),
-		alive:      make([]bool, cfg.N),
+		alive:      alive,
 		reviveAt:   make([]float64, cfg.N),
 		churnSrc:   root.Stream("churn"),
 		aliveNodes: make([]int, 0, cfg.N),
-	}
-	for i := range lp.alive {
-		lp.alive[i] = true
 	}
 
 	// Audit the setup snapshot too (tick 0, no prev/diff): a run must

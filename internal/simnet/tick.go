@@ -6,6 +6,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/geom"
 	"repro/internal/invariant"
+	"repro/internal/kinetic"
 	"repro/internal/lm"
 	"repro/internal/mobility"
 	"repro/internal/obs"
@@ -87,6 +88,7 @@ type looper struct {
 	clusterCfg cluster.Config
 	model      mobility.Model
 	grid       *spatial.Grid
+	region     geom.Disc
 	pos        []geom.Vec
 	selector   *lm.Selector
 	tracker    *cluster.IdentityTracker
@@ -121,6 +123,18 @@ type looper struct {
 	buildScratch topology.BuildScratch
 	updParScr    lm.UpdateParScratch
 
+	// Kinetic engine (Config.Engine == "kinetic"): the event-driven
+	// link tracker replaces the per-tick grid sweep and full rescan in
+	// the advance and rebuild phases; everything downstream (cluster
+	// maintain, diff, LM update, measurement) is shared with the scan
+	// engine. nil selects the scan engine.
+	kin *kinetic.Tracker
+	// Reference storage for the kinetic-graph invariant differential:
+	// a fresh full scan rebuilt on checked ticks and compared against
+	// the tracker's edge set. Lazily allocated.
+	refGrid  *spatial.Grid
+	refGraph *topology.Graph
+
 	// Invariant checker (Config.CheckLevel); nil checks nothing.
 	checker *invariant.Checker
 
@@ -150,6 +164,9 @@ func (lp *looper) step(now float64) {
 
 	spAdvance := lp.tm.advance.Start()
 	lp.model.AdvanceTo(now, lp.pos)
+	if lp.kin != nil {
+		lp.kin.BeginTick(now)
+	}
 	if cfg.ChurnRate > 0 {
 		pDeath := cfg.ChurnRate * cfg.ScanInterval
 		for i := range lp.alive {
@@ -157,7 +174,11 @@ func (lp *looper) step(now float64) {
 				if lp.churnSrc.Float64() < pDeath {
 					lp.alive[i] = false
 					lp.reviveAt[i] = now + lp.churnSrc.Exp(1/cfg.MeanDowntime)
-					lp.grid.Remove(i)
+					if lp.kin != nil {
+						lp.kin.Kill(i)
+					} else {
+						lp.grid.Remove(i)
+					}
 					if now > cfg.Warmup {
 						st.deaths++
 					}
@@ -168,17 +189,37 @@ func (lp *looper) step(now float64) {
 		}
 	}
 	lp.aliveNodes = lp.aliveNodes[:0]
-	for i, p := range lp.pos {
-		if lp.alive[i] {
-			lp.grid.Update(i, p)
-			lp.aliveNodes = append(lp.aliveNodes, i)
+	if lp.kin != nil {
+		// Kinetic engine: the tracker owns grid cells (updated at
+		// attention events, not every tick); only churn rejoins need
+		// explicit insertion before the event drain.
+		for i := range lp.pos {
+			if lp.alive[i] {
+				if !lp.grid.Contains(i) {
+					lp.kin.Revive(i)
+				}
+				lp.aliveNodes = append(lp.aliveNodes, i)
+			}
+		}
+		lp.kin.Advance(now)
+	} else {
+		for i, p := range lp.pos {
+			if lp.alive[i] {
+				lp.grid.Update(i, p)
+				lp.aliveNodes = append(lp.aliveNodes, i)
+			}
 		}
 	}
 	spAdvance.Stop()
 
 	spRebuild := lp.tm.rebuild.Start()
-	newGraph := topology.BuildUnitDiskIntoPar(
-		lp.spareGraph, cfg.N, lp.pos, cfg.RTX, lp.grid, lp.pool, &lp.buildScratch)
+	var newGraph *topology.Graph
+	if lp.kin != nil {
+		newGraph = lp.kin.GraphInto(lp.spareGraph)
+	} else {
+		newGraph = topology.BuildUnitDiskIntoPar(
+			lp.spareGraph, cfg.N, lp.pos, cfg.RTX, lp.grid, lp.pool, &lp.buildScratch)
+	}
 	lp.spareGraph = nil
 	if lp.bfsHop != nil {
 		lp.bfsHop.Rebind(newGraph)
@@ -249,15 +290,22 @@ func (lp *looper) step(now float64) {
 
 	if lp.checker.ShouldCheck(lp.tick) {
 		spInv := lp.tm.invariant.Start()
+		var kineticRef *topology.Graph
+		if lp.kin != nil {
+			//lint:ignore hotpath periodic invariant check; interval-gated, off the steady tick
+			kineticRef = lp.rebuildReference()
+		}
 		//lint:ignore hotpath periodic invariant check; interval-gated, off the steady tick
 		lp.checker.CheckTick(&invariant.Snapshot{
 			Tick: lp.tick, Time: now, Seed: cfg.Seed,
 			//lint:ignore hotpath periodic invariant check; interval-gated, off the steady tick
 			Prev: &invariant.State{Hier: lp.hier, IDs: lp.idents, Table: lp.table},
 			//lint:ignore hotpath periodic invariant check; interval-gated, off the steady tick
-			Next:     &invariant.State{Hier: newHier, IDs: newIdents, Table: newTable},
-			Diff:     lp.diff,
-			Selector: lp.selector,
+			Next:       &invariant.State{Hier: newHier, IDs: newIdents, Table: newTable},
+			Diff:       lp.diff,
+			Selector:   lp.selector,
+			Graph:      newGraph,
+			KineticRef: kineticRef,
 		})
 		spInv.Stop()
 	}
@@ -277,6 +325,25 @@ func (lp *looper) step(now float64) {
 	lp.spareTable = lp.table
 	lp.graph, lp.hier, lp.idents, lp.table = newGraph, newHier, newIdents, newTable
 	spTick.Stop()
+}
+
+// rebuildReference runs a fresh full unit-disk scan over the current
+// positions into the looper's lazily allocated reference storage — the
+// ground truth for the kinetic-graph-equal invariant differential. The
+// reference grid is populated and drained per call so the tracker's
+// own grid (whose cells lag positions by design) is never touched.
+func (lp *looper) rebuildReference() *topology.Graph {
+	if lp.refGrid == nil {
+		lp.refGrid = spatial.NewGridForDisc(lp.region, lp.cfg.RTX, lp.cfg.N)
+	}
+	for _, i := range lp.aliveNodes {
+		lp.refGrid.Insert(i, lp.pos[i])
+	}
+	lp.refGraph = topology.BuildUnitDiskInto(lp.refGraph, lp.cfg.N, lp.pos, lp.cfg.RTX, lp.refGrid)
+	for _, i := range lp.aliveNodes {
+		lp.refGrid.Remove(i)
+	}
+	return lp.refGraph
 }
 
 // close releases the worker pool (a no-op for serial runs). The looper

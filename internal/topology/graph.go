@@ -228,6 +228,29 @@ func BuildUnitDiskInto(g *Graph, n int, pos []geom.Vec, rtx float64, idx *spatia
 	return g
 }
 
+// BuildFromSortedEdgesInto materializes a graph from an ascending edge
+// key list (the kinetic tracker's incrementally maintained edge set):
+// g is Reset (or allocated when nil), the keys are copied into the
+// bulk store, and adjacency lists are filled in key order. The caller
+// must pass keys sorted ascending with no duplicates.
+//
+//manet:hotpath
+func BuildFromSortedEdgesInto(g *Graph, n int, edges []EdgeKey) *Graph {
+	if g == nil {
+		//lint:ignore hotpath warm-up: nil dst allocates the double-buffered graph once
+		g = NewGraph(n)
+	} else {
+		g.Reset(n)
+	}
+	g.bulk = append(g.bulk, edges...)
+	for _, k := range edges {
+		a, b := k.Nodes()
+		g.adj[a] = append(g.adj[a], b)
+		g.adj[b] = append(g.adj[b], a)
+	}
+	return g
+}
+
 // BuildUnitDiskBrute is the O(n²) reference construction, used by
 // tests and tiny static scenarios.
 func BuildUnitDiskBrute(pos []geom.Vec, rtx float64) *Graph {

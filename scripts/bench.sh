@@ -6,41 +6,67 @@
 #   BENCH_COUNT=5 sh scripts/bench.sh   # more samples per benchmark
 #
 # Only the Tick* sub-benchmarks are recorded: they isolate the scan
-# tick's hot stages (graph rebuild, diff, hierarchy, LM update) in
-# fresh vs reuse vs par variants, which is the comparison worth
-# tracking. Each run APPENDS one dated entry to the day's file
-# ({"entries": [...]}), so repeated runs build a trajectory instead of
-# overwriting the previous record. Appending needs jq; without it a
-# fresh timestamped file is written instead, so no record is ever
-# clobbered.
+# tick's hot stages (graph rebuild, diff, hierarchy, LM update, and
+# the scan-vs-kinetic link maintenance matrix) in fresh vs reuse vs
+# par variants, which is the comparison worth tracking. The -count
+# repetitions are aggregated per benchmark (minimum ns/op — the
+# least-noise sample — with its B/op and allocs/op), so each recorded
+# entry has exactly one line per benchmark, and every entry is stamped
+# with the commit it measured (git describe --always --dirty). Each
+# run APPENDS one dated entry to the day's file ({"entries": [...]}),
+# so repeated runs build a trajectory instead of overwriting the
+# previous record. Appending needs jq; without it a fresh timestamped
+# file is written instead, so no record is ever clobbered.
 set -eu
 
 cd "$(dirname "$0")/.."
 count="${BENCH_COUNT:-3}"
 date="$(date +%F)"
 time="$(date +%T)"
+commit="$(git describe --always --dirty 2>/dev/null || echo unknown)"
 out="BENCH_${date}.json"
 raw="$(mktemp)"
 entry="$(mktemp)"
 trap 'rm -f "$raw" "$entry"' EXIT
 
-go test -run '^$' -bench 'BenchmarkTick(GraphRebuild|Diff|Hierarchy|LMUpdate)' \
+go test -run '^$' -bench 'BenchmarkTick(GraphRebuild|Diff|Hierarchy|LMUpdate|LinkMaintain)' \
 	-benchmem -benchtime=20x -count="$count" . >"$raw"
 
-awk -v date="$date" -v time="$time" '
-BEGIN { print "{"; printf "  \"date\": \"%s\",\n", date; printf "  \"time\": \"%s\",\n", time; cpu = "unknown"; n = 0 }
+awk -v date="$date" -v time="$time" -v commit="$commit" '
+BEGIN { cpu = "unknown"; n = 0 }
 /^goos:/ { goos = $2 }
 /^goarch:/ { goarch = $2 }
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^Benchmark/ {
 	name = $1; sub(/-[0-9]+$/, "", name)
-	if (n++) printf ",\n"
-	else printf "  \"benchmarks\": [\n"
-	printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_op\": %s, \"bytes_op\": %s, \"allocs_op\": %s}", \
-		name, $2, $3, $5, $7
+	# Locate metrics by unit label: custom ReportMetric columns
+	# (events/tick, us/simsec) shift the field positions.
+	ns = ""; bytes = ""; allocs = ""
+	for (i = 3; i < NF; i++) {
+		if ($(i + 1) == "ns/op") ns = $i
+		else if ($(i + 1) == "B/op") bytes = $i
+		else if ($(i + 1) == "allocs/op") allocs = $i
+	}
+	if (ns == "") next
+	# Aggregate -count repeats: keep the minimum-ns/op sample.
+	if (!(name in best) || ns + 0 < best[name] + 0) {
+		if (!(name in best)) order[n++] = name
+		best[name] = ns; bbytes[name] = bytes; ballocs[name] = allocs
+		iters[name] = $2
+	}
 }
 END {
-	printf "\n  ],\n"
+	print "{"
+	printf "  \"date\": \"%s\",\n", date
+	printf "  \"time\": \"%s\",\n", time
+	printf "  \"commit\": \"%s\",\n", commit
+	printf "  \"benchmarks\": [\n"
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_op\": %s, \"bytes_op\": %s, \"allocs_op\": %s}%s\n", \
+			name, iters[name], best[name], bbytes[name], ballocs[name], (i < n - 1 ? "," : "")
+	}
+	printf "  ],\n"
 	printf "  \"goos\": \"%s\",\n", goos
 	printf "  \"goarch\": \"%s\",\n", goarch
 	printf "  \"cpu\": \"%s\"\n", cpu
@@ -48,16 +74,21 @@ END {
 }' "$raw" >"$entry"
 
 # Merge a wall-clock phase breakdown (graph rebuild / cluster / diff /
-# LM update shares of the tick) from a short instrumented run, so the
-# JSON records not just per-stage microbenchmarks but how the stages
-# divide a real tick. Needs jq; silently skipped without it.
+# LM update shares of the tick) from a short instrumented run of EACH
+# link engine, so the JSON records not just per-stage microbenchmarks
+# but how the stages divide a real tick under both the scan and the
+# kinetic engine. Needs jq; silently skipped without it.
 if command -v jq >/dev/null 2>&1; then
-	phases="$(mktemp)"
-	if go run ./cmd/lmsim -n 256 -duration 30 -warmup 10 -manifest "$phases" >/dev/null 2>&1; then
-		jq --slurpfile m "$phases" '.phases = $m[0].metrics.phases' "$entry" >"$entry.tmp"
-		mv "$entry.tmp" "$entry"
-	fi
-	rm -f "$phases"
+	for eng in scan kinetic; do
+		phases="$(mktemp)"
+		if go run ./cmd/lmsim -n 256 -duration 30 -warmup 10 -engine "$eng" \
+			-manifest "$phases" >/dev/null 2>&1; then
+			jq --slurpfile m "$phases" --arg eng "$eng" \
+				'.phases[$eng] = $m[0].metrics.phases' "$entry" >"$entry.tmp"
+			mv "$entry.tmp" "$entry"
+		fi
+		rm -f "$phases"
+	done
 fi
 
 if [ -f "$out" ]; then

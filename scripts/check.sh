@@ -49,6 +49,14 @@ fi
 echo "== parallel equivalence (GOMAXPROCS=4)"
 GOMAXPROCS=4 go test -run TestParallelMatchesSerial -count=1 ./internal/simnet || fail=1
 
+echo "== engine equivalence (scan vs kinetic)"
+# The matrix differential (byte-identical Results and trace for every
+# scenario/mobility/parallelism combination) plus the regression-corpus
+# replay, whose property battery runs every corpus scenario under both
+# engines with every-tick invariant checks.
+go test -run TestKineticMatchesScan -count=1 ./internal/simnet || fail=1
+go test -run TestRegressionCorpusReplays -count=1 ./internal/invariant/prop || fail=1
+
 echo "== race tests (measurement pipeline)"
 go test -race ./internal/obs ./internal/trace ./internal/stats ./internal/runner || fail=1
 
