@@ -36,6 +36,7 @@ func main() {
 		manifest   = flag.String("manifest", "", "write a run manifest (scale, per-phase timings, cell stats) to this JSON file")
 		progress   = flag.Bool("progress", false, "report per-cell sweep progress on stderr")
 		engine     = flag.String("engine", "", "link engine for every run: scan (default) | kinetic (event-driven)")
+		maint      = flag.String("maintainer", "", "hierarchy maintenance for every run: oracle (default, full rebuild) | incremental (delta-patched)")
 	)
 	flag.Parse()
 
@@ -52,12 +53,12 @@ func main() {
 
 	// Profile teardown must run before exit, so the experiment body
 	// lives in its own function and errors exit from main.
-	if err := runExperiments(*run, *quick, *cpuprofile, *memprofile, *manifest, *progress, *engine); err != nil {
+	if err := runExperiments(*run, *quick, *cpuprofile, *memprofile, *manifest, *progress, *engine, *maint); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func runExperiments(run string, quick bool, cpuprofile, memprofile, manifest string, progress bool, engine string) error {
+func runExperiments(run string, quick bool, cpuprofile, memprofile, manifest string, progress bool, engine, maintainer string) error {
 	if cpuprofile != "" {
 		f, err := os.Create(cpuprofile)
 		if err != nil {
@@ -89,6 +90,7 @@ func runExperiments(run string, quick bool, cpuprofile, memprofile, manifest str
 		sc = manet.QuickScale()
 	}
 	sc.Engine = engine
+	sc.Maintainer = maintainer
 	if manifest != "" {
 		man := obs.NewManifest("experiments")
 		man.Config = map[string]any{

@@ -61,6 +61,7 @@ func main() {
 		scan     = flag.Float64("scan", 0, "link scan interval, s (0 = auto)")
 		mob      = flag.String("mobility", "waypoint", "mobility model: waypoint|direction|static|group")
 		engine   = flag.String("engine", "scan", "link engine: scan (per-tick rescan) | kinetic (event-driven)")
+		maint    = flag.String("maintainer", "oracle", "hierarchy maintenance: oracle (full rebuild) | incremental (delta-patched)")
 		groupSz  = flag.Int("group-size", 16, "RPGM nodes per group (mobility=group)")
 		groupRad = flag.Float64("group-radius", 0, "RPGM wander radius, m (0 = 2*rtx)")
 		churn    = flag.Float64("churn", 0, "node deaths per node per hour (E18 extension)")
@@ -94,6 +95,7 @@ func main() {
 	cfg.ChurnRate = *churn / 3600
 	cfg.CheckLevel = *invarLvl
 	cfg.Engine = *engine
+	cfg.Maintainer = *maint
 	switch *elector {
 	case "lca":
 	case "sticky":
@@ -134,6 +136,7 @@ func main() {
 			"mobility": *mob, "hops": *hopM, "elector": *elector,
 			"hash": *hash, "churn_per_hour": *churn,
 			"invariants": *invarLvl, "engine": *engine,
+			"maintainer": *maint,
 		}
 		cfg.Metrics = obs.NewRegistry()
 	}

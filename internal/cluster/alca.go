@@ -18,16 +18,22 @@
 package cluster
 
 import (
+	"maps"
+	"slices"
+
 	"repro/internal/topology"
 )
 
 // Elector chooses a clusterhead for every node of one level.
 type Elector interface {
-	// Elect returns, for each node in nodes, the elected clusterhead
-	// (possibly the node itself). nodes is sorted ascending; g is the
-	// level-k graph; prevHead is the node's clusterhead in the previous
-	// snapshot at this level (or -1), enabling hysteresis variants.
-	Elect(nodes []int, g *topology.Graph, prevHead func(int) int) map[int]int
+	// Elect appends, for each node of nodes in order, the elected
+	// clusterhead (possibly the node itself) to dst and returns the
+	// extended slice: result[i] is the head of nodes[i]. nodes is
+	// sorted ascending; g is the level-k graph; prevHead is the node's
+	// clusterhead in the previous snapshot at this level (or -1),
+	// enabling hysteresis variants. Callers reuse dst's capacity across
+	// ticks, keeping elections allocation-free in steady state.
+	Elect(dst []int, nodes []int, g *topology.Graph, prevHead func(int) int) []int
 
 	// Name identifies the elector for reports.
 	Name() string
@@ -43,18 +49,13 @@ type MemorylessLCA struct{}
 func (MemorylessLCA) Name() string { return "lca" }
 
 // Elect implements Elector.
-func (MemorylessLCA) Elect(nodes []int, g *topology.Graph, prevHead func(int) int) map[int]int {
-	head := make(map[int]int, len(nodes))
+//
+//manet:hotpath
+func (MemorylessLCA) Elect(dst []int, nodes []int, g *topology.Graph, prevHead func(int) int) []int {
 	for _, u := range nodes {
-		best := u
-		for _, v := range g.Neighbors(u) {
-			if v > best {
-				best = v
-			}
-		}
-		head[u] = best
+		dst = append(dst, argmaxClosed(u, g))
 	}
-	return head
+	return dst
 }
 
 // StickyLCA is the hysteresis variant used as ablation A1: a node
@@ -69,27 +70,22 @@ type StickyLCA struct{}
 func (StickyLCA) Name() string { return "sticky-lca" }
 
 // Elect implements Elector.
-func (StickyLCA) Elect(nodes []int, g *topology.Graph, prevHead func(int) int) map[int]int {
-	head := make(map[int]int, len(nodes))
+//
+//manet:hotpath
+func (StickyLCA) Elect(dst []int, nodes []int, g *topology.Graph, prevHead func(int) int) []int {
 	for _, u := range nodes {
 		if prev := prevHead(u); prev >= 0 {
 			if prev == u {
 				// Was its own head: keep only while still locally
 				// maximal-eligible, i.e. re-evaluate below.
 			} else if g.HasEdge(u, prev) {
-				head[u] = prev
+				dst = append(dst, prev)
 				continue
 			}
 		}
-		best := u
-		for _, v := range g.Neighbors(u) {
-			if v > best {
-				best = v
-			}
-		}
-		head[u] = best
+		dst = append(dst, argmaxClosed(u, g))
 	}
-	return head
+	return dst
 }
 
 // ElectCtx is the richer election context available to stateful
@@ -114,7 +110,9 @@ type ElectCtx struct {
 // when implemented.
 type StatefulElector interface {
 	Elector
-	ElectTracked(ctx *ElectCtx) map[int]int
+	// ElectTracked is Elect with the tracked-build context, in the same
+	// append-to-dst form: result[i] is the head of ctx.Nodes[i].
+	ElectTracked(dst []int, ctx *ElectCtx) []int
 }
 
 // DebouncedLCA is StickyLCA plus a hysteresis timer: a node that loses
@@ -158,13 +156,18 @@ func (d *DebouncedLCA) Name() string { return "debounced-lca" }
 
 // Elect implements Elector (used in untracked builds, where no timing
 // context exists): behaves like StickyLCA.
-func (d *DebouncedLCA) Elect(nodes []int, g *topology.Graph, prevHead func(int) int) map[int]int {
-	return StickyLCA{}.Elect(nodes, g, prevHead)
+//
+//manet:hotpath
+func (d *DebouncedLCA) Elect(dst []int, nodes []int, g *topology.Graph, prevHead func(int) int) []int {
+	return StickyLCA{}.Elect(dst, nodes, g, prevHead)
 }
 
 // ElectTracked implements StatefulElector.
-func (d *DebouncedLCA) ElectTracked(ctx *ElectCtx) map[int]int {
+//
+//manet:hotpath
+func (d *DebouncedLCA) ElectTracked(dst []int, ctx *ElectCtx) []int {
 	if d.lost == nil {
+		//lint:ignore hotpath warm-up: the grace-timer map is allocated once and reused
 		d.lost = map[debKey]float64{}
 	}
 	grace := d.Grace
@@ -174,14 +177,13 @@ func (d *DebouncedLCA) ElectTracked(ctx *ElectCtx) map[int]int {
 			grace *= d.LevelScale
 		}
 	}
-	head := make(map[int]int, len(ctx.Nodes))
 	for _, u := range ctx.Nodes {
 		key := debKey{level: ctx.Level, logical: ctx.LogicalOf(u)}
 		prev := ctx.PrevHead(u)
 		switch {
 		case prev >= 0 && (prev == u || ctx.Graph.HasEdge(u, prev)):
 			// Head reachable: keep it.
-			head[u] = prev
+			dst = append(dst, prev)
 			delete(d.lost, key)
 		case prev >= 0:
 			// Head's cluster lives but the link is down: hold on for
@@ -192,22 +194,24 @@ func (d *DebouncedLCA) ElectTracked(ctx *ElectCtx) map[int]int {
 				d.lost[key] = since
 			}
 			if ctx.Time-since <= grace {
-				head[u] = prev
+				dst = append(dst, prev)
 				continue
 			}
 			delete(d.lost, key)
-			head[u] = argmaxClosed(u, ctx.Graph)
+			dst = append(dst, argmaxClosed(u, ctx.Graph))
 		default:
 			// No previous head (first election or the head's cluster
 			// died): elect afresh.
 			delete(d.lost, key)
-			head[u] = argmaxClosed(u, ctx.Graph)
+			dst = append(dst, argmaxClosed(u, ctx.Graph))
 		}
 	}
-	return head
+	return dst
 }
 
 // argmaxClosed returns the highest ID in u's closed neighborhood.
+//
+//manet:hotpath
 func argmaxClosed(u int, g *topology.Graph) int {
 	best := u
 	for _, v := range g.Neighbors(u) {
@@ -218,8 +222,115 @@ func argmaxClosed(u int, g *topology.Graph) int {
 	return best
 }
 
+// CloneableElector is an Elector whose full hysteresis state can be
+// duplicated. The invariant checker uses clones to rebuild reference
+// snapshots without perturbing the live elector (a reference election
+// must see the same memory the real one did, and must not advance it).
+// Stateless electors return themselves.
+type CloneableElector interface {
+	Elector
+	CloneElector() Elector
+}
+
+// CloneElector implements CloneableElector (stateless).
+func (m MemorylessLCA) CloneElector() Elector { return m }
+
+// CloneElector implements CloneableElector (stateless).
+func (s StickyLCA) CloneElector() Elector { return s }
+
+// CloneElector implements CloneableElector: the grace-timer map is
+// deep-copied so elections on the clone cannot disturb the original.
+func (d *DebouncedLCA) CloneElector() Elector {
+	return &DebouncedLCA{Grace: d.Grace, LevelScale: d.LevelScale, lost: maps.Clone(d.lost)}
+}
+
+// RestorableElector is a CloneableElector whose state can be rolled
+// back to an earlier clone. The incremental maintainer snapshots the
+// elector before attempting a fast-path patch; if a dynamic
+// precondition fails mid-flight it restores the snapshot so the oracle
+// fallback re-runs the tick's elections against pristine state.
+type RestorableElector interface {
+	CloneableElector
+	// RestoreElector resets the elector's hysteresis state to that of
+	// snap, a value previously returned by CloneElector on the same
+	// elector. The snapshot is consumed: it must not be restored twice.
+	RestoreElector(snap Elector)
+}
+
+// RestoreElector implements RestorableElector (stateless).
+func (MemorylessLCA) RestoreElector(Elector) {}
+
+// RestoreElector implements RestorableElector (stateless).
+func (StickyLCA) RestoreElector(Elector) {}
+
+// RestoreElector implements RestorableElector: adopt the snapshot's
+// grace-timer map (the clone's map is a private deep copy, so taking
+// ownership is safe).
+func (d *DebouncedLCA) RestoreElector(snap Elector) {
+	s, ok := snap.(*DebouncedLCA)
+	if !ok {
+		panic("cluster: RestoreElector snapshot is not a *DebouncedLCA")
+	}
+	d.lost = s.lost
+}
+
+// NeighborhoodElector marks an Elector whose vote for node u depends
+// only on u's closed 1-hop neighborhood (and, for stateful electors,
+// per-node hysteresis keyed by u itself). The incremental maintainer
+// requires this locality: re-electing just the dirty nodes' closed
+// neighborhoods then reproduces the full election on clean nodes. The
+// max-min d-hop family is NOT neighborhood-local and always falls back.
+type NeighborhoodElector interface {
+	Elector
+	// NeighborhoodLocal is a marker; it has no behavior.
+	NeighborhoodLocal()
+}
+
+// NeighborhoodLocal implements NeighborhoodElector.
+func (MemorylessLCA) NeighborhoodLocal() {}
+
+// NeighborhoodLocal implements NeighborhoodElector.
+func (StickyLCA) NeighborhoodLocal() {}
+
+// NeighborhoodLocal implements NeighborhoodElector.
+func (*DebouncedLCA) NeighborhoodLocal() {}
+
+// PendingElector is a StatefulElector whose output can change over time
+// without any topology change (e.g. a grace timer expiring). The
+// incremental maintainer must re-elect such nodes every tick even when
+// no link event touches them; AppendPending names them.
+type PendingElector interface {
+	StatefulElector
+	// AppendPending appends the logical IDs of level-k nodes currently
+	// holding hysteresis state that can expire, sorted ascending, and
+	// returns the extended slice.
+	AppendPending(level int, dst []uint64) []uint64
+}
+
+// AppendPending implements PendingElector: every node with a running
+// grace timer at this level.
+func (d *DebouncedLCA) AppendPending(level int, dst []uint64) []uint64 {
+	n := len(dst)
+	//lint:ignore maprange level-filtered keys are sorted below; order cannot escape
+	for k := range d.lost {
+		if k.level == level {
+			dst = append(dst, k.logical)
+		}
+	}
+	slices.Sort(dst[n:])
+	return dst
+}
+
 var (
-	_ Elector         = MemorylessLCA{}
-	_ Elector         = StickyLCA{}
-	_ StatefulElector = (*DebouncedLCA)(nil)
+	_ Elector          = MemorylessLCA{}
+	_ Elector          = StickyLCA{}
+	_ StatefulElector  = (*DebouncedLCA)(nil)
+	_ CloneableElector = MemorylessLCA{}
+	_ CloneableElector = StickyLCA{}
+	_ CloneableElector = (*DebouncedLCA)(nil)
+	_ PendingElector   = (*DebouncedLCA)(nil)
+
+	_ NeighborhoodElector = MemorylessLCA{}
+	_ NeighborhoodElector = StickyLCA{}
+	_ NeighborhoodElector = (*DebouncedLCA)(nil)
 )

@@ -38,6 +38,7 @@ type Arena struct {
 	usedPrev  map[uint64]bool
 	carrier   map[uint64]int
 	headSet   map[int]bool
+	headBuf   []int
 }
 
 type chainSpan struct {
@@ -73,7 +74,9 @@ func (a *Arena) Recycle(h *Hierarchy, ids *Identities) {
 				a.graphs = append(a.graphs, lvl.Graph)
 			}
 			lvl.Graph = nil
-			lvl.Head = nil // elector-owned; cannot be reused
+			if lvl.Head != nil {
+				clear(lvl.Head)
+			}
 			if lvl.Members != nil {
 				//lint:ignore maprange slice harvesting; only pooled capacity depends on order
 				for _, s := range lvl.Members {
@@ -169,6 +172,16 @@ func (a *Arena) getInts() []int {
 	return s[:0]
 }
 
+// putInts returns a slice's backing capacity to the pool (the inverse
+// of getInts, for callers that release individual slices outside a full
+// Recycle).
+func (a *Arena) putInts(s []int) {
+	if a == nil || s == nil {
+		return
+	}
+	a.ints = append(a.ints, s)
+}
+
 func (a *Arena) getIDMap(sizeHint int) map[int]uint64 {
 	if a == nil || len(a.idMaps) == 0 {
 		return make(map[int]uint64, sizeHint)
@@ -194,16 +207,37 @@ func (a *Arena) getElectMap() map[uint64]uint64 {
 	return m
 }
 
+//manet:hotpath
 func (a *Arena) getHeadSet(sizeHint int) map[int]bool {
 	if a == nil {
+		//lint:ignore hotpath arena-less builds are the cold, allocate-fresh path
 		return make(map[int]bool, sizeHint)
 	}
 	if a.headSet == nil {
+		//lint:ignore hotpath warm-up: the head set is allocated once and reused
 		a.headSet = make(map[int]bool, sizeHint)
 	} else {
 		clear(a.headSet)
 	}
 	return a.headSet
+}
+
+// getHeadBuf returns the reusable positional-heads buffer electors
+// append into; hand the (possibly grown) slice back via putHeadBuf.
+//
+//manet:hotpath
+func (a *Arena) getHeadBuf() []int {
+	if a == nil {
+		return nil
+	}
+	return a.headBuf[:0]
+}
+
+//manet:hotpath
+func (a *Arena) putHeadBuf(s []int) {
+	if a != nil {
+		a.headBuf = s
+	}
 }
 
 func (a *Arena) getCarrier() map[uint64]int {

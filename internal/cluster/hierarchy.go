@@ -136,8 +136,8 @@ func Build(g0 *topology.Graph, nodes []int, cfg Config, prev *Hierarchy) *Hierar
 			}
 		}
 
-		head := cfg.Elector.Elect(curNodes, curGraph, prevHead)
-		elect(lvl, head, nil)
+		heads := cfg.Elector.Elect(nil, curNodes, curGraph, prevHead)
+		elect(lvl, heads, nil)
 
 		nextNodes := keysSorted(lvl.Members)
 		if len(nextNodes) == len(curNodes) {
@@ -159,11 +159,12 @@ func Build(g0 *topology.Graph, nodes []int, cfg Config, prev *Hierarchy) *Hierar
 // (nil-safe) supplies recycled storage.
 func forceTop(h *Hierarchy, lvl *Level, curNodes []int, idSpace int, a *Arena) {
 	root := curNodes[len(curNodes)-1] // curNodes is sorted ascending
-	head := make(map[int]int, len(curNodes))
-	for _, u := range curNodes {
-		head[u] = root
+	heads := a.getHeadBuf()
+	for range curNodes {
+		heads = append(heads, root)
 	}
-	elect(lvl, head, a)
+	elect(lvl, heads, a)
+	a.putHeadBuf(heads)
 	top := a.getLevel()
 	top.K = lvl.K + 1
 	top.Nodes = append(a.getInts(), root)
@@ -172,23 +173,33 @@ func forceTop(h *Hierarchy, lvl *Level, curNodes []int, idSpace int, a *Arena) {
 	h.ForcedTop = true
 }
 
-// elect fills the election-derived fields of lvl from the head map.
-// Arena a (nil-safe) supplies recycled maps and member slices; pooled
-// levels arrive with cleared non-nil maps.
-func elect(lvl *Level, head map[int]int, a *Arena) {
-	lvl.Head = head
+// elect fills the election-derived fields of lvl from the positional
+// heads slice (heads[i] is the head elected by lvl.Nodes[i]). Arena a
+// (nil-safe) supplies recycled maps and member slices; pooled levels
+// arrive with cleared non-nil maps.
+//
+//manet:hotpath
+func elect(lvl *Level, heads []int, a *Arena) {
+	if lvl.Head == nil {
+		//lint:ignore hotpath warm-up: pooled levels reuse the cleared maps
+		lvl.Head = make(map[int]int, len(lvl.Nodes))
+	}
 	if lvl.Member == nil {
+		//lint:ignore hotpath warm-up: pooled levels reuse the cleared maps
 		lvl.Member = make(map[int]int, len(lvl.Nodes))
+		//lint:ignore hotpath warm-up: pooled levels reuse the cleared maps
 		lvl.Members = make(map[int][]int)
+		//lint:ignore hotpath warm-up: pooled levels reuse the cleared maps
 		lvl.State = make(map[int]int)
 	}
 
 	headSet := a.getHeadSet(len(lvl.Nodes))
-	for _, u := range lvl.Nodes {
-		headSet[head[u]] = true
+	for i, u := range lvl.Nodes {
+		lvl.Head[u] = heads[i]
+		headSet[heads[i]] = true
 	}
-	for _, u := range lvl.Nodes {
-		m := head[u]
+	for i, u := range lvl.Nodes {
+		m := heads[i]
 		if headSet[u] {
 			// A clusterhead belongs to its own cluster even if it
 			// elected a higher-ID neighbor.
@@ -207,9 +218,8 @@ func elect(lvl *Level, head map[int]int, a *Arena) {
 	}
 	// ALCA state: electors among *neighbors* (self-election excluded),
 	// matching the paper's Fig. 3 state variable.
-	for _, u := range lvl.Nodes {
-		hd := head[u]
-		if hd != u {
+	for i, u := range lvl.Nodes {
+		if hd := heads[i]; hd != u {
 			lvl.State[hd]++
 		}
 	}

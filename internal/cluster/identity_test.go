@@ -248,13 +248,13 @@ func TestDebouncedLevelScale(t *testing.T) {
 		PrevHead:  func(int) int { return 2 }, // claims head 2, not adjacent
 		LogicalOf: func(int) uint64 { return 7 },
 	}
-	head := d.ElectTracked(ctx)
-	if head[3] != 2 {
+	head := d.ElectTracked(nil, ctx)
+	if head[0] != 2 {
 		t.Fatalf("lost head dropped before scaled grace: %v", head)
 	}
 	ctx.Time = 40 // 30s elapsed > 18
-	head = d.ElectTracked(ctx)
-	if head[3] != 3 {
+	head = d.ElectTracked(head[:0], ctx)
+	if head[0] != 3 {
 		t.Fatalf("lost head kept beyond scaled grace: %v", head)
 	}
 }

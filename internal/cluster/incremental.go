@@ -1,0 +1,131 @@
+package cluster
+
+// IncrementalMaintainer advances the previous hierarchy snapshot by the
+// tick's link-event delta instead of rebuilding the ALCA fixed point
+// from scratch, so steady-state per-tick cost tracks the link-event
+// rate rather than N. The fast path (maintainIncremental) patches the
+// previous snapshot level by level from a seed dirty set; whenever any
+// precondition fails — no previous snapshot, no event delta, a
+// non-neighborhood elector, a hierarchy-depth change mid-patch — it
+// falls back to the full oracle rebuild, transactionally restoring the
+// identity tracker and elector state mutated by the partial attempt.
+// Either way the result is byte-identical to BuildWithIdentities over
+// the same input (pinned by the incremental-hierarchy-equal invariant
+// and the oracle differential tests).
+type IncrementalMaintainer struct {
+	cfg   Config
+	cfgD  Config // cfg.withDefaults(), for termination checks
+	tr    *IdentityTracker
+	arena *Arena
+
+	// Elector capabilities, type-asserted once at construction so the
+	// per-tick fast path does no interface boxing.
+	elNeigh      bool
+	elMemoryless bool
+	elStateful   StatefulElector
+	elPending    PendingElector
+	elRestore    RestorableElector
+
+	// dirty is the LM-facing dirty-cluster set of the last Maintain;
+	// valid only when dirtyValid (the fast path ran to completion).
+	dirty      DirtyClusters
+	dirtyValid bool
+
+	// stats counts fast-path vs fallback Maintains, for reports.
+	stats IncrementalStats
+
+	inc incState
+}
+
+// IncrementalStats counts how the incremental maintainer resolved each
+// Maintain call.
+type IncrementalStats struct {
+	// Incremental is the number of Maintains served by the fast path.
+	Incremental int
+	// Fallbacks is the number of Maintains that fell back to a full
+	// rebuild (first tick, missing delta, unsupported elector, depth
+	// change, or an oversized dirty set).
+	Fallbacks int
+}
+
+// NewIncrementalMaintainer returns an incremental maintainer electing
+// with cfg and naming clusters through tr.
+func NewIncrementalMaintainer(cfg Config, tr *IdentityTracker) *IncrementalMaintainer {
+	m := &IncrementalMaintainer{cfg: cfg, cfgD: cfg.withDefaults(), tr: tr, arena: NewArena()}
+	el := m.cfgD.Elector
+	_, m.elNeigh = el.(NeighborhoodElector)
+	_, m.elMemoryless = el.(MemorylessLCA)
+	m.elStateful, _ = el.(StatefulElector)
+	m.elPending, _ = el.(PendingElector)
+	m.elRestore, _ = el.(RestorableElector)
+	return m
+}
+
+// Maintain implements Maintainer.
+//
+//manet:hotpath
+func (m *IncrementalMaintainer) Maintain(in *MaintainInput) (*Hierarchy, *Identities) {
+	if m.canIncremental(in) {
+		//lint:ignore hotpath fast-path scratch maps and closures, counted in the tick alloc budget
+		if h, ids, ok := m.maintainIncremental(in); ok {
+			m.stats.Incremental++
+			m.dirtyValid = true
+			return h, ids
+		}
+	}
+	m.stats.Fallbacks++
+	m.dirtyValid = false
+	//lint:ignore hotpath fallback rebuild; the fast path is the steady-state branch
+	return BuildWithIdentitiesArena(
+		m.arena, in.G0, in.Nodes, m.cfg, in.PrevH, in.PrevIDs, m.tr, in.Now)
+}
+
+// canIncremental reports whether the fast path's static preconditions
+// hold: a previous snapshot to evolve, an event delta to seed from, a
+// neighborhood-local elector (1-hop LCA family; stateful ones must also
+// expose their pending set and support state rollback), and real
+// identity tracking (Passthrough renames wholesale, which the patcher
+// does not model).
+//
+//manet:hotpath
+func (m *IncrementalMaintainer) canIncremental(in *MaintainInput) bool {
+	if in.PrevH == nil || in.PrevIDs == nil || in.PrevG0 == nil || in.Events == nil {
+		return false
+	}
+	if m.tr == nil || m.tr.Passthrough {
+		return false
+	}
+	if !m.elNeigh {
+		return false
+	}
+	if m.elStateful != nil && (m.elPending == nil || m.elRestore == nil) {
+		return false
+	}
+	return true
+}
+
+// Retire implements Maintainer: retired snapshots become the next
+// tick's patch base instead of going straight back to the arena.
+//
+//manet:hotpath
+func (m *IncrementalMaintainer) Retire(h *Hierarchy, ids *Identities) {
+	m.retireIncremental(h, ids)
+}
+
+// DirtyClusters implements Maintainer: valid after a fast-path
+// Maintain, nil after a fallback (the LM update then computes its own
+// dirty set from the snapshot pair).
+func (m *IncrementalMaintainer) DirtyClusters() *DirtyClusters {
+	if !m.dirtyValid {
+		return nil
+	}
+	return &m.dirty
+}
+
+// Name implements Maintainer.
+func (m *IncrementalMaintainer) Name() string { return "incremental" }
+
+// Stats returns the fast-path/fallback counters.
+func (m *IncrementalMaintainer) Stats() IncrementalStats { return m.stats }
+
+var _ Maintainer = (*IncrementalMaintainer)(nil)

@@ -155,7 +155,7 @@ func BuildWithIdentitiesArena(
 		}
 
 		prevHead := buildPrevHead(a, k, curNodes, ids, prevH, prevElect)
-		var head map[int]int
+		heads := a.getHeadBuf()
 		if se, ok := cfg.Elector.(StatefulElector); ok {
 			logicalOf := func(u int) uint64 {
 				if k == 0 {
@@ -166,14 +166,15 @@ func BuildWithIdentitiesArena(
 				}
 				return uint64(u)
 			}
-			head = se.ElectTracked(&ElectCtx{
+			heads = se.ElectTracked(heads, &ElectCtx{
 				Time: now, Level: k, Nodes: curNodes, Graph: curGraph,
 				PrevHead: prevHead, LogicalOf: logicalOf,
 			})
 		} else {
-			head = cfg.Elector.Elect(curNodes, curGraph, prevHead)
+			heads = cfg.Elector.Elect(heads, curNodes, curGraph, prevHead)
 		}
-		elect(lvl, head, a)
+		elect(lvl, heads, a)
+		a.putHeadBuf(heads)
 
 		nextNodes := appendKeysSorted(a.getInts(), lvl.Members)
 		if len(nextNodes) == len(curNodes) {

@@ -154,8 +154,8 @@ func TestDebouncedNameAndUntrackedElect(t *testing.T) {
 	}
 	// The untracked Elect path (static builds) behaves like sticky.
 	g := graphOf(6, [2]int{1, 3})
-	head := d.Elect([]int{1, 3}, g, func(int) int { return -1 })
-	if head[1] != 3 || head[3] != 3 {
+	head := d.Elect(nil, []int{1, 3}, g, func(int) int { return -1 })
+	if head[0] != 3 || head[1] != 3 {
 		t.Fatalf("untracked elect = %v", head)
 	}
 }

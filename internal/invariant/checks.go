@@ -81,6 +81,11 @@ func Checks() []Check {
 			Guards: "§1.2 unit-disk: the event-maintained link set equals a fresh full scan",
 			Fn:     checkKineticGraph,
 		},
+		{
+			Name:   "incremental-hierarchy-equal",
+			Guards: "§2, §4 determinism: delta-patched maintenance equals a fresh oracle rebuild",
+			Fn:     checkIncrementalHierarchy,
+		},
 	}
 }
 
@@ -662,6 +667,95 @@ func checkKineticGraph(s *Snapshot) error {
 	}
 	return fmt.Errorf("kinetic graph carries edge %v absent from full rescan (%d vs %d edges)",
 		diverge, g.EdgeCount(), ref.EdgeCount())
+}
+
+// checkIncrementalHierarchy is the maintenance differential: the
+// hierarchy and identities produced by the incremental (delta-patched)
+// maintainer must be byte-identical to a fresh oracle rebuild over the
+// same tick input — same levels, node sets, elections, level graphs,
+// ALCA states, and logical IDs including the fresh-ID allocation
+// order. The rebuild runs against pre-Maintain clones of the identity
+// tracker and elector (taken by the looper before the live Maintain),
+// so it sees exactly the state the incremental path saw without
+// advancing either. Only active under the incremental maintainer on
+// checked ticks.
+func checkIncrementalHierarchy(s *Snapshot) error {
+	in, tr := s.MaintainIn, s.MaintainTracker
+	if in == nil || tr == nil {
+		return nil
+	}
+	refH, refIDs := cluster.BuildWithIdentities(
+		in.G0, in.Nodes, s.MaintainCfg, in.PrevH, in.PrevIDs, tr, in.Now)
+	h := s.Next.Hier
+	if err := hierEqual(h, refH); err != nil {
+		return fmt.Errorf("hierarchy differs from oracle rebuild: %w", err)
+	}
+	for k := 1; k <= refH.L(); k++ {
+		for _, hd := range refH.LevelNodes(k) {
+			want, wok := refIDs.Logical(k, hd)
+			got, gok := s.Next.IDs.Logical(k, hd)
+			if wok != gok || want != got {
+				return fmt.Errorf("level-%d cluster %d logical %d(%t) differs from oracle rebuild %d(%t)",
+					k, hd, got, gok, want, wok)
+			}
+		}
+	}
+	return nil
+}
+
+// hierEqual reports the first structural difference between two
+// hierarchy snapshots, or nil.
+func hierEqual(got, want *cluster.Hierarchy) error {
+	if got.L() != want.L() {
+		return fmt.Errorf("L=%d vs %d", got.L(), want.L())
+	}
+	if got.Reach != want.Reach || got.ForcedTop != want.ForcedTop {
+		return fmt.Errorf("reach/forcedtop (%d,%t) vs (%d,%t)",
+			got.Reach, got.ForcedTop, want.Reach, want.ForcedTop)
+	}
+	for k := 0; k <= want.L(); k++ {
+		g, w := got.Levels[k], want.Levels[k]
+		if !slices.Equal(g.Nodes, w.Nodes) {
+			return fmt.Errorf("level %d: %d nodes vs %d", k, len(g.Nodes), len(w.Nodes))
+		}
+		if (g.Graph == nil) != (w.Graph == nil) || (g.Graph != nil && !g.Graph.Equal(w.Graph)) {
+			return fmt.Errorf("level %d: graphs differ", k)
+		}
+		if err := intMapEqual(g.Head, w.Head); err != nil {
+			return fmt.Errorf("level %d Head: %w", k, err)
+		}
+		if err := intMapEqual(g.Member, w.Member); err != nil {
+			return fmt.Errorf("level %d Member: %w", k, err)
+		}
+		if err := intMapEqual(g.State, w.State); err != nil {
+			return fmt.Errorf("level %d State: %w", k, err)
+		}
+		if len(g.Members) != len(w.Members) {
+			return fmt.Errorf("level %d Members: %d clusters vs %d", k, len(g.Members), len(w.Members))
+		}
+		//lint:ignore maprange equality check; order affects only which mismatch is reported
+		for c, wm := range w.Members {
+			if !slices.Equal(g.Members[c], wm) {
+				return fmt.Errorf("level %d cluster %d member list differs", k, c)
+			}
+		}
+	}
+	return nil
+}
+
+// intMapEqual reports the first difference between two int maps (nil
+// and empty are interchangeable), or nil.
+func intMapEqual(got, want map[int]int) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%d entries vs %d", len(got), len(want))
+	}
+	//lint:ignore maprange equality check; order affects only which mismatch is reported
+	for k, wv := range want {
+		if gv, ok := got[k]; !ok || gv != wv {
+			return fmt.Errorf("key %d: %d vs %d", k, gv, wv)
+		}
+	}
+	return nil
 }
 
 // ---------------------------------------------------------------- shared

@@ -126,6 +126,17 @@ type Snapshot struct {
 	// ticks; nil otherwise.
 	Graph      *topology.Graph
 	KineticRef *topology.Graph
+
+	// MaintainIn and MaintainTracker, when both set, enable the
+	// maintenance differential (incremental-hierarchy-equal): Next.Hier
+	// and Next.IDs must equal a fresh oracle rebuild
+	// (cluster.BuildWithIdentities) over the same tick input, run
+	// against pre-Maintain clones of the identity tracker and the
+	// elector (MaintainCfg.Elector holds the clone). Populated only
+	// under the incremental maintainer on checked ticks; nil otherwise.
+	MaintainIn      *cluster.MaintainInput
+	MaintainCfg     cluster.Config
+	MaintainTracker *cluster.IdentityTracker
 }
 
 // Check is one named invariant with the paper anchor it guards.

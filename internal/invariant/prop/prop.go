@@ -103,8 +103,9 @@ func FromParams(seed uint64, n uint16, mobility, hop, degree, speed, churn, topA
 // Config translates the scenario into a runnable simnet.Config with
 // every-tick invariant checks, a 1 s scan so Ticks counts scan ticks
 // directly, and no warmup (every tick is measured and traced). engine
-// selects the link engine ("" = the simnet default, scan).
-func (sc Scenario) Config(workers int, engine string) simnet.Config {
+// selects the link engine ("" = the simnet default, scan), maintainer
+// the hierarchy-maintenance strategy ("" = oracle).
+func (sc Scenario) Config(workers int, engine, maintainer string) simnet.Config {
 	cfg := simnet.Config{
 		N:                    sc.N,
 		Seed:                 sc.Seed,
@@ -127,6 +128,7 @@ func (sc Scenario) Config(workers int, engine string) simnet.Config {
 		CheckLevel:           invariant.LevelEveryTick,
 		IntraTickParallelism: workers,
 		Engine:               engine,
+		Maintainer:           maintainer,
 	}
 	if sc.Colocated {
 		// A degree target of 2N guarantees the density puts every
@@ -181,12 +183,12 @@ type runResult struct {
 }
 
 // runScenario executes the scenario on one path (workers = 0 serial,
-// > 1 parallel; engine "" scan or simnet.EngineKinetic) with
-// every-tick checks, capturing violations, the serialized results, and
-// the trace.
-func runScenario(sc Scenario, workers int, engine string) runResult {
+// > 1 parallel; engine "" scan or simnet.EngineKinetic; maintainer ""
+// oracle or simnet.MaintainerIncremental) with every-tick checks,
+// capturing violations, the serialized results, and the trace.
+func runScenario(sc Scenario, workers int, engine, maintainer string) runResult {
 	var out runResult
-	cfg := sc.Config(workers, engine)
+	cfg := sc.Config(workers, engine, maintainer)
 	var buf bytes.Buffer
 	tr := trace.New(&buf)
 	cfg.Observer = tr.Observer()
@@ -238,14 +240,19 @@ var workerCounts = []int{2, 3}
 //     path: every run after the first tick reuses retired storage);
 //  5. the kinetic engine must produce byte-identical Results and
 //     traces to the scan engine, with its own every-tick checks
-//     (including the kinetic-graph-equal differential) silent.
+//     (including the kinetic-graph-equal differential) silent;
+//  6. the incremental maintainer must produce byte-identical Results
+//     and traces to the oracle run on every path — serial and parallel
+//     under the scan engine, serial under the kinetic engine — with
+//     its own every-tick checks (including the
+//     incremental-hierarchy-equal oracle differential) silent.
 func CheckScenario(sc Scenario) *Failure {
-	serial := runScenario(sc, 0, "")
+	serial := runScenario(sc, 0, "", "")
 	if serial.panicErr != nil {
 		return &Failure{Scenario: sc, Kind: KindPanic, Detail: serial.panicErr.Error()}
 	}
 	if serial.configErr != nil {
-		p := runScenario(sc, workerCounts[0], "")
+		p := runScenario(sc, workerCounts[0], "", "")
 		if p.configErr == nil || p.configErr.Error() != serial.configErr.Error() {
 			return &Failure{
 				Scenario: sc, Kind: KindDifferential,
@@ -263,7 +270,7 @@ func CheckScenario(sc Scenario) *Failure {
 		}
 	}
 	for _, w := range workerCounts {
-		p := runScenario(sc, w, "")
+		p := runScenario(sc, w, "", "")
 		if p.panicErr != nil {
 			return &Failure{
 				Scenario: sc, Kind: KindPanic,
@@ -298,7 +305,7 @@ func CheckScenario(sc Scenario) *Failure {
 			}
 		}
 	}
-	k := runScenario(sc, 0, simnet.EngineKinetic)
+	k := runScenario(sc, 0, simnet.EngineKinetic, "")
 	if k.panicErr != nil {
 		return &Failure{
 			Scenario: sc, Kind: KindPanic,
@@ -330,6 +337,53 @@ func CheckScenario(sc Scenario) *Failure {
 		return &Failure{
 			Scenario: sc, Kind: KindDifferential,
 			Detail: "results diverge between the scan and kinetic engines",
+		}
+	}
+	// The maintainer differential: oracle vs incremental across the
+	// serial/par × scan/kinetic matrix, each incremental run carrying
+	// its own every-tick checks.
+	for _, m := range []struct {
+		workers int
+		engine  string
+		label   string
+	}{
+		{0, "", "incremental serial/scan"},
+		{workerCounts[0], "", "incremental par/scan"},
+		{0, simnet.EngineKinetic, "incremental serial/kinetic"},
+	} {
+		inc := runScenario(sc, m.workers, m.engine, simnet.MaintainerIncremental)
+		if inc.panicErr != nil {
+			return &Failure{
+				Scenario: sc, Kind: KindPanic,
+				Detail: fmt.Sprintf("%s: %v", m.label, inc.panicErr),
+			}
+		}
+		if inc.configErr != nil {
+			return &Failure{
+				Scenario: sc, Kind: KindDifferential,
+				Detail: fmt.Sprintf("oracle accepts config but %s rejects it: %v", m.label, inc.configErr),
+			}
+		}
+		if len(inc.violations) > 0 {
+			v := inc.violations[0]
+			return &Failure{
+				Scenario: sc, Kind: KindViolation,
+				Check: v.Check, Tick: v.Tick,
+				Detail: fmt.Sprintf("%s only: %s", m.label, v.Detail),
+			}
+		}
+		if !bytes.Equal(serial.trace, inc.trace) {
+			return &Failure{
+				Scenario: sc, Kind: KindDifferential,
+				Tick:   diffTick(serial.trace, inc.trace),
+				Detail: fmt.Sprintf("trace diverges between oracle and %s", m.label),
+			}
+		}
+		if !bytes.Equal(serial.res, inc.res) {
+			return &Failure{
+				Scenario: sc, Kind: KindDifferential,
+				Detail: fmt.Sprintf("results diverge between oracle and %s", m.label),
+			}
 		}
 	}
 	return nil

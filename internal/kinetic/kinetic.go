@@ -365,6 +365,28 @@ func (tr *Tracker) nextChange(sa, sb mobility.Segment, linked bool) float64 {
 	return tr.now + u1 // first entry into the band
 }
 
+// AppendEvents appends the tick's pending link deltas to dst as
+// LinkEvents — downs first, then ups, each ascending by edge key, the
+// same convention as topology.DiffScratch.Diff — and returns the
+// extended slice. Call it after Advance and before GraphInto (which
+// consumes and clears the deltas). The ups/downs lists are exact net
+// deltas for the tick: examinePair flips each edge at most once per
+// examination against its previous state, so an edge appears in at
+// most one of the two lists.
+//
+//manet:hotpath
+func (tr *Tracker) AppendEvents(dst []topology.LinkEvent) []topology.LinkEvent {
+	slices.Sort(tr.downs)
+	slices.Sort(tr.ups)
+	for _, k := range tr.downs {
+		dst = append(dst, topology.LinkEvent{Edge: k, Up: false})
+	}
+	for _, k := range tr.ups {
+		dst = append(dst, topology.LinkEvent{Edge: k, Up: true})
+	}
+	return dst
+}
+
 // GraphInto merges the tick's link deltas into the sorted edge list
 // and materializes the graph for the downstream incremental pipeline
 // (diff → cluster maintain → LM update). Adjacency fills in ascending

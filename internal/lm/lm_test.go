@@ -1,6 +1,7 @@
 package lm
 
 import (
+	"slices"
 	"testing"
 
 	"repro/internal/cluster"
@@ -317,6 +318,85 @@ func TestDiffTables(t *testing.T) {
 			(d[i-1].Owner == d[i].Owner && d[i-1].Level >= d[i].Level) {
 			t.Fatal("diff not ordered")
 		}
+	}
+}
+
+// TestDiffTablesEdgeCases pins the diff semantics at the boundaries
+// the accountant depends on: a nil previous table, owners joining and
+// leaving the network, chain-depth changes, and the caller-owned
+// buffer form reproducing the allocating one.
+func TestDiffTablesEdgeCases(t *testing.T) {
+	g1 := graphOf(8, [2]int{1, 5}, [2]int{2, 6})
+	h1, ids1, tr := tracked(g1, []int{1, 2, 5, 6})
+	s := NewSelector(nil)
+	t1 := s.BuildTable(h1, ids1)
+
+	// nil prev: every live entry appears exactly once, from nowhere.
+	d := appendTableDiffs(nil, nil, t1, nil)
+	if len(d) != t1.EntryCount() {
+		t.Fatalf("nil-prev diff has %d entries, table has %d", len(d), t1.EntryCount())
+	}
+	for _, td := range d {
+		if td.OldServer != -1 || td.NewServer == -1 {
+			t.Fatalf("nil-prev diff %+v should read -1 -> live", td)
+		}
+	}
+
+	// Owner 2 leaves the network: all its entries retire to -1.
+	g2 := graphOf(8, [2]int{1, 5})
+	h2 := cluster.Build(g2, []int{1, 5, 6}, cluster.Config{}, nil)
+	ids2 := tr.Track(h1, ids1, h2)
+	t2 := s.BuildTable(h2, ids2)
+	gone := 0
+	for _, td := range DiffTables(t1, t2) {
+		if td.Owner != 2 {
+			continue
+		}
+		gone++
+		if td.NewServer != -1 {
+			t.Fatalf("departed owner still has a server: %+v", td)
+		}
+	}
+	if gone == 0 {
+		t.Fatal("departed owner produced no retirements")
+	}
+	// The reverse direction is the owner appearing: same entries, from -1.
+	for _, td := range DiffTables(t2, t1) {
+		if td.Owner == 2 && (td.OldServer != -1 || td.NewServer == -1) {
+			t.Fatalf("appearing owner diff %+v should read -1 -> live", td)
+		}
+	}
+
+	// Chain depth change: connecting the two clusters adds a level, so
+	// the new top-level entries must appear as -1 -> live.
+	g3 := graphOf(8, [2]int{1, 5}, [2]int{2, 6}, [2]int{5, 6})
+	h3 := cluster.Build(g3, []int{1, 2, 5, 6}, cluster.Config{}, nil)
+	ids3 := tr.Track(h1, ids1, h3)
+	t3 := s.BuildTable(h3, ids3)
+	if t3.Levels(1) <= t1.Levels(1) {
+		t.Fatalf("merge did not deepen the hierarchy (%d vs %d levels)", t3.Levels(1), t1.Levels(1))
+	}
+	deeper := 0
+	for _, td := range DiffTables(t1, t3) {
+		if td.Level > t1.Levels(td.Owner) {
+			deeper++
+			if td.OldServer != -1 {
+				t.Fatalf("new-depth diff %+v should come from -1", td)
+			}
+		}
+	}
+	if deeper == 0 {
+		t.Fatal("no diffs at the new hierarchy depth")
+	}
+
+	// The buffer-reuse form must reproduce the allocating form exactly,
+	// including after reuse with stale contents.
+	want := DiffTables(t1, t3)
+	seen := map[int]bool{7: true} // stale scratch to be cleared
+	out := appendTableDiffs(nil, t2, t1, seen)
+	out = appendTableDiffs(out[:0], t1, t3, seen)
+	if !slices.Equal(out, want) {
+		t.Fatalf("reused-buffer diff deviates:\n got %+v\nwant %+v", out, want)
 	}
 }
 

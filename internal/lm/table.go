@@ -20,12 +20,25 @@ type Table struct {
 	servers [][]int32   // [row][k-1] -> server node, -1 if none
 	chains  [][]uint64  // [row][k-1] -> logical level-k ancestor
 
+	// Per-row descent-path memo: for each owner row, the winner keys of
+	// every hash descent, column k occupying [k(k-1)/2, k(k+1)/2) in
+	// level order k, k-1, ..., 1 (the last entry is the server's node
+	// ID). Derived data — never compared by table differs/equality
+	// checks — kept so the incremental update can re-trace a previous
+	// descent without re-hashing own-clean steps.
+	paths [][]uint64
+
 	// Flat backing for the row slices when built by UpdateTableInto;
 	// nil for tables built row-by-row. Owned by this table so that
 	// double-buffered tables never share storage.
 	srvBack   []int32
 	chainBack []uint64
+	pathBack  []uint64
 }
+
+// pathOff returns the offset of descent-path column k within a row's
+// paths slice.
+func pathOff(k int) int { return k * (k - 1) / 2 }
 
 // Owners returns the sorted owner IDs covered by the table.
 func (t *Table) Owners() []int { return t.owners }
@@ -182,7 +195,7 @@ func appendMemberKeys(dst []uint64, ids *cluster.Identities, level int, members 
 // intermediate allocations; it returns the server and the (possibly
 // grown) buffer.
 func (s *Selector) serverForBuf(
-	h *cluster.Hierarchy, ids *cluster.Identities, owner, k int, buf []uint64,
+	h *cluster.Hierarchy, ids *cluster.Identities, owner, k int, buf, path []uint64,
 ) (int, []uint64) {
 	cur := owner
 	for j := 0; j < k; j++ {
@@ -192,7 +205,17 @@ func (s *Selector) serverForBuf(
 		}
 		cur = m
 	}
-	for level := k; level >= 1; level-- {
+	return s.descendFrom(h, ids, owner, cur, k, buf, path)
+}
+
+// descendFrom runs the hash descent from the level-`level` cluster cur
+// down to a level-0 node, recording the winner key of every step into
+// path (nil = don't record).
+func (s *Selector) descendFrom(
+	h *cluster.Hierarchy, ids *cluster.Identities, owner, cur, level int, buf, path []uint64,
+) (int, []uint64) {
+	j := 0
+	for ; level >= 1; level-- {
 		members := h.MembersAt(level, cur)
 		if len(members) == 0 {
 			// Structurally impossible in a valid hierarchy; fail loud.
@@ -200,9 +223,73 @@ func (s *Selector) serverForBuf(
 		}
 		buf = appendMemberKeys(buf[:0], ids, level, members)
 		idx := s.Hash.Select(uint64(owner), level, buf)
+		if path != nil {
+			path[j] = buf[idx]
+		}
+		j++
 		cur = members[idx]
 	}
 	return cur, buf
+}
+
+// serverForBufIncr resolves owner's level-k server like serverForBuf,
+// but re-traces the previous tick's hash descent (stored, the owner's
+// previous path column) instead of paying for a full one. The caller
+// guarantees the owner's logical level-k ancestor anc is unchanged
+// (same chain entry) yet subtree-dirty. At each step, a cluster whose
+// member-key set is unchanged ("own-clean") selects the same winner
+// key as last tick — both hash families pick by key, not position —
+// so the stored winner stands without hashing; an own-dirty cluster
+// pays one Select over its cached key span. While the re-trace agrees
+// with the stored path, the first sub-clean cluster proves the
+// remaining descent identical and prevSrv stands; after the first
+// divergent winner the stored path no longer applies and every
+// remaining step pays its Select. The new path is written to pathDst
+// (len k). rev/revKeys are the buildRev index; a key missing from it
+// (an untracked identity) aborts the re-trace into a full recompute.
+//
+//manet:hotpath
+func (s *Selector) serverForBufIncr(
+	h *cluster.Hierarchy, ids *cluster.Identities, owner, k, prevSrv int,
+	anc uint64, stored, pathDst []uint64,
+	rev []map[uint64]revEntry, revKeys []uint64, buf []uint64,
+) (int, []uint64) {
+	q := anc
+	tracking := true
+	for level := k; level >= 1; level-- {
+		j := k - level
+		if level >= len(rev) {
+			return s.serverForBuf(h, ids, owner, k, buf, pathDst)
+		}
+		e, ok := rev[level][q]
+		if !ok {
+			return s.serverForBuf(h, ids, owner, k, buf, pathDst)
+		}
+		if tracking {
+			if !e.sub {
+				// Same path so far and nothing at or below q changed:
+				// the previous descent stands in full.
+				copy(pathDst[j:], stored[j:])
+				return prevSrv, buf
+			}
+			if !e.own {
+				// Same member keys, same hash: last tick's winner.
+				wk := stored[j]
+				pathDst[j] = wk
+				q = wk
+				continue
+			}
+		}
+		keys := revKeys[e.start:e.end]
+		idx := s.Hash.Select(uint64(owner), level, keys)
+		wk := keys[idx]
+		pathDst[j] = wk
+		if tracking && wk != stored[j] {
+			tracking = false
+		}
+		q = wk
+	}
+	return int(q), buf
 }
 
 // BuildTable computes the full assignment table for h.
@@ -213,16 +300,24 @@ func (s *Selector) BuildTable(h *cluster.Hierarchy, ids *cluster.Identities) *Ta
 		index:   make(map[int]int, len(owners)),
 		servers: make([][]int32, len(owners)),
 		chains:  make([][]uint64, len(owners)),
+		paths:   make([][]uint64, len(owners)),
 	}
+	var buf []uint64
 	for row, v := range owners {
 		t.index[v] = row
 		chain := ids.ChainOf(h, v)
-		srv := make([]int32, len(chain))
+		n := len(chain)
+		srv := make([]int32, n)
+		path := make([]uint64, pathOff(n+1))
 		for i := range chain {
-			srv[i] = int32(s.ServerFor(h, ids, v, i+1))
+			k := i + 1
+			var sv int
+			sv, buf = s.serverForBuf(h, ids, v, k, buf, path[pathOff(k):pathOff(k)+k])
+			srv[i] = int32(sv)
 		}
 		t.servers[row] = srv
 		t.chains[row] = chain
+		t.paths[row] = path
 	}
 	return t
 }
@@ -238,26 +333,50 @@ func (s *Selector) UpdateTable(
 	prevH *cluster.Hierarchy, prevIDs *cluster.Identities,
 	nextH *cluster.Hierarchy, nextIDs *cluster.Identities,
 ) *Table {
-	return s.UpdateTableInto(nil, nil, prev, prevH, prevIDs, nextH, nextIDs)
+	return s.UpdateTableInto(nil, nil, prev, prevH, prevIDs, nextH, nextIDs, nil)
 }
 
 // UpdateScratch holds the reusable buffers of UpdateTableInto: the
 // dirty-subtree sets, member-key comparison maps and their flat
-// backings, and the hash-descent key buffer. Not safe for concurrent
-// use.
+// backings, the hash-descent key buffer, and the affected-owner bitmap
+// of the dirty-row analysis. Not safe for concurrent use.
 type UpdateScratch struct {
 	dirty          dirtySet
+	own            dirtySet
 	pm, nm         map[uint64][]uint64
 	pmBack, nmBack []uint64
 	spans          []keySpan
 	idsBuf         []uint64
 	keyBuf         []uint64
 	rowEnd         []int
+
+	// Per-tick reverse identity index (buildRev): for each level, live
+	// logical ID -> cached member-key span into revKeys plus the
+	// cluster's own/sub dirtiness, so each descent re-trace step costs
+	// one map lookup and own-dirty Selects hash over prebuilt keys.
+	rev     []map[uint64]revEntry
+	revKeys []uint64
+
+	// Dirty-row analysis (affectedOwners): affBits[v] marks owner v as
+	// possibly changed; affRows lists the affected row indices (the
+	// par shards fan out over it); walkN/walkL are the subtree DFS
+	// stack.
+	affBits      []bool
+	affRows      []int
+	walkN, walkL []int
 }
 
 type keySpan struct {
 	id         uint64
 	start, end int
+}
+
+// revEntry is one buildRev index entry: the cluster's member-key span
+// within UpdateScratch.revKeys and its dirtiness classification (own =
+// member-key set changed; sub = any change in the subtree).
+type revEntry struct {
+	start, end int32
+	own, sub   bool
 }
 
 // UpdateTableInto is UpdateTable with caller-owned storage: dst (nil =
@@ -267,12 +386,19 @@ type keySpan struct {
 // any consumer — in a double-buffered loop, pass the table retired two
 // ticks ago.
 //
+// known, when non-nil, is the maintainer-exported dirty-cluster set
+// (cluster.Maintainer.DirtyClusters) for exactly this snapshot pair;
+// the O(N·L) dirty-subtree recomputation is then skipped, and whole
+// owner rows are copied from prev wherever the owner is provably
+// outside every dirty subtree.
+//
 //manet:hotpath
 func (s *Selector) UpdateTableInto(
 	dst *Table, sc *UpdateScratch,
 	prev *Table,
 	prevH *cluster.Hierarchy, prevIDs *cluster.Identities,
 	nextH *cluster.Hierarchy, nextIDs *cluster.Identities,
+	known *cluster.DirtyClusters,
 ) *Table {
 	if dst == nil {
 		//lint:ignore hotpath warm-up: nil dst allocates the double-buffered table once
@@ -285,7 +411,16 @@ func (s *Selector) UpdateTableInto(
 		//lint:ignore hotpath warm-up: callers reuse one scratch across ticks
 		sc = &UpdateScratch{}
 	}
-	dirty := sc.dirtySubtrees(prevH, prevIDs, nextH, nextIDs)
+	var dirty, own dirtySet
+	if known != nil {
+		dirty = dirtySet(known.ByLevel)
+		own = sc.ownFromKnown(dirty, prevH, prevIDs, nextH, nextIDs)
+	} else {
+		dirty = sc.dirtySubtrees(prevH, prevIDs, nextH, nextIDs)
+		own = sc.own
+	}
+	rev := sc.buildRev(nextH, nextIDs, dirty, own)
+	useAff := sc.affectedOwners(dirty, prev, prevH, prevIDs, nextH)
 	owners := nextH.LevelNodes(0)
 	dst.owners = owners
 	if dst.index == nil {
@@ -296,59 +431,202 @@ func (s *Selector) UpdateTableInto(
 	}
 	dst.servers = dst.servers[:0]
 	dst.chains = dst.chains[:0]
+	dst.paths = dst.paths[:0]
 	dst.srvBack = dst.srvBack[:0]
 	dst.chainBack = dst.chainBack[:0]
+	dst.pathBack = dst.pathBack[:0]
 	sc.rowEnd = sc.rowEnd[:0]
 	for row, v := range owners {
 		dst.index[v] = row
-		dst.chainBack, dst.srvBack, sc.keyBuf = s.appendRow(
-			v, dirty, prev, nextH, nextIDs, dst.chainBack, dst.srvBack, sc.keyBuf)
+		if useAff && (v >= len(sc.affBits) || !sc.affBits[v]) {
+			if r, ok := prev.index[v]; ok {
+				dst.chainBack = append(dst.chainBack, prev.chains[r]...)
+				dst.srvBack = append(dst.srvBack, prev.servers[r]...)
+				dst.pathBack = append(dst.pathBack, prev.paths[r]...)
+				sc.rowEnd = append(sc.rowEnd, len(dst.chainBack))
+				continue
+			}
+		}
+		dst.chainBack, dst.srvBack, dst.pathBack, sc.keyBuf = s.appendRow(
+			v, dirty, rev, sc.revKeys, prev, nextH, nextIDs,
+			dst.chainBack, dst.srvBack, dst.pathBack, sc.keyBuf)
 		sc.rowEnd = append(sc.rowEnd, len(dst.chainBack))
 	}
 	// Fix up the row views only after both backings stopped growing.
-	off := 0
+	// Path-column offsets derive from the chain lengths: a row with n
+	// levels owns pathOff(n+1) memo entries.
+	off, pOff := 0, 0
 	for _, end := range sc.rowEnd {
+		n := end - off
+		pEnd := pOff + pathOff(n+1)
 		dst.servers = append(dst.servers, dst.srvBack[off:end:end])
 		dst.chains = append(dst.chains, dst.chainBack[off:end:end])
-		off = end
+		dst.paths = append(dst.paths, dst.pathBack[pOff:pEnd:pEnd])
+		off, pOff = end, pEnd
 	}
 	return dst
 }
 
-// appendRow computes owner v's table row — its logical ancestor chain
-// and per-level servers — appending the chain to chainBack and the
-// servers to srvBack, reusing prev's assignment wherever the logical
-// ancestor is unchanged and its subtree is clean. It returns the three
-// (possibly grown) buffers. The function only reads the snapshots, the
-// dirty set, and prev, so disjoint owner ranges may run concurrently
-// as long as each invocation owns its buffers.
+// buildRev fills sc.rev with per-level reverse identity indexes over
+// the next snapshot: logical cluster ID -> prebuilt member-key span
+// (into sc.revKeys) tagged with the cluster's own/sub dirtiness. The
+// descent re-trace then follows stored winner keys with one map lookup
+// per step and hashes over cached keys, never touching physical IDs.
+// O(total clusters + total members) per tick.
+//
+//manet:hotpath
+func (sc *UpdateScratch) buildRev(
+	h *cluster.Hierarchy, ids *cluster.Identities, dirty, own dirtySet,
+) []map[uint64]revEntry {
+	L := h.L()
+	for len(sc.rev) <= L {
+		//lint:ignore hotpath amortized growth: one index per hierarchy level, reused after
+		sc.rev = append(sc.rev, map[uint64]revEntry{})
+	}
+	rev := sc.rev[:L+1]
+	sc.revKeys = sc.revKeys[:0]
+	for k := 1; k <= L; k++ {
+		m := rev[k]
+		clear(m)
+		for _, c := range h.LevelNodes(k) {
+			q, ok := ids.Logical(k, c)
+			if !ok {
+				continue // untracked identity: re-traces reaching it fall back
+			}
+			start := len(sc.revKeys)
+			sc.revKeys = appendMemberKeys(sc.revKeys, ids, k, h.MembersAt(k, c))
+			if len(sc.revKeys) == start {
+				// Structurally impossible in a valid hierarchy; fail loud.
+				panic(fmt.Sprintf("lm: level-%d cluster %d has no members", k, c))
+			}
+			m[q] = revEntry{
+				start: int32(start), end: int32(len(sc.revKeys)),
+				own: own.is(k, q), sub: dirty.is(k, q),
+			}
+		}
+	}
+	return rev
+}
+
+// affectedOwners fills sc.affBits with the owners whose table row can
+// differ from prev: the previous-snapshot level-0 descendants of every
+// dirty top-level cluster. Dirtiness propagates to ancestors in both
+// snapshots, so every dirty cluster sits under a dirty level-L cluster
+// in the previous hierarchy, and an owner whose previous chain is
+// entirely clean keeps its chain and all its servers (the hash descent
+// for level k only inspects member lists inside the level-k ancestor's
+// subtree, all of which are clean). Returns false when every row must
+// be treated as affected: no previous table, or a hierarchy-depth
+// change (a fresh top level can extend clean chains).
+//
+//manet:hotpath
+func (sc *UpdateScratch) affectedOwners(
+	dirty dirtySet, prev *Table,
+	prevH *cluster.Hierarchy, prevIDs *cluster.Identities,
+	nextH *cluster.Hierarchy,
+) bool {
+	L := prevH.L()
+	if prev == nil || len(prev.owners) == 0 || nextH.L() != L || L == 0 {
+		return false
+	}
+	need := 0
+	if n := prevH.LevelNodes(0); len(n) > 0 {
+		need = n[len(n)-1] + 1
+	}
+	if n := nextH.LevelNodes(0); len(n) > 0 && n[len(n)-1]+1 > need {
+		need = n[len(n)-1] + 1
+	}
+	for len(sc.affBits) < need {
+		sc.affBits = append(sc.affBits, false)
+	}
+	clear(sc.affBits)
+	nodes, lvls := sc.walkN[:0], sc.walkL[:0]
+	for _, hd := range prevH.LevelNodes(L) {
+		q, ok := prevIDs.Logical(L, hd)
+		if !ok || dirty.is(L, q) {
+			nodes = append(nodes, hd)
+			lvls = append(lvls, L)
+		}
+	}
+	for len(nodes) > 0 {
+		u := nodes[len(nodes)-1]
+		j := lvls[len(lvls)-1]
+		nodes, lvls = nodes[:len(nodes)-1], lvls[:len(lvls)-1]
+		if j == 0 {
+			sc.affBits[u] = true
+			continue
+		}
+		for _, c := range prevH.MembersAt(j, u) {
+			nodes = append(nodes, c)
+			lvls = append(lvls, j-1)
+		}
+	}
+	sc.walkN, sc.walkL = nodes, lvls
+	return true
+}
+
+// appendRow computes owner v's table row — its logical ancestor chain,
+// per-level servers, and descent-path memo — appending the chain to
+// chainBack, the servers to srvBack, and the paths to pathBack,
+// reusing prev's assignment wherever the logical ancestor is unchanged
+// and its subtree is clean, and re-tracing the previous descent
+// (serverForBufIncr) when the ancestor is unchanged but its subtree
+// was touched. It returns the four (possibly grown) buffers. The
+// function only reads the snapshots, the dirty sets, rev, and prev, so
+// disjoint owner ranges may run concurrently as long as each
+// invocation owns its buffers.
 func (s *Selector) appendRow(
-	v int, dirty dirtySet, prev *Table,
+	v int, dirty dirtySet, rev []map[uint64]revEntry, revKeys []uint64, prev *Table,
 	nextH *cluster.Hierarchy, nextIDs *cluster.Identities,
-	chainBack []uint64, srvBack []int32, keyBuf []uint64,
-) ([]uint64, []int32, []uint64) {
+	chainBack []uint64, srvBack []int32, pathBack, keyBuf []uint64,
+) ([]uint64, []int32, []uint64, []uint64) {
 	start := len(chainBack)
 	chainBack = nextIDs.AppendChainOf(nextH, v, chainBack)
 	chain := chainBack[start:]
+	n := len(chain)
+	pstart := len(pathBack)
+	pathBack = slices.Grow(pathBack, pathOff(n+1))[:pstart+pathOff(n+1)]
+	paths := pathBack[pstart:]
 	var prevChain []uint64
 	var prevSrv []int32
+	var prevPath []uint64
 	if prev != nil {
 		if r, ok := prev.index[v]; ok {
 			prevChain = prev.chains[r]
 			prevSrv = prev.servers[r]
+			if r < len(prev.paths) {
+				prevPath = prev.paths[r]
+			}
 		}
 	}
 	for i, c := range chain {
 		k := i + 1
-		if i < len(prevChain) && prevChain[i] == c && !dirty.is(k, c) {
-			srvBack = append(srvBack, prevSrv[i])
+		po := pathOff(k)
+		col := paths[po : po+k]
+		if i < len(prevChain) && prevChain[i] == c && po+k <= len(prevPath) {
+			pcol := prevPath[po : po+k]
+			if !dirty.is(k, c) {
+				copy(col, pcol)
+				srvBack = append(srvBack, prevSrv[i])
+				continue
+			}
+			var srv int
+			srv, keyBuf = s.serverForBufIncr(
+				nextH, nextIDs, v, k, int(prevSrv[i]), c, pcol, col, rev, revKeys, keyBuf)
+			if srv < 0 {
+				clear(col)
+			}
+			srvBack = append(srvBack, int32(srv))
 			continue
 		}
 		var srv int
-		srv, keyBuf = s.serverForBuf(nextH, nextIDs, v, k, keyBuf)
+		srv, keyBuf = s.serverForBuf(nextH, nextIDs, v, k, keyBuf, col)
+		if srv < 0 {
+			clear(col)
+		}
 		srvBack = append(srvBack, int32(srv))
 	}
-	return chainBack, srvBack, keyBuf
+	return chainBack, srvBack, pathBack, keyBuf
 }
 
 // dirtySet tracks logical clusters whose subtree membership changed,
@@ -373,11 +651,75 @@ func (d dirtySet) mark(k int, id uint64) bool {
 	return true
 }
 
+// sizedOwn returns sc.own sized and cleared for maxL levels.
+//
+//manet:hotpath
+func (sc *UpdateScratch) sizedOwn(maxL int) dirtySet {
+	for len(sc.own) <= maxL {
+		//lint:ignore hotpath amortized growth: one set per hierarchy level, reused after
+		sc.own = append(sc.own, map[uint64]bool{})
+	}
+	own := sc.own[:maxL+1]
+	for k := range own {
+		clear(own[k])
+	}
+	return own
+}
+
+// ownFromKnown classifies each maintainer-reported dirty cluster as
+// own-changed — its member-key set differs between the snapshots, or
+// it exists in only one — versus merely subtree-dirty (marked only
+// because dirtiness propagated up from a descendant). The hash descent
+// uses the distinction to re-trace the previous tick's path through
+// own-clean clusters and stop at the first clean subtree. Only dirty
+// clusters are compared, so the cost tracks the dirty set, not the
+// hierarchy. The result aliases the scratch and is valid until the
+// next own-set computation.
+//
+//manet:hotpath
+func (sc *UpdateScratch) ownFromKnown(
+	dirty dirtySet,
+	prevH *cluster.Hierarchy, prevIDs *cluster.Identities,
+	nextH *cluster.Hierarchy, nextIDs *cluster.Identities,
+) dirtySet {
+	maxL := prevH.L()
+	if nextH.L() > maxL {
+		maxL = nextH.L()
+	}
+	own := sc.sizedOwn(maxL)
+	if sc.pm == nil {
+		//lint:ignore hotpath warm-up: the first call builds the reused member-key maps
+		sc.pm = map[uint64][]uint64{}
+		//lint:ignore hotpath warm-up: the first call builds the reused member-key maps
+		sc.nm = map[uint64][]uint64{}
+	}
+	for k := 1; k <= maxL; k++ {
+		var pm, nm map[uint64][]uint64
+		pm, sc.pmBack = fillMemberKeySets(sc.pm, sc.pmBack, &sc.spans, prevH, prevIDs, k, dirty)
+		nm, sc.nmBack = fillMemberKeySets(sc.nm, sc.nmBack, &sc.spans, nextH, nextIDs, k, dirty)
+		//lint:ignore maprange order-free set marking; own membership is the only outcome
+		for id, keys := range pm {
+			nk, ok := nm[id]
+			if !ok || !equalUints(keys, nk) {
+				own.mark(k, id)
+			}
+		}
+		//lint:ignore maprange order-free set marking; own membership is the only outcome
+		for id := range nm {
+			if _, ok := pm[id]; !ok {
+				own.mark(k, id)
+			}
+		}
+	}
+	return own
+}
+
 // dirtySubtrees returns the logical clusters whose member-key sets
 // differ between the two snapshots (including clusters present in only
 // one), with dirtiness propagated to all ancestors in both snapshots.
-// The returned set aliases the scratch and is valid until its next
-// call.
+// The pre-propagation marks — the clusters whose own member-key set
+// changed — are recorded in sc.own as a byproduct. The returned set
+// aliases the scratch and is valid until its next call.
 //
 //manet:hotpath
 func (sc *UpdateScratch) dirtySubtrees(
@@ -396,6 +738,7 @@ func (sc *UpdateScratch) dirtySubtrees(
 	for k := range dirty {
 		clear(dirty[k])
 	}
+	own := sc.sizedOwn(maxL)
 	if sc.pm == nil {
 		//lint:ignore hotpath warm-up: the first call builds the reused member-key maps
 		sc.pm = map[uint64][]uint64{}
@@ -404,19 +747,21 @@ func (sc *UpdateScratch) dirtySubtrees(
 	}
 	for k := 1; k <= maxL; k++ {
 		var pm, nm map[uint64][]uint64
-		pm, sc.pmBack = fillMemberKeySets(sc.pm, sc.pmBack, &sc.spans, prevH, prevIDs, k)
-		nm, sc.nmBack = fillMemberKeySets(sc.nm, sc.nmBack, &sc.spans, nextH, nextIDs, k)
+		pm, sc.pmBack = fillMemberKeySets(sc.pm, sc.pmBack, &sc.spans, prevH, prevIDs, k, nil)
+		nm, sc.nmBack = fillMemberKeySets(sc.nm, sc.nmBack, &sc.spans, nextH, nextIDs, k, nil)
 		//lint:ignore maprange order-free set marking; dirty membership is the only outcome
 		for id, keys := range pm {
 			nk, ok := nm[id]
 			if !ok || !equalUints(keys, nk) {
 				dirty.mark(k, id)
+				own.mark(k, id)
 			}
 		}
 		//lint:ignore maprange order-free set marking; dirty membership is the only outcome
 		for id := range nm {
 			if _, ok := pm[id]; !ok {
 				dirty.mark(k, id)
+				own.mark(k, id)
 			}
 		}
 	}
@@ -442,10 +787,12 @@ func (sc *UpdateScratch) dirtySubtrees(
 // level-k cluster's sorted member hash keys, packing the key slices
 // into the back array; it returns the map and the grown backing. The
 // views are fixed up only after the backing stops growing, so slice
-// growth cannot invalidate them.
+// growth cannot invalidate them. A non-nil `only` restricts the fill
+// to clusters in that set (the own-classification of a known dirty
+// set).
 func fillMemberKeySets(
 	out map[uint64][]uint64, back []uint64, spans *[]keySpan,
-	h *cluster.Hierarchy, ids *cluster.Identities, k int,
+	h *cluster.Hierarchy, ids *cluster.Identities, k int, only dirtySet,
 ) (map[uint64][]uint64, []uint64) {
 	clear(out)
 	back = back[:0]
@@ -456,6 +803,9 @@ func fillMemberKeySets(
 	for _, head := range h.LevelNodes(k) {
 		id, ok := ids.Logical(k, head)
 		if !ok {
+			continue
+		}
+		if only != nil && !only.is(k, id) {
 			continue
 		}
 		start := len(back)

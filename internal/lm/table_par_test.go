@@ -80,7 +80,7 @@ func TestUpdateTableParMatchesSerial(t *testing.T) {
 		serial := s.UpdateTable(base, hs[0], ids[0], hs[1], ids[1])
 		for _, workers := range []int{1, 2, 3, 5, 8, 200} {
 			p := par.NewPool(workers)
-			parT := s.UpdateTableIntoPar(nil, nil, nil, base, hs[0], ids[0], hs[1], ids[1], p)
+			parT := s.UpdateTableIntoPar(nil, nil, nil, base, hs[0], ids[0], hs[1], ids[1], nil, p)
 			p.Close()
 			tablesIdentical(t, serial, parT)
 		}
@@ -102,7 +102,7 @@ func TestUpdateTableParReuse(t *testing.T) {
 	for tick := 1; tick <= ticks; tick++ {
 		serial := s.UpdateTable(prev, hs[tick-1], ids[tick-1], hs[tick], ids[tick])
 		next := s.UpdateTableIntoPar(spare[tick%2], &sc, &psc,
-			prev, hs[tick-1], ids[tick-1], hs[tick], ids[tick], p)
+			prev, hs[tick-1], ids[tick-1], hs[tick], ids[tick], nil, p)
 		tablesIdentical(t, serial, next)
 		spare[tick%2] = prev
 		prev = next
@@ -115,6 +115,6 @@ func TestUpdateTableParNilPool(t *testing.T) {
 	s := NewSelector(nil)
 	base := s.BuildTable(hs[0], ids[0])
 	serial := s.UpdateTable(base, hs[0], ids[0], hs[1], ids[1])
-	parT := s.UpdateTableIntoPar(nil, nil, nil, base, hs[0], ids[0], hs[1], ids[1], nil)
+	parT := s.UpdateTableIntoPar(nil, nil, nil, base, hs[0], ids[0], hs[1], ids[1], nil, nil)
 	tablesIdentical(t, serial, parT)
 }

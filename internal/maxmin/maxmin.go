@@ -27,8 +27,21 @@ type Clusterer struct {
 func (c Clusterer) Name() string { return "maxmin" }
 
 // Elect implements cluster.Elector. prevHead is ignored: max-min as
-// published is memoryless.
-func (c Clusterer) Elect(nodes []int, g *topology.Graph, prevHead func(int) int) map[int]int {
+// published is memoryless. The 2d flooding rounds inherently build
+// per-round logs, so this elector allocates; it is an ablation, not a
+// steady-state hot path.
+func (c Clusterer) Elect(dst []int, nodes []int, g *topology.Graph, prevHead func(int) int) []int {
+	head := c.elect(nodes, g)
+	for _, v := range nodes {
+		dst = append(dst, head[v])
+	}
+	return dst
+}
+
+// CloneElector implements cluster.CloneableElector (stateless).
+func (c Clusterer) CloneElector() cluster.Elector { return c }
+
+func (c Clusterer) elect(nodes []int, g *topology.Graph) map[int]int {
 	d := c.D
 	if d < 1 {
 		d = 1
@@ -171,4 +184,7 @@ func (c Clusterer) repair(nodes []int, g *topology.Graph, idx map[int]int, head 
 	}
 }
 
-var _ cluster.Elector = Clusterer{}
+var (
+	_ cluster.Elector          = Clusterer{}
+	_ cluster.CloneableElector = Clusterer{}
+)

@@ -9,6 +9,17 @@ import (
 	"repro/internal/topology"
 )
 
+// electMap runs the slice-based Elect and folds the positional result
+// back into a node->head map for assertion convenience.
+func electMap(c Clusterer, nodes []int, g *topology.Graph) map[int]int {
+	heads := c.Elect(nil, nodes, g, func(int) int { return -1 })
+	m := make(map[int]int, len(nodes))
+	for i, v := range nodes {
+		m[v] = heads[i]
+	}
+	return m
+}
+
 func nodesUpTo(n int) []int {
 	out := make([]int, n)
 	for i := range out {
@@ -33,7 +44,7 @@ func TestStarElectsCenterOrCovers(t *testing.T) {
 	for _, v := range []int{1, 2, 3, 4} {
 		g.AddEdge(9, v)
 	}
-	head := Clusterer{D: 1}.Elect([]int{1, 2, 3, 4, 9}, g, func(int) int { return -1 })
+	head := electMap(Clusterer{D: 1}, []int{1, 2, 3, 4, 9}, g)
 	for _, v := range []int{1, 2, 3, 4, 9} {
 		if head[v] != 9 {
 			t.Fatalf("head(%d) = %d, want 9", v, head[v])
@@ -45,7 +56,7 @@ func TestReachBound(t *testing.T) {
 	for _, d := range []int{1, 2, 3} {
 		g := randomGraph(150, 450, 100, uint64(d))
 		nodes := nodesUpTo(150)
-		head := Clusterer{D: d}.Elect(nodes, g, func(int) int { return -1 })
+		head := electMap(Clusterer{D: d}, nodes, g)
 		scratch := topology.NewBFSScratch(150)
 		for _, v := range nodes {
 			h, ok := head[v]
@@ -70,7 +81,7 @@ func TestFewerHeadsWithLargerD(t *testing.T) {
 	g := randomGraph(200, 500, 100, 7)
 	nodes := nodesUpTo(200)
 	countHeads := func(d int) int {
-		head := Clusterer{D: d}.Elect(nodes, g, func(int) int { return -1 })
+		head := electMap(Clusterer{D: d}, nodes, g)
 		heads := map[int]bool{}
 		for _, h := range head {
 			heads[h] = true
@@ -86,8 +97,8 @@ func TestFewerHeadsWithLargerD(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	g := randomGraph(120, 420, 100, 3)
 	nodes := nodesUpTo(120)
-	a := Clusterer{D: 2}.Elect(nodes, g, func(int) int { return -1 })
-	b := Clusterer{D: 2}.Elect(nodes, g, func(int) int { return -1 })
+	a := electMap(Clusterer{D: 2}, nodes, g)
+	b := electMap(Clusterer{D: 2}, nodes, g)
 	for _, v := range nodes {
 		if a[v] != b[v] {
 			t.Fatalf("non-deterministic head for %d", v)
@@ -97,7 +108,7 @@ func TestDeterminism(t *testing.T) {
 
 func TestIsolatedSelfHeads(t *testing.T) {
 	g := topology.NewGraph(5)
-	head := Clusterer{D: 2}.Elect([]int{0, 1, 2}, g, func(int) int { return -1 })
+	head := electMap(Clusterer{D: 2}, []int{0, 1, 2}, g)
 	for _, v := range []int{0, 1, 2} {
 		if head[v] != v {
 			t.Fatalf("isolated node %d headed by %d", v, head[v])
@@ -128,7 +139,7 @@ func TestRespectsNodeSubset(t *testing.T) {
 	g := topology.NewGraph(10)
 	g.AddEdge(1, 9) // 9 is NOT in the node set
 	g.AddEdge(1, 2)
-	head := Clusterer{D: 1}.Elect([]int{1, 2}, g, func(int) int { return -1 })
+	head := electMap(Clusterer{D: 1}, []int{1, 2}, g)
 	if head[1] == 9 || head[2] == 9 {
 		t.Fatalf("out-of-set node elected: %v", head)
 	}
@@ -139,8 +150,9 @@ func BenchmarkElect200D2(b *testing.B) {
 	nodes := nodesUpTo(200)
 	c := Clusterer{D: 2}
 	prev := func(int) int { return -1 }
+	var dst []int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.Elect(nodes, g, prev)
+		dst = c.Elect(dst[:0], nodes, g, prev)
 	}
 }

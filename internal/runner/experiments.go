@@ -30,6 +30,11 @@ type Scale struct {
 	// experiment launches ("" or "scan" = per-tick rescan, "kinetic" =
 	// event-driven; see simnet.Config.Engine).
 	Engine string `json:"engine,omitempty"`
+	// Maintainer selects the hierarchy-maintenance strategy for every
+	// simulation the experiment launches ("" or "oracle" = full ALCA
+	// rebuild per tick, "incremental" = delta-patched; see
+	// simnet.Config.Maintainer).
+	Maintainer string `json:"maintainer,omitempty"`
 
 	// Metrics, when non-nil, receives run observability from every
 	// simulation the experiment launches (phase timers, tick counters;
@@ -139,7 +144,10 @@ func staticHierarchy(n int, seed uint64) (*cluster.Hierarchy, *topology.Graph) {
 }
 
 func baseConfig(sc Scale) simnet.Config {
-	return simnet.Config{Duration: sc.Duration, Warmup: sc.Warmup, Metrics: sc.Metrics, Engine: sc.Engine}
+	return simnet.Config{
+		Duration: sc.Duration, Warmup: sc.Warmup, Metrics: sc.Metrics,
+		Engine: sc.Engine, Maintainer: sc.Maintainer,
+	}
 }
 
 // sweepSpec builds the standard sweep for an experiment: the scale's

@@ -17,7 +17,7 @@ import (
 type setupPanicElector struct{}
 
 func (setupPanicElector) Name() string { return "setup-panic" }
-func (setupPanicElector) Elect([]int, *topology.Graph, func(int) int) map[int]int {
+func (setupPanicElector) Elect([]int, []int, *topology.Graph, func(int) int) []int {
 	panic("elector exploded during setup")
 }
 

@@ -132,34 +132,42 @@ func TestValidateRejectsExplicitZeros(t *testing.T) {
 }
 
 // TestSteadyStateTickAllocs pins the allocation budget of one
-// steady-state scan tick. Before the double-buffered scratch path this
-// was ~24k allocations per tick at N=512; the reusable buffers leave
-// only the elector's per-level head maps and a few closures (~46
-// observed at this scale). The bound leaves ~4× headroom to stay
-// robust across Go versions while still catching any regression to
-// per-tick rebuilds.
+// steady-state scan tick, under both maintenance strategies. Before
+// the double-buffered scratch path this was ~24k allocations per tick
+// at N=512; the reusable buffers leave only the elector's per-level
+// head maps and a few closures (~46 observed at this scale). The
+// incremental maintainer must fit the same budget: its dirty sets,
+// reverse identity index, descent-path memo, and the par-shard flat
+// backings are all tick-over-tick reusable, so delta-driven
+// maintenance may not buy its speed with per-tick garbage. The bound
+// leaves ~4× headroom to stay robust across Go versions while still
+// catching any regression to per-tick rebuilds.
 func TestSteadyStateTickAllocs(t *testing.T) {
-	cfg := Config{N: 256, Seed: 7, Warmup: -1}.withDefaults()
-	if err := cfg.validate(); err != nil {
-		t.Fatal(err)
+	for _, maint := range []string{MaintainerOracle, MaintainerIncremental} {
+		t.Run(maint, func(t *testing.T) {
+			cfg := Config{N: 256, Seed: 7, Warmup: -1, Maintainer: maint}.withDefaults()
+			if err := cfg.validate(); err != nil {
+				t.Fatal(err)
+			}
+			lp, err := setupRun(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			now := 0.0
+			step := func() {
+				now += cfg.ScanInterval
+				lp.step(now)
+			}
+			// Let pooled capacities reach steady state first.
+			for i := 0; i < 30; i++ {
+				step()
+			}
+			avg := testing.AllocsPerRun(20, step)
+			const budget = 200
+			if avg > budget {
+				t.Fatalf("steady-state tick allocates %.0f times, budget %d", avg, budget)
+			}
+			t.Logf("steady-state tick: %.1f allocs (budget %d)", avg, budget)
+		})
 	}
-	lp, err := setupRun(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	now := 0.0
-	step := func() {
-		now += cfg.ScanInterval
-		lp.step(now)
-	}
-	// Let pooled capacities reach steady state first.
-	for i := 0; i < 30; i++ {
-		step()
-	}
-	avg := testing.AllocsPerRun(20, step)
-	const budget = 200
-	if avg > budget {
-		t.Fatalf("steady-state tick allocates %.0f times, budget %d", avg, budget)
-	}
-	t.Logf("steady-state tick: %.1f allocs (budget %d)", avg, budget)
 }

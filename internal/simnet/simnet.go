@@ -52,6 +52,22 @@ const (
 	EngineKinetic = "kinetic"
 )
 
+// Maintainer names accepted by Config.Maintainer.
+const (
+	// MaintainerOracle recomputes the full ALCA fixed point from
+	// scratch every tick (the original maintenance strategy).
+	MaintainerOracle = "oracle"
+	// MaintainerIncremental advances the previous hierarchy snapshot
+	// by the tick's link-event delta: only the closed neighborhoods of
+	// dirty nodes re-elect, and changes propagate upward level by level
+	// only while the elected-head set keeps changing. Per-tick cost is
+	// proportional to the link-event rate instead of N. Hierarchies,
+	// identities, tables, Results and traces are byte-identical to the
+	// oracle (enforced by the incremental-hierarchy-equal invariant,
+	// TestIncrementalMatchesOracle, and the prop-corpus differential).
+	MaintainerIncremental = "incremental"
+)
+
 // Fault names accepted by Config.Fault (fault injection for the
 // invariant harness; see the Fault field).
 const (
@@ -90,10 +106,16 @@ type Config struct {
 	Duration     float64 // measured sim time, s (default 300; 0 = default, < 0 rejected)
 	Warmup       float64 // discarded leading sim time, s (default 60; 0 = default, < 0 = no warmup)
 
-	Mobility string  // waypoint (default) | direction | static | group
-	HopModel string  // euclid (default) | bfs
-	Engine   string  // scan (default) | kinetic — link-maintenance engine
-	Detour   float64 // Euclidean hop detour factor (default 1.3; 0 = default, < 0 rejected)
+	Mobility string // waypoint (default) | direction | static | group
+	HopModel string // euclid (default) | bfs
+	Engine   string // scan (default) | kinetic — link-maintenance engine
+	// Maintainer selects the hierarchy-maintenance strategy: "oracle"
+	// (default) rebuilds the ALCA fixed point from scratch every tick,
+	// "incremental" advances the previous snapshot by the tick's
+	// link-event delta (churn-proportional cost, byte-identical
+	// output).
+	Maintainer string
+	Detour     float64 // Euclidean hop detour factor (default 1.3; 0 = default, < 0 rejected)
 
 	// Group-mobility parameters (Mobility == "group"): nodes per group
 	// and the wander radius around the group reference point.
@@ -218,6 +240,9 @@ func (c Config) withDefaults() Config {
 	if c.Engine == "" {
 		c.Engine = EngineScan
 	}
+	if c.Maintainer == "" {
+		c.Maintainer = MaintainerOracle
+	}
 	c.Detour = fdef(c.Detour, 1.3)
 	if c.Hash == nil {
 		c.Hash = lm.Rendezvous{}
@@ -266,6 +291,12 @@ func (c Config) validate() error {
 	case EngineScan, EngineKinetic:
 	default:
 		return fmt.Errorf("simnet: unknown engine %q (want %s|%s)", c.Engine, EngineScan, EngineKinetic)
+	}
+	switch c.Maintainer {
+	case MaintainerOracle, MaintainerIncremental:
+	default:
+		return fmt.Errorf("simnet: unknown maintainer %q (want %s|%s)",
+			c.Maintainer, MaintainerOracle, MaintainerIncremental)
 	}
 	if _, err := invariant.ParseLevel(c.CheckLevel); err != nil {
 		return fmt.Errorf("simnet: %v", err)
@@ -366,8 +397,16 @@ func setupRun(cfg Config) (*looper, error) {
 	graph := topology.BuildUnitDisk(cfg.N, pos, cfg.RTX, grid)
 	tracker := cluster.NewIdentityTracker()
 	tracker.Passthrough = cfg.NaiveNaming
-	hier, idents := cluster.BuildWithIdentities(
-		graph, topology.GiantComponent(graph, nodes), clusterCfg, nil, nil, tracker, 0)
+	var mnt cluster.Maintainer
+	switch cfg.Maintainer {
+	case MaintainerIncremental:
+		mnt = cluster.NewIncrementalMaintainer(clusterCfg, tracker)
+	default:
+		mnt = cluster.NewOracleMaintainer(clusterCfg, tracker)
+	}
+	hier, idents := mnt.Maintain(&cluster.MaintainInput{
+		G0: graph, Nodes: topology.GiantComponent(graph, nodes), Now: 0,
+	})
 	table := selector.BuildTable(hier, idents)
 
 	var hop topology.HopModel
@@ -440,7 +479,8 @@ func setupRun(cfg Config) (*looper, error) {
 		hier:       hier,
 		idents:     idents,
 		table:      table,
-		arena:      cluster.NewArena(),
+		mnt:        mnt,
+		useEvents:  cfg.Maintainer == MaintainerIncremental,
 		alive:      alive,
 		reviveAt:   make([]float64, cfg.N),
 		churnSrc:   root.Stream("churn"),

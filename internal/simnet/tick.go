@@ -22,16 +22,17 @@ import (
 // lock. With Metrics unset every field is nil and each instrumentation
 // point costs one nil check (obs types are nil-safe no-ops).
 type phaseTimers struct {
-	tick      *obs.Timer
-	advance   *obs.Timer
-	rebuild   *obs.Timer
-	cluster   *obs.Timer
-	diff      *obs.Timer
-	lmUpdate  *obs.Timer
-	measure   *obs.Timer
-	hops      *obs.Timer
-	invariant *obs.Timer
-	observer  *obs.Timer
+	tick       *obs.Timer
+	advance    *obs.Timer
+	rebuild    *obs.Timer
+	cluster    *obs.Timer
+	clusterInc *obs.Timer
+	diff       *obs.Timer
+	lmUpdate   *obs.Timer
+	measure    *obs.Timer
+	hops       *obs.Timer
+	invariant  *obs.Timer
+	observer   *obs.Timer
 
 	ticks         *obs.Counter
 	measuredTicks *obs.Counter
@@ -44,16 +45,17 @@ func newPhaseTimers(reg *obs.Registry) phaseTimers {
 		return phaseTimers{}
 	}
 	return phaseTimers{
-		tick:      reg.Timer(obs.PhaseTick),
-		advance:   reg.Timer(obs.PhaseAdvance),
-		rebuild:   reg.Timer(obs.PhaseRebuild),
-		cluster:   reg.Timer(obs.PhaseCluster),
-		diff:      reg.Timer(obs.PhaseDiff),
-		lmUpdate:  reg.Timer(obs.PhaseLMUpdate),
-		measure:   reg.Timer(obs.PhaseMeasure),
-		hops:      reg.Timer(obs.PhaseHops),
-		invariant: reg.Timer(obs.PhaseInvariant),
-		observer:  reg.Timer(obs.PhaseObserver),
+		tick:       reg.Timer(obs.PhaseTick),
+		advance:    reg.Timer(obs.PhaseAdvance),
+		rebuild:    reg.Timer(obs.PhaseRebuild),
+		cluster:    reg.Timer(obs.PhaseCluster),
+		clusterInc: reg.Timer(obs.PhaseClusterInc),
+		diff:       reg.Timer(obs.PhaseDiff),
+		lmUpdate:   reg.Timer(obs.PhaseLMUpdate),
+		measure:    reg.Timer(obs.PhaseMeasure),
+		hops:       reg.Timer(obs.PhaseHops),
+		invariant:  reg.Timer(obs.PhaseInvariant),
+		observer:   reg.Timer(obs.PhaseObserver),
 
 		ticks:         reg.Counter("sim.ticks"),
 		measuredTicks: reg.Counter("sim.measured_ticks"),
@@ -108,7 +110,16 @@ type looper struct {
 	retiredIDs *cluster.Identities
 	spareTable *lm.Table
 
-	arena       *cluster.Arena
+	// Hierarchy maintenance (Config.Maintainer): the maintainer owns
+	// the snapshot arena; Retire replaces the old direct Recycle call.
+	// useEvents marks maintainers that consume the tick's link-event
+	// delta (computed in the rebuild phase); evBuf is the kinetic
+	// event buffer and maintIn the reused Maintain input.
+	mnt       cluster.Maintainer
+	useEvents bool
+	evBuf     []topology.LinkEvent
+	maintIn   cluster.MaintainInput
+
 	diff        *cluster.Diff
 	diffScratch cluster.DiffScratch
 	linkScratch topology.DiffScratch
@@ -214,11 +225,21 @@ func (lp *looper) step(now float64) {
 
 	spRebuild := lp.tm.rebuild.Start()
 	var newGraph *topology.Graph
+	var events []topology.LinkEvent
 	if lp.kin != nil {
+		if lp.useEvents {
+			// AppendEvents must precede GraphInto, which consumes and
+			// clears the tracker's pending deltas.
+			lp.evBuf = lp.kin.AppendEvents(lp.evBuf[:0])
+			events = lp.evBuf
+		}
 		newGraph = lp.kin.GraphInto(lp.spareGraph)
 	} else {
 		newGraph = topology.BuildUnitDiskIntoPar(
 			lp.spareGraph, cfg.N, lp.pos, cfg.RTX, lp.grid, lp.pool, &lp.buildScratch)
+		if lp.useEvents {
+			events = lp.linkScratch.Diff(lp.graph, newGraph)
+		}
 	}
 	lp.spareGraph = nil
 	if lp.bfsHop != nil {
@@ -226,19 +247,43 @@ func (lp *looper) step(now float64) {
 	}
 	spRebuild.Stop()
 
+	// Incremental maintenance gets its own span (tick.cluster_inc) so
+	// oracle-vs-incremental phase costs are directly comparable.
 	spCluster := lp.tm.cluster.Start()
-	lp.arena.Recycle(lp.retiredH, lp.retiredIDs)
+	var spClusterInc obs.Span
+	if lp.useEvents {
+		spClusterInc = lp.tm.clusterInc.Start()
+	}
+	lp.mnt.Retire(lp.retiredH, lp.retiredIDs)
 	lp.retiredH, lp.retiredIDs = nil, nil
 	giant := lp.giantScr.Giant(newGraph, lp.aliveNodes)
-	//lint:ignore hotpath elector per-level head maps and closures, counted in the tick alloc budget
-	newHier, newIdents := cluster.BuildWithIdentitiesArena(
-		lp.arena, newGraph, giant, lp.clusterCfg, lp.hier, lp.idents, lp.tracker, now)
+	lp.maintIn = cluster.MaintainInput{
+		G0: newGraph, PrevG0: lp.graph, Nodes: giant, Events: events,
+		PrevH: lp.hier, PrevIDs: lp.idents, Now: now,
+	}
+	// Reference state for the incremental-hierarchy-equal differential:
+	// the oracle rebuild inside the checker must see the pre-Maintain
+	// tracker and elector state, so both are cloned before the live
+	// Maintain advances them. Checked ticks under the incremental
+	// maintainer only.
+	var refTracker *cluster.IdentityTracker
+	var refCfg cluster.Config
+	if lp.cfg.Maintainer == MaintainerIncremental && lp.checker.ShouldCheck(lp.tick) {
+		refTracker = lp.tracker.Clone()
+		refCfg = lp.clusterCfg
+		//lint:ignore hotpath periodic invariant check; interval-gated, off the steady tick
+		if ce, ok := refCfg.Elector.(cluster.CloneableElector); ok {
+			refCfg.Elector = ce.CloneElector()
+		}
+	}
+	newHier, newIdents := lp.mnt.Maintain(&lp.maintIn)
 	if cfg.Paranoid {
 		//lint:ignore hotpath Paranoid-only cold branch; off in measured runs
 		if err := newHier.Validate(); err != nil {
 			panic(fmt.Sprintf("simnet: t=%.2f: %v", now, err))
 		}
 	}
+	spClusterInc.Stop()
 	spCluster.Stop()
 	lp.tm.levels.Set(float64(newHier.L()))
 
@@ -249,7 +294,8 @@ func (lp *looper) step(now float64) {
 	spLM := lp.tm.lmUpdate.Start()
 	newTable := lp.selector.UpdateTableIntoPar(
 		lp.spareTable, &lp.updScratch, &lp.updParScr,
-		lp.table, lp.hier, lp.idents, newHier, newIdents, lp.pool)
+		lp.table, lp.hier, lp.idents, newHier, newIdents,
+		lp.mnt.DirtyClusters(), lp.pool)
 	lp.spareTable = nil
 	spLM.Stop()
 
@@ -301,11 +347,14 @@ func (lp *looper) step(now float64) {
 			//lint:ignore hotpath periodic invariant check; interval-gated, off the steady tick
 			Prev: &invariant.State{Hier: lp.hier, IDs: lp.idents, Table: lp.table},
 			//lint:ignore hotpath periodic invariant check; interval-gated, off the steady tick
-			Next:       &invariant.State{Hier: newHier, IDs: newIdents, Table: newTable},
-			Diff:       lp.diff,
-			Selector:   lp.selector,
-			Graph:      newGraph,
-			KineticRef: kineticRef,
+			Next:            &invariant.State{Hier: newHier, IDs: newIdents, Table: newTable},
+			Diff:            lp.diff,
+			Selector:        lp.selector,
+			Graph:           newGraph,
+			KineticRef:      kineticRef,
+			MaintainIn:      &lp.maintIn,
+			MaintainCfg:     refCfg,
+			MaintainTracker: refTracker,
 		})
 		spInv.Stop()
 	}

@@ -8,7 +8,10 @@
 # Only the Tick* sub-benchmarks are recorded: they isolate the scan
 # tick's hot stages (graph rebuild, diff, hierarchy, LM update, and
 # the scan-vs-kinetic link maintenance matrix) in fresh vs reuse vs
-# par variants, which is the comparison worth tracking. The -count
+# par variants, which is the comparison worth tracking. The
+# ClusterMaintain matrix (oracle-vs-incremental hierarchy maintenance
+# across waypoint pause intervals) and the LMUpdate lowchurn legs
+# record the churn-proportional maintenance speedup in µs/simsec. The -count
 # repetitions are aggregated per benchmark (minimum ns/op — the
 # least-noise sample — with its B/op and allocs/op), so each recorded
 # entry has exactly one line per benchmark, and every entry is stamped
@@ -29,7 +32,7 @@ raw="$(mktemp)"
 entry="$(mktemp)"
 trap 'rm -f "$raw" "$entry"' EXIT
 
-go test -run '^$' -bench 'BenchmarkTick(GraphRebuild|Diff|Hierarchy|LMUpdate|LinkMaintain)' \
+go test -run '^$' -bench 'BenchmarkTick(GraphRebuild|Diff|Hierarchy|LMUpdate|LinkMaintain|ClusterMaintain)' \
 	-benchmem -benchtime=20x -count="$count" . >"$raw"
 
 awk -v date="$date" -v time="$time" -v commit="$commit" '
@@ -41,17 +44,19 @@ BEGIN { cpu = "unknown"; n = 0 }
 	name = $1; sub(/-[0-9]+$/, "", name)
 	# Locate metrics by unit label: custom ReportMetric columns
 	# (events/tick, us/simsec) shift the field positions.
-	ns = ""; bytes = ""; allocs = ""
+	ns = ""; bytes = ""; allocs = ""; uss = ""
 	for (i = 3; i < NF; i++) {
 		if ($(i + 1) == "ns/op") ns = $i
 		else if ($(i + 1) == "B/op") bytes = $i
 		else if ($(i + 1) == "allocs/op") allocs = $i
+		else if ($(i + 1) == "µs/simsec" || $(i + 1) == "us/simsec") uss = $i
 	}
 	if (ns == "") next
 	# Aggregate -count repeats: keep the minimum-ns/op sample.
 	if (!(name in best) || ns + 0 < best[name] + 0) {
 		if (!(name in best)) order[n++] = name
 		best[name] = ns; bbytes[name] = bytes; ballocs[name] = allocs
+		busims[name] = uss
 		iters[name] = $2
 	}
 }
@@ -63,8 +68,9 @@ END {
 	printf "  \"benchmarks\": [\n"
 	for (i = 0; i < n; i++) {
 		name = order[i]
-		printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_op\": %s, \"bytes_op\": %s, \"allocs_op\": %s}%s\n", \
-			name, iters[name], best[name], bbytes[name], ballocs[name], (i < n - 1 ? "," : "")
+		extra = (busims[name] != "" ? sprintf(", \"us_simsec\": %s", busims[name]) : "")
+		printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_op\": %s, \"bytes_op\": %s, \"allocs_op\": %s%s}%s\n", \
+			name, iters[name], best[name], bbytes[name], ballocs[name], extra, (i < n - 1 ? "," : "")
 	}
 	printf "  ],\n"
 	printf "  \"goos\": \"%s\",\n", goos

@@ -57,6 +57,13 @@ echo "== engine equivalence (scan vs kinetic)"
 go test -run TestKineticMatchesScan -count=1 ./internal/simnet || fail=1
 go test -run TestRegressionCorpusReplays -count=1 ./internal/invariant/prop || fail=1
 
+echo "== maintainer equivalence (oracle vs incremental)"
+# The maintenance differential: delta-patched hierarchy maintenance
+# plus dirty-owner LM updates must be byte-identical to the full
+# per-tick rebuild across the scenario matrix (the corpus replay above
+# already runs every scenario under both maintainers).
+go test -run TestIncrementalMatchesOracle -count=1 ./internal/simnet || fail=1
+
 echo "== race tests (measurement pipeline)"
 go test -race ./internal/obs ./internal/trace ./internal/stats ./internal/runner || fail=1
 
