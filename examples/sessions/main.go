@@ -42,8 +42,11 @@ func main() {
 
 	sel := lm.NewSelector(nil)
 	hop := topology.NewBFSHops(g, 100)
-	gen := workload.NewGenerator(workload.Config{Rate: 0.05, PacketsPerSession: 20},
+	gen, err := workload.NewGenerator(workload.Config{Rate: 0.05, PacketsPerSession: 20},
 		rng.NewRoot(11).Stream("workload"))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var st workload.Stats
 	for tick := 0; tick < 120; tick++ {

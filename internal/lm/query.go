@@ -28,19 +28,37 @@ type QueryResult struct {
 	Server int
 }
 
+// QueryScratch holds the reusable buffers of QueryWith. The zero
+// value is ready to use; one scratch serves any number of sequential
+// queries. Not safe for concurrent use — give each serving worker its
+// own.
+type QueryScratch struct {
+	chainQ []int
+	chainD []int
+	keys   []uint64
+}
+
 // Query resolves the location of d for querier q on hierarchy h,
 // costing transmissions with hop. Returns Found == false when q and d
 // share no cluster at any level (distinct partitions).
 func Query(s *Selector, h *cluster.Hierarchy, ids *cluster.Identities, hop topology.HopModel, q, d int) QueryResult {
+	var scr QueryScratch
+	return QueryWith(s, h, ids, hop, q, d, &scr)
+}
+
+// QueryWith is Query with caller-owned scratch buffers: the hot
+// serving path resolves queries without per-call allocation.
+func QueryWith(s *Selector, h *cluster.Hierarchy, ids *cluster.Identities, hop topology.HopModel, q, d int, scr *QueryScratch) QueryResult {
 	if q == d {
 		return QueryResult{Found: true, Level: 0, Packets: 0, Server: q}
 	}
-	chainQ := h.AncestorChain(q)
-	chainD := h.AncestorChain(d)
+	scr.chainQ = h.AppendAncestorChain(q, scr.chainQ[:0])
+	scr.chainD = h.AppendAncestorChain(d, scr.chainD[:0])
+	chainQ, chainD := scr.chainQ, scr.chainD
 	packets := 0
 	for k := 1; k <= len(chainQ); k++ {
 		// The candidate server inside q's level-k cluster.
-		candidate := serverWithin(s, h, ids, chainQ[k-1], k, d)
+		candidate := serverWithin(s, h, ids, chainQ[k-1], k, d, scr)
 		if candidate < 0 {
 			continue
 		}
@@ -60,14 +78,15 @@ func Query(s *Selector, h *cluster.Hierarchy, ids *cluster.Identities, hop topol
 // serverWithin resolves the level-0 node that serves owner's level-k
 // entry assuming owner's level-k cluster is the given cluster —
 // q-side speculative resolution.
-func serverWithin(s *Selector, h *cluster.Hierarchy, ids *cluster.Identities, clusterID, k, owner int) int {
+func serverWithin(s *Selector, h *cluster.Hierarchy, ids *cluster.Identities, clusterID, k, owner int, scr *QueryScratch) int {
 	cur := clusterID
 	for level := k; level >= 1; level-- {
 		members := h.MembersAt(level, cur)
 		if len(members) == 0 {
 			return -1
 		}
-		idx := s.Hash.Select(uint64(owner), level, memberKeys(h, ids, level, members))
+		scr.keys = appendMemberKeys(scr.keys[:0], ids, level, members)
+		idx := s.Hash.Select(uint64(owner), level, scr.keys)
 		cur = members[idx]
 	}
 	return cur

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram bucket geometry: geometric buckets spanning 100 ns to
+// ~107 s with 4 buckets per doubling (2^(1/4) growth, ~19% relative
+// error per bucket), plus an overflow bucket. Chosen so a request
+// latency distribution's p50/p99 resolve to better than one bucket
+// width without per-observation allocation.
+const (
+	histBuckets = 121
+	histMinNS   = 100.0 // 1e-7 s
+	histPerDbl  = 4
+)
+
+// Histogram is a fixed-geometry latency histogram. Safe for concurrent
+// use (all state is atomic); all methods are nil-safe. Observations
+// are recorded in nanoseconds; the exported statistics are in seconds,
+// matching PhaseStat.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sumNS  atomic.Int64
+	maxNS  atomic.Int64
+}
+
+// histBucket maps a nanosecond value to its bucket index.
+func histBucket(ns float64) int {
+	if ns < histMinNS {
+		return 0
+	}
+	b := 1 + int(math.Log2(ns/histMinNS)*histPerDbl)
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// histUpper returns bucket b's upper bound in nanoseconds.
+func histUpper(b int) float64 {
+	return histMinNS * math.Exp2(float64(b)/histPerDbl)
+}
+
+// Observe records one duration in seconds.
+func (h *Histogram) Observe(seconds float64) {
+	if h == nil || seconds < 0 || math.IsNaN(seconds) {
+		return
+	}
+	ns := seconds * 1e9
+	h.counts[histBucket(ns)].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(int64(ns))
+	ins := int64(ns)
+	for {
+		old := h.maxNS.Load()
+		if ins <= old || h.maxNS.CompareAndSwap(old, ins) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 for a nil histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Quantile returns the q-quantile (q in [0, 1]) in seconds, as the
+// upper bound of the bucket holding the q-th observation; 0 when the
+// histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for b := 0; b < histBuckets; b++ {
+		cum += h.counts[b].Load()
+		if cum >= rank {
+			return histUpper(b) / 1e9
+		}
+	}
+	return float64(h.maxNS.Load()) / 1e9
+}
+
+// HistStat is the exported state of one histogram.
+type HistStat struct {
+	Count       int64   `json:"count"`
+	MeanSeconds float64 `json:"mean_seconds"`
+	MaxSeconds  float64 `json:"max_seconds"`
+	P50Seconds  float64 `json:"p50_seconds"`
+	P90Seconds  float64 `json:"p90_seconds"`
+	P99Seconds  float64 `json:"p99_seconds"`
+}
+
+// Stat summarizes the histogram. Concurrent observers may land between
+// the component loads; the skew is at most a few in-flight samples.
+func (h *Histogram) Stat() HistStat {
+	var s HistStat
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	if s.Count > 0 {
+		s.MeanSeconds = float64(h.sumNS.Load()) / float64(s.Count) / 1e9
+	}
+	s.MaxSeconds = float64(h.maxNS.Load()) / 1e9
+	s.P50Seconds = h.Quantile(0.50)
+	s.P90Seconds = h.Quantile(0.90)
+	s.P99Seconds = h.Quantile(0.99)
+	return s
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	// 1..100 ms uniformly: p50 ~ 50ms, p99 ~ 99ms, within one bucket
+	// (~19%) of relative error.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 1000)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	checks := []struct {
+		q, want float64
+	}{{0.50, 0.050}, {0.90, 0.090}, {0.99, 0.099}}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		if got < c.want*0.8 || got > c.want*1.25 {
+			t.Errorf("q%.0f = %v, want ~%v", c.q*100, got, c.want)
+		}
+	}
+	st := h.Stat()
+	if math.Abs(st.MeanSeconds-0.0505) > 0.002 {
+		t.Errorf("mean = %v, want ~0.0505", st.MeanSeconds)
+	}
+	if math.Abs(st.MaxSeconds-0.100) > 1e-6 {
+		t.Errorf("max = %v, want 0.100", st.MaxSeconds)
+	}
+}
+
+func TestHistogramNilAndEmpty(t *testing.T) {
+	var h *Histogram
+	h.Observe(1) // must not panic
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram not zero")
+	}
+	e := &Histogram{}
+	if e.Quantile(0.99) != 0 || e.Stat().Count != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(0)          // below first bucket
+	h.Observe(1e-9)       // below first bucket
+	h.Observe(3600)       // overflow bucket
+	h.Observe(-1)         // dropped
+	h.Observe(math.NaN()) // dropped
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	if q := h.Quantile(0.01); q > 1e-6 {
+		t.Errorf("p1 = %v, want sub-microsecond", q)
+	}
+}
+
+func TestRegistryHist(t *testing.T) {
+	r := NewRegistry()
+	r.Hist("lat").Observe(0.01)
+	if r.Hist("lat") != r.Hist("lat") {
+		t.Fatal("histogram pointer not stable")
+	}
+	s := r.Snapshot()
+	if s.Hists["lat"].Count != 1 {
+		t.Fatalf("snapshot hists = %+v", s.Hists)
+	}
+	var nilReg *Registry
+	if nilReg.Hist("x") != nil {
+		t.Fatal("nil registry must hand out nil histograms")
+	}
+}

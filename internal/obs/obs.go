@@ -109,6 +109,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	timers   map[string]*Timer
+	hists    map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
@@ -117,6 +118,7 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		timers:   map[string]*Timer{},
+		hists:    map[string]*Histogram{},
 	}
 }
 
@@ -165,6 +167,21 @@ func (r *Registry) Timer(name string) *Timer {
 	return t
 }
 
+// Hist returns the named histogram, creating it on first use.
+func (r *Registry) Hist(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
 // PhaseStat is the exported state of one phase timer.
 type PhaseStat struct {
 	Count      int64   `json:"count"`
@@ -178,6 +195,7 @@ type Snapshot struct {
 	Counters map[string]int64     `json:"counters,omitempty"`
 	Gauges   map[string]float64   `json:"gauges,omitempty"`
 	Phases   map[string]PhaseStat `json:"phases,omitempty"`
+	Hists    map[string]HistStat  `json:"hists,omitempty"`
 }
 
 // Snapshot copies the registry's current values. A nil registry yields
@@ -213,6 +231,13 @@ func (r *Registry) Snapshot() Snapshot {
 				Seconds:    t.Seconds(),
 				MaxSeconds: t.MaxSeconds(),
 			}
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Hists = make(map[string]HistStat, len(r.hists))
+		//lint:ignore maprange map-to-map copy; the result is order-free
+		for name, h := range r.hists {
+			s.Hists[name] = h.Stat()
 		}
 	}
 	return s

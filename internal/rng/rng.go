@@ -127,6 +127,42 @@ func (s *Source) Exp(rate float64) float64 {
 	return -math.Log(1-s.Float64()) / rate
 }
 
+// Poisson returns a Poisson-distributed variate with the given mean.
+// The sampler is exact (chunked Knuth: count uniform factors until the
+// running product crosses e^-mean, consuming the exponent in steps of
+// 500 so the product never underflows), deterministic, and costs
+// O(mean) uniform draws. A mean of 0 returns 0; negative or non-finite
+// means panic.
+func (s *Source) Poisson(mean float64) int {
+	if mean < 0 || math.IsNaN(mean) || math.IsInf(mean, 0) {
+		panic("rng: Poisson with negative or non-finite mean")
+	}
+	//lint:ignore floateq exact zero mean is the degenerate no-arrivals case
+	if mean == 0 {
+		return 0
+	}
+	const step = 500
+	left := mean
+	k := 0
+	p := 1.0
+	for {
+		k++
+		p *= s.Float64()
+		for p < 1 && left > 0 {
+			if left > step {
+				p *= math.Exp(step)
+				left -= step
+			} else {
+				p *= math.Exp(left)
+				left = 0
+			}
+		}
+		if p <= 1 && left <= 0 {
+			return k - 1
+		}
+	}
+}
+
 // Perm returns a random permutation of [0, n) (Fisher-Yates).
 func (s *Source) Perm(n int) []int {
 	p := make([]int, n)

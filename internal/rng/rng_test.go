@@ -248,3 +248,81 @@ func BenchmarkFloat64(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestPoissonDistribution(t *testing.T) {
+	// Small mean (plain Knuth path): sample moments and the zero-class
+	// probability must match the Poisson law. Bounds are ~5 sigma of
+	// the respective estimators, so a correct sampler passes for every
+	// seed and an off-by-one or biased one fails decisively.
+	s := New(101)
+	const (
+		mean = 4.2
+		n    = 200000
+	)
+	var sum, sumSq float64
+	zeros := 0
+	for i := 0; i < n; i++ {
+		k := s.Poisson(mean)
+		if k < 0 {
+			t.Fatalf("negative Poisson draw %d", k)
+		}
+		sum += float64(k)
+		sumSq += float64(k) * float64(k)
+		if k == 0 {
+			zeros++
+		}
+	}
+	m := sum / n
+	v := sumSq/n - m*m
+	if tol := 5 * math.Sqrt(mean/n); math.Abs(m-mean) > tol {
+		t.Errorf("mean = %v, want %v +- %v", m, mean, tol)
+	}
+	if tol := 5 * math.Sqrt((mean+2*mean*mean)/n); math.Abs(v-mean) > tol {
+		t.Errorf("variance = %v, want %v +- %v", v, mean, tol)
+	}
+	p0 := math.Exp(-mean)
+	if tol := 5 * math.Sqrt(p0*(1-p0)/n); math.Abs(float64(zeros)/n-p0) > tol {
+		t.Errorf("P(0) = %v, want %v +- %v", float64(zeros)/n, p0, tol)
+	}
+}
+
+func TestPoissonLargeMean(t *testing.T) {
+	// Large mean exercises the chunked-exponent path (mean > 500 would
+	// underflow the naive Knuth product).
+	s := New(7)
+	const (
+		mean = 1800.0
+		n    = 20000
+	)
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		k := float64(s.Poisson(mean))
+		sum += k
+		sumSq += k * k
+	}
+	m := sum / n
+	v := sumSq/n - m*m
+	if tol := 5 * math.Sqrt(mean/n); math.Abs(m-mean) > tol {
+		t.Errorf("mean = %v, want %v +- %v", m, mean, tol)
+	}
+	if r := v / mean; r < 0.9 || r > 1.1 {
+		t.Errorf("variance/mean = %v, want ~1", r)
+	}
+}
+
+func TestPoissonEdgeCases(t *testing.T) {
+	s := New(3)
+	if k := s.Poisson(0); k != 0 {
+		t.Fatalf("Poisson(0) = %d, want 0", k)
+	}
+	for _, bad := range []float64{-1, math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Poisson(%v) did not panic", bad)
+				}
+			}()
+			s.Poisson(bad)
+		}()
+	}
+}

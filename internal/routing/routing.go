@@ -52,16 +52,61 @@ func MeanHierTableSize(h *cluster.Hierarchy) float64 {
 }
 
 // Router computes concrete forwarding paths.
+//
+// A Router is reusable across hierarchy snapshots: Rebind points it at
+// the next snapshot while keeping every internal buffer, so steady-state
+// path computations (HierPathLen, FlatPathLen, Stretch) allocate
+// nothing. All BFS state is epoch-stamped — membership sets and visit
+// marks are slices indexed by level-0 node ID (cluster IDs at every
+// level are level-0 IDs of their heads), invalidated by bumping a
+// counter instead of clearing. Not safe for concurrent use; give each
+// serving worker its own Router.
 type Router struct {
 	h       *cluster.Hierarchy
 	g       *topology.Graph // level-0 graph
 	scratch *topology.BFSScratch
+
+	// Epoch-stamped BFS scratch shared by clusterGraphPath,
+	// borderEdge, and intraClusterPath (each call bumps cur and
+	// restamps the sets it needs).
+	cur    uint32
+	allow  []uint32 // allowed-set membership stamp
+	target []uint32 // borderEdge destination-set stamp
+	seen   []uint32 // BFS visit stamp
+	parent []int32  // BFS parent links
+
+	queue  []int32 // BFS frontier
+	cpath  []int   // clusterGraphPath output buffer
+	seg    []int   // intraClusterPath output buffer
+	path   []int   // HierPathLen's path buffer
+	chainS []int   // commonLevel ancestor chains
+	chainD []int
+	chainT []int // ancestorAt's chain buffer
+	desc   []int // descendants ping-pong buffers
+	desc2  []int
 }
 
 // NewRouter builds a router over one hierarchy snapshot.
 func NewRouter(h *cluster.Hierarchy) *Router {
-	g := h.Level(0).Graph
-	return &Router{h: h, g: g, scratch: topology.NewBFSScratch(g.IDSpace())}
+	r := &Router{}
+	r.Rebind(h)
+	return r
+}
+
+// Rebind points the router at a new hierarchy snapshot, reusing every
+// internal buffer. The ID space may grow between snapshots; buffers
+// are re-sized (and epochs reset) only then.
+func (r *Router) Rebind(h *cluster.Hierarchy) {
+	r.h = h
+	r.g = h.Level(0).Graph
+	if n := r.g.IDSpace(); len(r.allow) < n {
+		r.scratch = topology.NewBFSScratch(n)
+		r.allow = make([]uint32, n)
+		r.target = make([]uint32, n)
+		r.seen = make([]uint32, n)
+		r.parent = make([]int32, n)
+		r.cur = 0
+	}
 }
 
 // FlatPathLen returns the true shortest-path hop count, or -1 when
@@ -77,14 +122,25 @@ func (r *Router) FlatPathLen(s, d int) int {
 // the cluster being traversed. Returns nil when s and d share no
 // cluster.
 func (r *Router) HierPath(s, d int) []int {
+	p, ok := r.hierPathInto(nil, s, d)
+	if !ok {
+		return nil
+	}
+	return p
+}
+
+// hierPathInto is HierPath into a caller-owned buffer; ok reports
+// whether a path exists. The returned slice is the (possibly grown)
+// buffer either way, so callers can keep it for reuse.
+func (r *Router) hierPathInto(dst []int, s, d int) ([]int, bool) {
 	if s == d {
-		return []int{s}
+		return append(dst, s), true
 	}
 	common := r.commonLevel(s, d)
 	if common < 0 {
-		return nil
+		return dst, false
 	}
-	path := []int{s}
+	path := append(dst, s)
 	cur := s
 	for level := common; level >= 1; level-- {
 		// Inside the shared level-`level` cluster, walk the
@@ -98,18 +154,18 @@ func (r *Router) HierPath(s, d int) []int {
 		shared := r.ancestorAt(d, level)
 		cpath := r.clusterGraphPath(level-1, shared, level, curCluster, target)
 		if cpath == nil {
-			return nil // transient inconsistency; treat as unreachable
+			return path, false // transient inconsistency; treat as unreachable
 		}
 		for i := 0; i+1 < len(cpath); i++ {
 			from, to := cpath[i], cpath[i+1]
 			a, b := r.borderEdge(level-1, from, to)
 			if a < 0 {
-				return nil
+				return path, false
 			}
 			// Walk inside the current cluster to the border node.
 			seg := r.intraClusterPath(cur, a, level-1, from)
 			if seg == nil {
-				return nil
+				return path, false
 			}
 			path = append(path, seg[1:]...)
 			if a != b {
@@ -122,17 +178,20 @@ func (r *Router) HierPath(s, d int) []int {
 	if cur != d {
 		seg := r.intraClusterPath(cur, d, 0, -1)
 		if seg == nil {
-			return nil
+			return path, false
 		}
 		path = append(path, seg[1:]...)
 	}
-	return path
+	return path, true
 }
 
-// HierPathLen returns the hierarchical path hop count, or -1.
+// HierPathLen returns the hierarchical path hop count, or -1. Unlike
+// HierPath it reuses an internal path buffer and allocates nothing in
+// steady state.
 func (r *Router) HierPathLen(s, d int) int {
-	p := r.HierPath(s, d)
-	if p == nil {
+	p, ok := r.hierPathInto(r.path[:0], s, d)
+	r.path = p
+	if !ok {
 		return -1
 	}
 	return len(p) - 1
@@ -151,8 +210,9 @@ func (r *Router) Stretch(s, d int) float64 {
 
 // commonLevel returns the smallest k with shared level-k cluster, or -1.
 func (r *Router) commonLevel(s, d int) int {
-	cs := r.h.AncestorChain(s)
-	cd := r.h.AncestorChain(d)
+	r.chainS = r.h.AppendAncestorChain(s, r.chainS[:0])
+	r.chainD = r.h.AppendAncestorChain(d, r.chainD[:0])
+	cs, cd := r.chainS, r.chainD
 	min := len(cs)
 	if len(cd) < min {
 		min = len(cd)
@@ -170,7 +230,46 @@ func (r *Router) ancestorAt(v, j int) int {
 	if j == 0 {
 		return v
 	}
-	return r.h.Ancestor(v, j)
+	r.chainT = r.h.AppendAncestorChain(v, r.chainT[:0])
+	if j > len(r.chainT) {
+		return -1
+	}
+	return r.chainT[j-1]
+}
+
+// nextEpoch bumps the stamp epoch, clearing the stamp arrays on the
+// (astronomically rare) uint32 wrap so stale stamps can never alias.
+func (r *Router) nextEpoch() uint32 {
+	r.cur++
+	if r.cur == 0 {
+		for i := range r.allow {
+			r.allow[i] = 0
+			r.target[i] = 0
+			r.seen[i] = 0
+		}
+		r.cur = 1
+	}
+	return r.cur
+}
+
+// descendants returns the level-0 descendants of the level-k cluster c
+// into a reused buffer (unsorted, unlike Hierarchy.Descendants — every
+// use here is order-independent). Valid until the next descendants call.
+func (r *Router) descendants(k, c int) []int {
+	cur := append(r.desc[:0], c)
+	other := r.desc2[:0]
+	if k >= len(r.h.Levels) {
+		return cur[:0]
+	}
+	for lvl := k - 1; lvl >= 0; lvl-- {
+		other = other[:0]
+		for _, cc := range cur {
+			other = append(other, r.h.Levels[lvl].Members[cc]...)
+		}
+		cur, other = other, cur
+	}
+	r.desc, r.desc2 = cur, other
+	return cur
 }
 
 // clusterGraphPath BFS-walks the level-j cluster graph restricted to
@@ -180,45 +279,45 @@ func (r *Router) clusterGraphPath(j, shared, sharedLevel, a, b int) []int {
 	if lvl == nil || lvl.Graph == nil {
 		return nil
 	}
-	allowed := map[int]bool{}
+	cur := r.nextEpoch()
 	for _, m := range r.h.MembersAt(sharedLevel, shared) {
-		allowed[m] = true
+		r.allow[m] = cur
 	}
-	if !allowed[a] || !allowed[b] {
+	if r.allow[a] != cur || r.allow[b] != cur {
 		return nil
 	}
 	// BFS with parent tracking over the level-j graph.
-	parent := map[int]int{a: a}
-	queue := []int{a}
-	for head := 0; head < len(queue); head++ {
-		v := queue[head]
+	r.seen[a] = cur
+	r.parent[a] = int32(a)
+	r.queue = append(r.queue[:0], int32(a))
+	for head := 0; head < len(r.queue); head++ {
+		v := int(r.queue[head])
 		if v == b {
 			break
 		}
 		for _, w := range lvl.Graph.Neighbors(v) {
-			if !allowed[w] {
+			if r.allow[w] != cur || r.seen[w] == cur {
 				continue
 			}
-			if _, seen := parent[w]; seen {
-				continue
-			}
-			parent[w] = v
-			queue = append(queue, w)
+			r.seen[w] = cur
+			r.parent[w] = int32(v)
+			r.queue = append(r.queue, int32(w))
 		}
 	}
-	if _, ok := parent[b]; !ok {
+	if r.seen[b] != cur {
 		return nil
 	}
-	var rev []int
-	for v := b; ; v = parent[v] {
+	rev := r.cpath[:0]
+	for v := b; ; v = int(r.parent[v]) {
 		rev = append(rev, v)
-		if v == parent[v] {
+		if v == int(r.parent[v]) {
 			break
 		}
 	}
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 		rev[i], rev[j] = rev[j], rev[i]
 	}
+	r.cpath = rev
 	return rev
 }
 
@@ -226,15 +325,14 @@ func (r *Router) clusterGraphPath(j, shared, sharedLevel, a, b int) []int {
 // and b inside cluster `to` (both level-j clusters); returns the
 // smallest such pair, or (-1, -1).
 func (r *Router) borderEdge(j, from, to int) (int, int) {
-	descFrom := r.h.Descendants(j, from)
-	inTo := map[int]bool{}
-	for _, v := range r.h.Descendants(j, to) {
-		inTo[v] = true
+	cur := r.nextEpoch()
+	for _, v := range r.descendants(j, to) {
+		r.target[v] = cur
 	}
 	bestA, bestB := -1, -1
-	for _, a := range descFrom {
+	for _, a := range r.descendants(j, from) {
 		for _, b := range r.g.Neighbors(a) {
-			if inTo[b] {
+			if r.target[b] == cur {
 				if bestA == -1 || a < bestA || (a == bestA && b < bestB) {
 					bestA, bestB = a, b
 				}
@@ -249,53 +347,57 @@ func (r *Router) borderEdge(j, from, to int) (int, int) {
 // means no restriction).
 func (r *Router) intraClusterPath(s, d, j, c int) []int {
 	if s == d {
-		return []int{s}
+		r.seg = append(r.seg[:0], s)
+		return r.seg
 	}
-	var restrict func(int) bool
+	cur := r.nextEpoch()
+	restricted := false
 	if j >= 1 && c >= 0 {
-		allowed := map[int]bool{}
-		for _, v := range r.h.Descendants(j, c) {
-			allowed[v] = true
+		restricted = true
+		for _, v := range r.descendants(j, c) {
+			r.allow[v] = cur
 		}
-		if !allowed[s] || !allowed[d] {
+		if r.allow[s] != cur || r.allow[d] != cur {
 			return nil
 		}
-		restrict = func(v int) bool { return allowed[v] }
 	}
 	// BFS with parents on the level-0 graph.
-	parent := map[int]int{s: s}
-	queue := []int{s}
+	r.seen[s] = cur
+	r.parent[s] = int32(s)
+	r.queue = append(r.queue[:0], int32(s))
 	found := false
-	for head := 0; head < len(queue) && !found; head++ {
-		v := queue[head]
+	for head := 0; head < len(r.queue) && !found; head++ {
+		v := int(r.queue[head])
 		for _, w := range r.g.Neighbors(v) {
-			if _, seen := parent[w]; seen {
+			if r.seen[w] == cur {
 				continue
 			}
-			if w != d && restrict != nil && !restrict(w) {
+			if w != d && restricted && r.allow[w] != cur {
 				continue
 			}
-			parent[w] = v
+			r.seen[w] = cur
+			r.parent[w] = int32(v)
 			if w == d {
 				found = true
 				break
 			}
-			queue = append(queue, w)
+			r.queue = append(r.queue, int32(w))
 		}
 	}
 	if !found {
 		return nil
 	}
-	var rev []int
-	for v := d; ; v = parent[v] {
+	rev := r.seg[:0]
+	for v := d; ; v = int(r.parent[v]) {
 		rev = append(rev, v)
-		if v == parent[v] {
+		if v == int(r.parent[v]) {
 			break
 		}
 	}
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 		rev[i], rev[j] = rev[j], rev[i]
 	}
+	r.seg = rev
 	return rev
 }
 

@@ -112,7 +112,7 @@ func runE17(w io.Writer, sc Scale) error {
 		sel := lm.NewSelector(nil)
 		hop := topology.NewEuclideanHops(pos, 100, 1.3)
 
-		gen := workload.NewGenerator(workload.Config{Rate: 0.05, PacketsPerSession: 20},
+		gen := workload.MustNewGenerator(workload.Config{Rate: 0.05, PacketsPerSession: 20},
 			rng.NewRoot(cfg.Seed).Stream("workload"))
 		var st workload.Stats
 		for tick := 0; tick < 60; tick++ {

@@ -1,0 +1,33 @@
+package serve_test
+
+import (
+	"testing"
+
+	"repro/internal/serve"
+	"repro/internal/simnet"
+)
+
+// TestServeLargeN is the scale acceptance check: lmserve sustains a
+// configurable request rate against an N >= 10^4 live hierarchy and
+// reports qps and latency quantiles.
+func TestServeLargeN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-N serving run")
+	}
+	res, err := serve.Run(serve.Config{
+		Sim:  simnet.Config{N: 10000, Seed: 2, Duration: 4, Warmup: -1},
+		Rate: 20000, Pace: 0.01, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries == 0 || res.QPS <= 0 {
+		t.Fatalf("queries = %d, qps = %v", res.Queries, res.QPS)
+	}
+	if res.QueryLatency.P99Seconds <= 0 {
+		t.Fatalf("no p99: %+v", res.QueryLatency)
+	}
+	t.Logf("N=10000: %d requests, qps %.0f, p50 %.3gs p99 %.3gs, %d windows",
+		res.Requests, res.QPS, res.QueryLatency.P50Seconds,
+		res.QueryLatency.P99Seconds, res.UnavailWindows)
+}

@@ -6,13 +6,17 @@
 // communication session", so query overhead is absorbed into the
 // session.
 //
-// Sessions arrive as a Poisson process; each picks a uniform
-// source/destination pair in the giant component, pays one CHLM query,
-// and then transfers PacketsPerSession data packets along the strict
+// Sessions arrive as a Poisson process (the per-tick count is an exact
+// Poisson draw on the generator's rng stream, not a deterministic
+// floor); each picks a uniform source/destination pair of distinct
+// nodes in the giant component, pays one CHLM query, and then
+// transfers PacketsPerSession data packets along the strict
 // hierarchical route.
 package workload
 
 import (
+	"fmt"
+
 	"repro/internal/cluster"
 	"repro/internal/lm"
 	"repro/internal/rng"
@@ -21,15 +25,26 @@ import (
 	"repro/internal/topology"
 )
 
-// Config parameterizes the session generator.
+// Config parameterizes the session generator. Zero fields take the
+// documented defaults; negative values are rejected by validate.
 type Config struct {
 	// Rate is the session arrival rate per node per second.
+	// Default 0.01.
 	Rate float64
 	// PacketsPerSession is the data packets each session transfers.
+	// Default 20.
 	PacketsPerSession int
 }
 
-func (c Config) withDefaults() Config {
+// validate applies the repo's config convention: zero means "use the
+// default", negative is an error.
+func (c Config) validate() (Config, error) {
+	if c.Rate < 0 {
+		return c, fmt.Errorf("workload: Rate must be >= 0, got %v", c.Rate)
+	}
+	if c.PacketsPerSession < 0 {
+		return c, fmt.Errorf("workload: PacketsPerSession must be >= 0, got %d", c.PacketsPerSession)
+	}
 	//lint:ignore floateq zero is the documented unset-field sentinel
 	if c.Rate == 0 {
 		c.Rate = 0.01
@@ -37,7 +52,7 @@ func (c Config) withDefaults() Config {
 	if c.PacketsPerSession == 0 {
 		c.PacketsPerSession = 20
 	}
-	return c
+	return c, nil
 }
 
 // Stats aggregates session outcomes.
@@ -50,21 +65,52 @@ type Stats struct {
 	Stretch      stats.Welford // hierarchical vs shortest path
 }
 
-// Generator produces sessions against hierarchy snapshots.
+// Generator produces sessions against hierarchy snapshots. It owns a
+// reusable Router and query scratch, so steady-state ticks do not
+// allocate. Not safe for concurrent use; give each serving worker its
+// own generator over its own rng stream.
 type Generator struct {
-	cfg Config
-	src *rng.Source
-	// carry accumulates fractional expected sessions between ticks.
-	carry float64
+	cfg    Config
+	src    *rng.Source
+	router *routing.Router
+	scr    lm.QueryScratch
 }
 
-// NewGenerator builds a generator drawing randomness from src.
-func NewGenerator(cfg Config, src *rng.Source) *Generator {
-	return &Generator{cfg: cfg.withDefaults(), src: src}
+// NewGenerator builds a generator drawing randomness from src. It
+// rejects negative config fields.
+func NewGenerator(cfg Config, src *rng.Source) (*Generator, error) {
+	v, err := cfg.validate()
+	if err != nil {
+		return nil, err
+	}
+	return &Generator{cfg: v, src: src}, nil
+}
+
+// MustNewGenerator is NewGenerator for callers with known-good configs.
+func MustNewGenerator(cfg Config, src *rng.Source) *Generator {
+	g, err := NewGenerator(cfg, src)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Router returns the generator's reusable router, rebound to h. Shared
+// with Tick, valid until the next Tick or Router call.
+func (g *Generator) Router(h *cluster.Hierarchy) *routing.Router {
+	if g.router == nil {
+		g.router = routing.NewRouter(h)
+	} else {
+		g.router.Rebind(h)
+	}
+	return g.router
 }
 
 // Tick runs the sessions that arrive in an interval of dt seconds over
-// the given snapshot, accumulating into st.
+// the given snapshot, accumulating into st. The session count is a
+// Poisson draw with mean Rate·dt·N; a self-pair (q == d) redraws the
+// destination rather than dropping the session, so the realized rate
+// carries no 1/N bias.
 func (g *Generator) Tick(
 	dt float64,
 	h *cluster.Hierarchy,
@@ -77,21 +123,19 @@ func (g *Generator) Tick(
 	if len(nodes) < 2 {
 		return
 	}
-	g.carry += g.cfg.Rate * dt * float64(len(nodes))
-	n := int(g.carry)
-	g.carry -= float64(n)
+	n := g.src.Poisson(g.cfg.Rate * dt * float64(len(nodes)))
 	if n == 0 {
 		return
 	}
-	router := routing.NewRouter(h)
+	router := g.Router(h)
 	for i := 0; i < n; i++ {
 		q := nodes[g.src.Intn(len(nodes))]
 		d := nodes[g.src.Intn(len(nodes))]
-		if q == d {
-			continue
+		for d == q {
+			d = nodes[g.src.Intn(len(nodes))]
 		}
 		st.Sessions++
-		res := lm.Query(sel, h, ids, hop, q, d)
+		res := lm.QueryWith(sel, h, ids, hop, q, d, &g.scr)
 		if !res.Found {
 			st.Failed++
 			continue

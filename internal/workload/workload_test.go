@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/cluster"
@@ -32,16 +33,26 @@ func testNet(n int, seed uint64) (*cluster.Hierarchy, *cluster.Identities, *topo
 	return h, ids, g
 }
 
+// pairNet is a connected two-node network: the smallest case where the
+// old q == d "continue" drop bias was largest (~50% of draws).
+func pairNet() (*cluster.Hierarchy, *cluster.Identities, *topology.Graph) {
+	pos := []geom.Vec{{X: 0, Y: 0}, {X: 50, Y: 0}}
+	g := topology.BuildUnitDiskBrute(pos, 110)
+	tr := cluster.NewIdentityTracker()
+	h, ids := cluster.BuildWithIdentities(g, []int{0, 1}, cluster.Config{}, nil, nil, tr, 0)
+	return h, ids, g
+}
+
 func TestGeneratorProducesSessions(t *testing.T) {
 	h, ids, g := testNet(200, 1)
-	gen := NewGenerator(Config{Rate: 0.1, PacketsPerSession: 10}, rng.New(2))
+	gen := MustNewGenerator(Config{Rate: 0.1, PacketsPerSession: 10}, rng.New(2))
 	sel := lm.NewSelector(nil)
 	hop := topology.NewBFSHops(g, 100)
 	var st Stats
 	for tick := 0; tick < 50; tick++ {
 		gen.Tick(1.0, h, ids, sel, hop, &st)
 	}
-	// Expected ~0.1*200*50 = 1000 sessions.
+	// Expected ~0.1*200*50 = 1000 sessions (Poisson sd ~32).
 	if st.Sessions < 800 || st.Sessions > 1200 {
 		t.Fatalf("sessions = %d, want ~1000", st.Sessions)
 	}
@@ -60,12 +71,12 @@ func TestGeneratorProducesSessions(t *testing.T) {
 	}
 }
 
-func TestPoissonCarryDeterministic(t *testing.T) {
+func TestGeneratorDeterministic(t *testing.T) {
 	h, ids, g := testNet(100, 3)
 	sel := lm.NewSelector(nil)
 	hop := topology.NewBFSHops(g, 100)
 	run := func() int {
-		gen := NewGenerator(Config{Rate: 0.033}, rng.New(7))
+		gen := MustNewGenerator(Config{Rate: 0.033}, rng.New(7))
 		var st Stats
 		for tick := 0; tick < 30; tick++ {
 			gen.Tick(1.0, h, ids, sel, hop, &st)
@@ -81,20 +92,124 @@ func TestFractionalRateAccumulates(t *testing.T) {
 	h, ids, g := testNet(50, 4)
 	sel := lm.NewSelector(nil)
 	hop := topology.NewBFSHops(g, 100)
-	gen := NewGenerator(Config{Rate: 0.001}, rng.New(5))
+	gen := MustNewGenerator(Config{Rate: 0.001}, rng.New(5))
 	var st Stats
-	// 0.001*50 = 0.05 sessions per tick: needs carry to ever fire.
+	// 0.001*50 = 0.05 expected sessions per tick: sub-1 means still
+	// fire through genuine Poisson draws (mean 20 over 400 ticks).
 	for tick := 0; tick < 400; tick++ {
 		gen.Tick(1.0, h, ids, sel, hop, &st)
 	}
-	if st.Sessions < 10 || st.Sessions > 30 {
+	if st.Sessions < 8 || st.Sessions > 36 {
 		t.Fatalf("sessions = %d, want ~20", st.Sessions)
 	}
 }
 
-func TestDefaults(t *testing.T) {
-	cfg := Config{}.withDefaults()
-	if cfg.Rate <= 0 || cfg.PacketsPerSession <= 0 {
-		t.Fatalf("defaults not applied: %+v", cfg)
+// TestPoissonArrivals pins that per-tick session counts are genuinely
+// Poisson-dispersed: the old floor(rate·dt·N)+carry scheme had
+// variance ~0, a Poisson process has variance == mean.
+func TestPoissonArrivals(t *testing.T) {
+	h, ids, g := pairNet()
+	sel := lm.NewSelector(nil)
+	hop := topology.NewBFSHops(g, 10)
+	gen := MustNewGenerator(Config{Rate: 2.0, PacketsPerSession: 1}, rng.New(9))
+	const (
+		ticks = 2000
+		mean  = 4.0 // 2.0 * 2 nodes * dt 1
+	)
+	var st Stats
+	prev := 0
+	var sum, sumSq float64
+	for tick := 0; tick < ticks; tick++ {
+		gen.Tick(1.0, h, ids, sel, hop, &st)
+		c := float64(st.Sessions - prev)
+		prev = st.Sessions
+		sum += c
+		sumSq += c * c
+	}
+	m := sum / ticks
+	v := sumSq/ticks - m*m
+	if math.Abs(m-mean) > 0.3 {
+		t.Fatalf("mean per-tick sessions = %v, want ~%v", m, mean)
+	}
+	if ratio := v / m; ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("variance/mean = %v, want ~1 (Poisson dispersion)", ratio)
+	}
+}
+
+// TestNoSelfPairDropBias pins the q == d redraw: at N = 2 the old
+// "continue without redraw" dropped ~half of all arrivals.
+func TestNoSelfPairDropBias(t *testing.T) {
+	h, ids, g := pairNet()
+	sel := lm.NewSelector(nil)
+	hop := topology.NewBFSHops(g, 10)
+	gen := MustNewGenerator(Config{Rate: 0.5, PacketsPerSession: 1}, rng.New(6))
+	var st Stats
+	const ticks = 500
+	for tick := 0; tick < ticks; tick++ {
+		gen.Tick(1.0, h, ids, sel, hop, &st)
+	}
+	// Expected 0.5*2*500 = 500 sessions; the drop bug realized ~250.
+	if st.Sessions < 430 || st.Sessions > 570 {
+		t.Fatalf("sessions = %d, want ~500 (self-pair drop bias?)", st.Sessions)
+	}
+	if st.Failed != 0 {
+		t.Fatalf("%d failed sessions on a connected pair", st.Failed)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+		want    Config
+	}{
+		{"defaults", Config{}, false, Config{Rate: 0.01, PacketsPerSession: 20}},
+		{"explicit", Config{Rate: 0.5, PacketsPerSession: 7}, false, Config{Rate: 0.5, PacketsPerSession: 7}},
+		{"zero rate defaulted", Config{PacketsPerSession: 3}, false, Config{Rate: 0.01, PacketsPerSession: 3}},
+		{"negative rate", Config{Rate: -0.1}, true, Config{}},
+		{"negative packets", Config{PacketsPerSession: -1}, true, Config{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := tc.cfg.validate()
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("validate(%+v): want error, got %+v", tc.cfg, got)
+				}
+				if _, err := NewGenerator(tc.cfg, rng.New(1)); err == nil {
+					t.Fatalf("NewGenerator(%+v): want error", tc.cfg)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("validate(%+v): %v", tc.cfg, err)
+			}
+			if got != tc.want {
+				t.Fatalf("validate(%+v) = %+v, want %+v", tc.cfg, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestTickAllocs pins the steady-state allocation budget of the serve
+// hot path: after warm-up, a Tick (Poisson draw, query resolution,
+// flat+hier path computation) must not allocate.
+func TestTickAllocs(t *testing.T) {
+	h, ids, g := testNet(200, 1)
+	sel := lm.NewSelector(nil)
+	pos := make([]geom.Vec, g.IDSpace())
+	hop := topology.NewEuclideanHops(pos, 110, 1.3)
+	gen := MustNewGenerator(Config{Rate: 0.2, PacketsPerSession: 10}, rng.New(2))
+	var st Stats
+	// Warm up the router, scratch, and stat buffers.
+	for tick := 0; tick < 20; tick++ {
+		gen.Tick(1.0, h, ids, sel, hop, &st)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		gen.Tick(1.0, h, ids, sel, hop, &st)
+	})
+	if avg > 0.5 {
+		t.Fatalf("Tick allocates %.1f objects/op in steady state, want 0", avg)
 	}
 }

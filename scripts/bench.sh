@@ -18,7 +18,9 @@
 # with the commit it measured (git describe --always --dirty). Each
 # run APPENDS one dated entry to the day's file ({"entries": [...]}),
 # so repeated runs build a trajectory instead of overwriting the
-# previous record. Appending needs jq; without it a fresh timestamped
+# previous record; each entry also folds in an lmserve serve-mode
+# sample (qps, query p50/p99, shed) so online-serving regressions
+# track alongside. Appending needs jq; without it a fresh timestamped
 # file is written instead, so no record is ever clobbered.
 set -eu
 
@@ -95,6 +97,24 @@ if command -v jq >/dev/null 2>&1; then
 		fi
 		rm -f "$phases"
 	done
+
+	# Serve mode: a short lmserve run records online throughput and
+	# query-latency quantiles, so qps/p99 regressions in the serving
+	# path show up in the same BENCH_*.json trajectory as the tick
+	# microbenchmarks.
+	smanifest="$(mktemp)"
+	if go run ./cmd/lmserve -n 256 -duration 20 -warmup 5 -rate 10000 \
+		-pace 0.002 -manifest "$smanifest" >/dev/null 2>&1; then
+		jq --slurpfile m "$smanifest" \
+			'.serve = {
+				qps: $m[0].metrics.gauges["serve.qps"],
+				p50_s: $m[0].metrics.hists["serve.query_latency"].p50_seconds,
+				p99_s: $m[0].metrics.hists["serve.query_latency"].p99_seconds,
+				shed: $m[0].metrics.counters["serve.shed"]
+			}' "$entry" >"$entry.tmp"
+		mv "$entry.tmp" "$entry"
+	fi
+	rm -f "$smanifest"
 fi
 
 if [ -f "$out" ]; then

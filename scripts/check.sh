@@ -64,8 +64,8 @@ echo "== maintainer equivalence (oracle vs incremental)"
 # already runs every scenario under both maintainers).
 go test -run TestIncrementalMatchesOracle -count=1 ./internal/simnet || fail=1
 
-echo "== race tests (measurement pipeline)"
-go test -race ./internal/obs ./internal/trace ./internal/stats ./internal/runner || fail=1
+echo "== race tests (measurement pipeline + serving path)"
+go test -race ./internal/obs ./internal/trace ./internal/stats ./internal/runner ./internal/serve || fail=1
 
 echo "== manifest smoke"
 manifest_tmp=$(mktemp)
@@ -86,6 +86,28 @@ else
     fail=1
 fi
 rm -f "$manifest_tmp"
+
+echo "== lmserve smoke"
+# A short serving run must produce a manifest whose serve metrics show
+# requests flowing, throughput measured, and query latency recorded.
+serve_tmp=$(mktemp)
+if go run ./cmd/lmserve -n 128 -duration 6 -warmup 2 -rate 4000 -pace 0.002 \
+    -manifest "$serve_tmp" >/dev/null 2>&1; then
+    if command -v jq >/dev/null 2>&1; then
+        jq -e '.tool == "lmserve"
+               and (.metrics.counters["serve.requests"] > 0)
+               and (.metrics.gauges["serve.qps"] > 0)
+               and (.metrics.hists["serve.query_latency"].count > 0)
+               and (.metrics.hists["serve.query_latency"].p99_seconds > 0)' \
+            "$serve_tmp" >/dev/null || { echo "lmserve smoke: bad manifest" >&2; fail=1; }
+    else
+        echo "lmserve smoke: jq not found, skipping schema assertion" >&2
+    fi
+else
+    echo "lmserve smoke: serve run failed" >&2
+    fail=1
+fi
+rm -f "$serve_tmp"
 
 if [ "$fail" -ne 0 ]; then
     echo "check: FAILED" >&2
