@@ -540,6 +540,62 @@ func BenchmarkTickLinkMaintain(b *testing.B) {
 	}
 }
 
+// BenchmarkBuildLinks compares the per-scan rebuild cost of the link
+// models through the LinkModel interface, under live waypoint motion.
+// The unit-disk build is the pure grid pair scan; logshadow adds the
+// per-candidate shadowing draw + hysteresis predicate AND widens the
+// candidate radius to the worst-case break distance (≈3σ + M/2 dB of
+// extra range), so its µs/simsec figure prices the lossy radio's
+// whole overhead, not just the predicate. The serial/par legs pin the
+// sharded stateful build's cost alongside its byte-identity tests.
+func BenchmarkBuildLinks(b *testing.B) {
+	const rtx, mu, interval = 100.0, 10.0, 1.0
+	n := tickN
+	region := simnet.Config{N: n, Seed: 99}.Region()
+	models := []struct {
+		name string
+		mk   func() topology.LinkModel
+	}{
+		{"unitdisk", func() topology.LinkModel { return topology.NewUnitDisk(rtx) }},
+		{"logshadow", func() topology.LinkModel { return topology.NewLogShadow(rtx, 3, 4, 3, 99) }},
+	}
+	for _, tc := range models {
+		for _, workers := range []int{1, 4} {
+			name := fmt.Sprintf("%s/serial", tc.name)
+			var pool *par.Pool
+			if workers > 1 {
+				name = fmt.Sprintf("%s/par", tc.name)
+				pool = par.NewPool(workers)
+			}
+			b.Run(name, func(b *testing.B) {
+				link := tc.mk()
+				model := mobility.NewWaypoint(region, mu, rng.NewRoot(99).Stream("mobility"))
+				pos := model.Init(n)
+				grid := spatial.NewGridForDisc(region, rtx, n)
+				for i, p := range pos {
+					grid.Insert(i, p)
+				}
+				var g *topology.Graph
+				var sc topology.BuildScratch
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					t := float64(i+1) * interval
+					model.AdvanceTo(t, pos)
+					for j, p := range pos {
+						grid.Update(j, p)
+					}
+					g = link.BuildInto(g, n, pos, grid, pool, &sc)
+				}
+				b.StopTimer()
+				_ = g
+				b.ReportMetric(float64(b.Elapsed().Microseconds())/(float64(b.N)*interval), "µs/simsec")
+			})
+			pool.Close()
+		}
+	}
+}
+
 // Motivation: measured flat-LM baselines vs the hierarchy.
 func BenchmarkE16_FlatBaselines(b *testing.B) { benchExperiment(b, "E16") }
 

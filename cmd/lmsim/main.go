@@ -59,7 +59,11 @@ func main() {
 		rtx      = flag.Float64("rtx", 100, "transmission radius, m")
 		degree   = flag.Float64("degree", 9, "target mean node degree")
 		scan     = flag.Float64("scan", 0, "link scan interval, s (0 = auto)")
-		mob      = flag.String("mobility", "waypoint", "mobility model: waypoint|direction|static|group")
+		mob      = flag.String("mobility", "waypoint", "mobility model: waypoint|direction|static|group|gauss-markov|manhattan|hotspot")
+		link     = flag.String("link", "unitdisk", "link model: unitdisk|logshadow")
+		plExp    = flag.Float64("pathloss-exp", 0, "logshadow path-loss exponent η (0 = default 3)")
+		shSigma  = flag.Float64("shadow-sigma", 0, "logshadow shadowing std dev, dB (0 = default 4; negative = none)")
+		linkMarg = flag.Float64("link-margin", 0, "logshadow make/break hysteresis margin, dB (0 = default 3; negative = none)")
 		engine   = flag.String("engine", "scan", "link engine: scan (per-tick rescan) | kinetic (event-driven)")
 		maint    = flag.String("maintainer", "oracle", "hierarchy maintenance: oracle (full rebuild) | incremental (delta-patched)")
 		groupSz  = flag.Int("group-size", 16, "RPGM nodes per group (mobility=group)")
@@ -85,7 +89,8 @@ func main() {
 		N: *n, Seed: *seed,
 		Duration: *duration, Warmup: *warmup,
 		Mu: *mu, RTX: *rtx, Degree: *degree, ScanInterval: *scan,
-		Mobility: *mob, HopModel: *hopM,
+		Mobility: *mob, Link: *link, HopModel: *hopM,
+		PathLossExp: *plExp, ShadowSigma: *shSigma, LinkMargin: *linkMarg,
 		TrackStates: *states, TrackClasses: *classes,
 	}
 	cfg.TopArity = *topArity
@@ -133,7 +138,7 @@ func main() {
 		man.Config = map[string]any{
 			"n": *n, "duration_s": *duration, "warmup_s": *warmup,
 			"mu": *mu, "rtx": *rtx, "degree": *degree, "scan": *scan,
-			"mobility": *mob, "hops": *hopM, "elector": *elector,
+			"mobility": *mob, "link": *link, "hops": *hopM, "elector": *elector,
 			"hash": *hash, "churn_per_hour": *churn,
 			"invariants": *invarLvl, "engine": *engine,
 			"maintainer": *maint,

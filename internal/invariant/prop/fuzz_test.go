@@ -20,19 +20,23 @@ import (
 // file (the nightly CI job uploads that directory as an artifact).
 func FuzzScenario(f *testing.F) {
 	// Param order: seed, n, mobility, hop, degree, speed, churn,
-	// topArity, ticks, elector, flags.
-	f.Add(uint64(7), uint16(47), uint8(0), uint8(0), uint8(12), uint8(9), uint8(0), uint8(0), uint8(8), uint8(0), uint8(0))  // base waypoint run
-	f.Add(uint64(11), uint16(47), uint8(0), uint8(0), uint8(12), uint8(9), uint8(1), uint8(0), uint8(8), uint8(0), uint8(0)) // churn
-	f.Add(uint64(3), uint16(45), uint8(0), uint8(0), uint8(12), uint8(9), uint8(0), uint8(0), uint8(8), uint8(0), uint8(3))  // state+class tracking
-	f.Add(uint64(5), uint16(47), uint8(0), uint8(1), uint8(9), uint8(9), uint8(0), uint8(0), uint8(8), uint8(0), uint8(16))  // BFS hop sampling
-	f.Add(uint64(2), uint16(4), uint8(0), uint8(0), uint8(12), uint8(9), uint8(0), uint8(0), uint8(8), uint8(0), uint8(16))  // tiny N
-	f.Add(uint64(1), uint16(0), uint8(0), uint8(0), uint8(12), uint8(9), uint8(0), uint8(0), uint8(8), uint8(0), uint8(0))   // N=1 (config rejection)
-	f.Add(uint64(9), uint16(22), uint8(0), uint8(0), uint8(12), uint8(9), uint8(0), uint8(0), uint8(8), uint8(0), uint8(4))  // all nodes colocated
-	f.Add(uint64(13), uint16(30), uint8(2), uint8(0), uint8(12), uint8(9), uint8(0), uint8(0), uint8(8), uint8(0), uint8(0)) // zero mobility
-	f.Add(uint64(17), uint16(39), uint8(1), uint8(0), uint8(5), uint8(4), uint8(0), uint8(1), uint8(20), uint8(2), uint8(0)) // debounced elector, no top cap
+	// topArity, ticks, elector, flags, link.
+	f.Add(uint64(7), uint16(47), uint8(0), uint8(0), uint8(12), uint8(9), uint8(0), uint8(0), uint8(8), uint8(0), uint8(0), uint8(0))  // base waypoint run
+	f.Add(uint64(11), uint16(47), uint8(0), uint8(0), uint8(12), uint8(9), uint8(1), uint8(0), uint8(8), uint8(0), uint8(0), uint8(0)) // churn
+	f.Add(uint64(3), uint16(45), uint8(0), uint8(0), uint8(12), uint8(9), uint8(0), uint8(0), uint8(8), uint8(0), uint8(3), uint8(0))  // state+class tracking
+	f.Add(uint64(5), uint16(47), uint8(0), uint8(1), uint8(9), uint8(9), uint8(0), uint8(0), uint8(8), uint8(0), uint8(16), uint8(0))  // BFS hop sampling
+	f.Add(uint64(2), uint16(4), uint8(0), uint8(0), uint8(12), uint8(9), uint8(0), uint8(0), uint8(8), uint8(0), uint8(16), uint8(0))  // tiny N
+	f.Add(uint64(1), uint16(0), uint8(0), uint8(0), uint8(12), uint8(9), uint8(0), uint8(0), uint8(8), uint8(0), uint8(0), uint8(0))   // N=1 (config rejection)
+	f.Add(uint64(9), uint16(22), uint8(0), uint8(0), uint8(12), uint8(9), uint8(0), uint8(0), uint8(8), uint8(0), uint8(4), uint8(0))  // all nodes colocated
+	f.Add(uint64(13), uint16(30), uint8(2), uint8(0), uint8(12), uint8(9), uint8(0), uint8(0), uint8(8), uint8(0), uint8(0), uint8(0)) // zero mobility
+	f.Add(uint64(17), uint16(39), uint8(1), uint8(0), uint8(5), uint8(4), uint8(0), uint8(1), uint8(20), uint8(2), uint8(0), uint8(0)) // debounced elector, no top cap
+	f.Add(uint64(19), uint16(43), uint8(4), uint8(0), uint8(12), uint8(9), uint8(0), uint8(0), uint8(8), uint8(0), uint8(0), uint8(0)) // Gauss–Markov mobility
+	f.Add(uint64(23), uint16(41), uint8(5), uint8(0), uint8(12), uint8(9), uint8(0), uint8(0), uint8(8), uint8(0), uint8(0), uint8(0)) // Manhattan mobility
+	f.Add(uint64(29), uint16(44), uint8(6), uint8(0), uint8(12), uint8(9), uint8(0), uint8(0), uint8(8), uint8(0), uint8(0), uint8(0)) // hotspot mobility
+	f.Add(uint64(31), uint16(46), uint8(0), uint8(0), uint8(12), uint8(9), uint8(0), uint8(0), uint8(8), uint8(0), uint8(0), uint8(1)) // logshadow link (scan-only)
 
-	f.Fuzz(func(t *testing.T, seed uint64, n uint16, mobility, hop, degree, speed, churn, topArity, ticks, elector, flags uint8) {
-		sc := FromParams(seed, n, mobility, hop, degree, speed, churn, topArity, ticks, elector, flags)
+	f.Fuzz(func(t *testing.T, seed uint64, n uint16, mobility, hop, degree, speed, churn, topArity, ticks, elector, flags, link uint8) {
+		sc := FromParams(seed, n, mobility, hop, degree, speed, churn, topArity, ticks, elector, flags, link)
 		fail := CheckScenario(sc)
 		if fail == nil {
 			return
@@ -165,7 +169,7 @@ func TestFromParamsTotal(t *testing.T) {
 	}
 	for i := 0; i < 8; i++ {
 		b := uint8(i*37 + 1)
-		sc := FromParams(uint64(i), uint16(i*31), b, b>>1, b, b>>2, b, b>>3, b, b>>4, b)
+		sc := FromParams(uint64(i), uint16(i*31), b, b>>1, b, b>>2, b, b>>3, b, b>>4, b, b>>5)
 		if fail := CheckScenario(sc); fail != nil {
 			t.Errorf("FromParams case %d fails: %v", i, fail)
 		}

@@ -37,6 +37,7 @@ type Scenario struct {
 	Ticks int    `json:"ticks"`
 
 	Mobility string  `json:"mobility,omitempty"`
+	Link     string  `json:"link,omitempty"`
 	HopModel string  `json:"hop_model,omitempty"`
 	Degree   float64 `json:"degree,omitempty"`
 	Mu       float64 `json:"mu,omitempty"`
@@ -64,7 +65,7 @@ type Scenario struct {
 // maps to a valid-shaped scenario (modulo N=1, which exercises the
 // config-rejection path), so the fuzzer's whole input space is
 // meaningful.
-func FromParams(seed uint64, n uint16, mobility, hop, degree, speed, churn, topArity, ticks, elector, flags uint8) Scenario {
+func FromParams(seed uint64, n uint16, mobility, hop, degree, speed, churn, topArity, ticks, elector, flags, link uint8) Scenario {
 	sc := Scenario{
 		Seed:  seed,
 		N:     1 + int(n)%96,
@@ -72,7 +73,10 @@ func FromParams(seed uint64, n uint16, mobility, hop, degree, speed, churn, topA
 		Mobility: []string{
 			simnet.MobilityWaypoint, simnet.MobilityDirection,
 			simnet.MobilityStatic, simnet.MobilityGroup,
-		}[int(mobility)%4],
+			simnet.MobilityGaussMarkov, simnet.MobilityManhattan,
+			simnet.MobilityHotspot,
+		}[int(mobility)%7],
+		Link:     []string{"", simnet.LinkLogShadow}[int(link)%2],
 		HopModel: []string{simnet.HopEuclidean, simnet.HopBFS}[int(hop)%2],
 		Degree:   float64(3 + int(degree)%13),
 		Mu:       float64(1 + int(speed)%30),
@@ -113,6 +117,7 @@ func (sc Scenario) Config(workers int, engine, maintainer string) simnet.Config 
 		Duration:             float64(sc.Ticks),
 		Warmup:               -1,
 		Mobility:             sc.Mobility,
+		Link:                 sc.Link,
 		HopModel:             sc.HopModel,
 		Degree:               sc.Degree,
 		Mu:                   sc.Mu,
@@ -240,12 +245,16 @@ var workerCounts = []int{2, 3}
 //     path: every run after the first tick reuses retired storage);
 //  5. the kinetic engine must produce byte-identical Results and
 //     traces to the scan engine, with its own every-tick checks
-//     (including the kinetic-graph-equal differential) silent;
+//     (including the kinetic-graph-equal differential) silent — unless
+//     the scenario's link model is scan-only (logshadow), in which case
+//     the kinetic engine must *reject* the config instead of silently
+//     running the wrong predicate;
 //  6. the incremental maintainer must produce byte-identical Results
 //     and traces to the oracle run on every path — serial and parallel
-//     under the scan engine, serial under the kinetic engine — with
-//     its own every-tick checks (including the
-//     incremental-hierarchy-equal oracle differential) silent.
+//     under the scan engine, serial under the kinetic engine (the
+//     latter only for kinetic-compatible link models) — with its own
+//     every-tick checks (including the incremental-hierarchy-equal
+//     oracle differential) silent.
 func CheckScenario(sc Scenario) *Failure {
 	serial := runScenario(sc, 0, "", "")
 	if serial.panicErr != nil {
@@ -305,7 +314,31 @@ func CheckScenario(sc Scenario) *Failure {
 			}
 		}
 	}
+	linkName := sc.Link
+	if linkName == "" {
+		linkName = simnet.LinkUnitDisk
+	}
+	kineticOK := simnet.LinkKinetic(linkName)
 	k := runScenario(sc, 0, simnet.EngineKinetic, "")
+	if !kineticOK {
+		// Scan-only link model: the kinetic tracker's certificates
+		// assume the exact unit-disk predicate, so accepting this
+		// config would silently run the wrong radio. Validation must
+		// reject it.
+		if k.panicErr != nil {
+			return &Failure{
+				Scenario: sc, Kind: KindPanic,
+				Detail: fmt.Sprintf("kinetic engine (scan-only link): %v", k.panicErr),
+			}
+		}
+		if k.configErr == nil {
+			return &Failure{
+				Scenario: sc, Kind: KindDifferential,
+				Detail: fmt.Sprintf("kinetic engine accepted scan-only link model %q", linkName),
+			}
+		}
+		return checkIncremental(sc, serial, false)
+	}
 	if k.panicErr != nil {
 		return &Failure{
 			Scenario: sc, Kind: KindPanic,
@@ -339,18 +372,31 @@ func CheckScenario(sc Scenario) *Failure {
 			Detail: "results diverge between the scan and kinetic engines",
 		}
 	}
-	// The maintainer differential: oracle vs incremental across the
-	// serial/par × scan/kinetic matrix, each incremental run carrying
-	// its own every-tick checks.
-	for _, m := range []struct {
+	return checkIncremental(sc, serial, true)
+}
+
+// checkIncremental runs the maintainer differential: oracle vs
+// incremental across the serial/par × scan/kinetic matrix, each
+// incremental run carrying its own every-tick checks. The kinetic leg
+// is skipped for scan-only link models (kineticOK false) — validation
+// rejects that combination, which CheckScenario asserts separately.
+func checkIncremental(sc Scenario, serial runResult, kineticOK bool) *Failure {
+	matrix := []struct {
 		workers int
 		engine  string
 		label   string
 	}{
 		{0, "", "incremental serial/scan"},
 		{workerCounts[0], "", "incremental par/scan"},
-		{0, simnet.EngineKinetic, "incremental serial/kinetic"},
-	} {
+	}
+	if kineticOK {
+		matrix = append(matrix, struct {
+			workers int
+			engine  string
+			label   string
+		}{0, simnet.EngineKinetic, "incremental serial/kinetic"})
+	}
+	for _, m := range matrix {
 		inc := runScenario(sc, m.workers, m.engine, simnet.MaintainerIncremental)
 		if inc.panicErr != nil {
 			return &Failure{

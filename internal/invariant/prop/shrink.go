@@ -15,8 +15,9 @@ const shrinkBudget = 40
 
 // Shrink greedily reduces a failing scenario while it keeps failing:
 // truncate the run right after the failing tick, halve N, then strip
-// optional features one at a time (churn, tracking, naming, hop
-// sampling, elector, top cap). The result is the smallest
+// optional features one at a time (non-default mobility and link
+// models, churn, tracking, naming, hop sampling, elector, top cap).
+// The result is the smallest
 // (config, seed, tick) triple found within the budget; the original
 // failure is returned unchanged if nothing smaller still fails.
 func Shrink(f *Failure) *Failure {
@@ -57,6 +58,8 @@ func Shrink(f *Failure) *Failure {
 		}
 	}
 	simplify := []func(*Scenario){
+		func(sc *Scenario) { sc.Mobility = "" },
+		func(sc *Scenario) { sc.Link = "" },
 		func(sc *Scenario) { sc.ChurnRate, sc.MeanDowntime = 0, 0 },
 		func(sc *Scenario) { sc.TrackStates, sc.TrackClasses = false, false },
 		func(sc *Scenario) { sc.NaiveNaming = false },

@@ -95,6 +95,15 @@ type Tracker struct {
 // plus twice the worst-case cell staleness: tracked cells are updated
 // only when an attention event fires at a tick, so a node's tracked
 // cell can lag its true cell by the distance traveled in one tick.
+//
+// The staleness term is derived from model.MaxSpeed() sampled ONCE,
+// here, so the contract on mobility.Kinetic is that MaxSpeed bounds
+// |V| over every segment the model will ever produce — not merely the
+// current one. Models with stochastic speed (Gauss–Markov) must
+// hard-clamp their speed state to keep that promise (see
+// mobility.GaussMarkov.Cap and TestGaussMarkovSpeedClamped); a model
+// whose speed support is unbounded would make this ring count
+// under-scan and silently miss link events.
 func New(model mobility.Kinetic, grid *spatial.Grid, pos []geom.Vec, alive []bool, rtx, interval float64) *Tracker {
 	if rtx <= 0 || interval <= 0 {
 		panic("kinetic: rtx and interval must be positive")

@@ -217,6 +217,9 @@ func TestSegmentMatchesAdvance(t *testing.T) {
 		{"direction", NewRandomDirection(d, 15, 4, rng.New(23))},
 		{"static", NewStationary(d, rng.New(24))},
 		{"group", NewGroupMobility(d, 10, 120, 8, rng.New(25))},
+		{"gauss-markov", NewGaussMarkov(d, 10, 0.75, 1, rng.New(26))},
+		{"manhattan", NewManhattan(d, 10, 0, rng.New(27))},
+		{"hotspot", NewHotspot(d, 10, 5, 0, 0, rng.New(28))},
 	}
 	for _, tc := range models {
 		t.Run(tc.name, func(t *testing.T) {

@@ -34,6 +34,14 @@ func New(seed uint64) *Source {
 	return &Source{state: seed}
 }
 
+// NewLocal returns a stream seeded with seed by value, for stack-local
+// derived draws (e.g. a per-pair shadowing variate keyed on an edge)
+// that must not heap-allocate. The value is a full independent Source;
+// take its address to call methods.
+func NewLocal(seed uint64) Source {
+	return Source{state: seed}
+}
+
 // mix64 is the splitmix64 output function (variant 13).
 func mix64(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9

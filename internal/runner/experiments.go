@@ -35,6 +35,13 @@ type Scale struct {
 	// rebuild per tick, "incremental" = delta-patched; see
 	// simnet.Config.Maintainer).
 	Maintainer string `json:"maintainer,omitempty"`
+	// Mobility and Link re-run the whole battery under a different
+	// scenario model ("" = the paper regime: waypoint / unitdisk; see
+	// simnet.MobilityModels and simnet.LinkModels). This is the sweep
+	// axis Z1 iterates explicitly; setting it here instead re-points
+	// every experiment (E4–E15 included) at one zoo cell.
+	Mobility string `json:"mobility,omitempty"`
+	Link     string `json:"link,omitempty"`
 
 	// Metrics, when non-nil, receives run observability from every
 	// simulation the experiment launches (phase timers, tick counters;
@@ -92,6 +99,7 @@ func Registry() []Experiment {
 		{"A4", "Naive head-ID naming", "ablation (identity continuity)", runA4},
 		{"A5", "Uncapped hierarchy top", "ablation (forced top)", runA5},
 		{"A6", "Group mobility (RPGM)", "ablation (HSR motivation, §2.1)", runA6},
+		{"Z1", "Model-zoo φ/γ matrix", "ROADMAP item 4 (out-of-model probe)", runZ1},
 	}
 }
 
@@ -147,6 +155,7 @@ func baseConfig(sc Scale) simnet.Config {
 	return simnet.Config{
 		Duration: sc.Duration, Warmup: sc.Warmup, Metrics: sc.Metrics,
 		Engine: sc.Engine, Maintainer: sc.Maintainer,
+		Mobility: sc.Mobility, Link: sc.Link,
 	}
 }
 

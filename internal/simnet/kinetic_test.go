@@ -53,6 +53,18 @@ func TestKineticMatchesScan(t *testing.T) {
 			N: 40, Seed: 19, Duration: 10, Warmup: 2,
 			Mobility: simnet.MobilityStatic,
 		}},
+		{"gauss-markov", simnet.Config{
+			N: 44, Seed: 23, Duration: 15, Warmup: 4,
+			Mobility: simnet.MobilityGaussMarkov,
+		}},
+		{"manhattan", simnet.Config{
+			N: 44, Seed: 29, Duration: 15, Warmup: 4,
+			Mobility: simnet.MobilityManhattan,
+		}},
+		{"hotspot", simnet.Config{
+			N: 44, Seed: 31, Duration: 15, Warmup: 4,
+			Mobility: simnet.MobilityHotspot,
+		}},
 	}
 	for _, tc := range cases {
 		tc := tc

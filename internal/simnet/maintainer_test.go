@@ -48,6 +48,18 @@ func TestIncrementalMatchesOracle(t *testing.T) {
 		{"tiny", simnet.Config{
 			N: 5, Seed: 2, Duration: 12, Warmup: 3,
 		}},
+		{"gauss-markov", simnet.Config{
+			N: 44, Seed: 29, Duration: 15, Warmup: 4,
+			Mobility: simnet.MobilityGaussMarkov,
+		}},
+		{"manhattan", simnet.Config{
+			N: 44, Seed: 31, Duration: 15, Warmup: 4,
+			Mobility: simnet.MobilityManhattan,
+		}},
+		{"hotspot", simnet.Config{
+			N: 44, Seed: 37, Duration: 15, Warmup: 4,
+			Mobility: simnet.MobilityHotspot,
+		}},
 	}
 	legs := []struct {
 		name    string

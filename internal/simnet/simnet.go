@@ -24,12 +24,29 @@ import (
 	"repro/internal/topology"
 )
 
-// Mobility model names accepted by Config.
+// Mobility model names accepted by Config (see registry.go for the
+// constructors and MobilityModels for deterministic enumeration).
 const (
-	MobilityWaypoint  = "waypoint"
-	MobilityDirection = "direction"
-	MobilityStatic    = "static"
-	MobilityGroup     = "group" // RPGM (ablation A6)
+	MobilityWaypoint    = "waypoint"
+	MobilityDirection   = "direction"
+	MobilityStatic      = "static"
+	MobilityGroup       = "group"        // RPGM (ablation A6)
+	MobilityGaussMarkov = "gauss-markov" // temporally correlated velocity
+	MobilityManhattan   = "manhattan"    // street-grid constrained
+	MobilityHotspot     = "hotspot"      // attraction points with dwell
+)
+
+// Link model names accepted by Config.Link (see registry.go and
+// topology.LinkModel).
+const (
+	// LinkUnitDisk is the paper's link model: connected iff within
+	// RTX. Kinetic-compatible.
+	LinkUnitDisk = "unitdisk"
+	// LinkLogShadow is log-distance path loss with per-pair lognormal
+	// shadowing and RSSI hysteresis (topology.LogShadow). Keeps
+	// per-pair state, so it is scan-only: Config validation rejects it
+	// under the kinetic engine.
+	LinkLogShadow = "logshadow"
 )
 
 // Hop model names accepted by Config.
@@ -106,9 +123,24 @@ type Config struct {
 	Duration     float64 // measured sim time, s (default 300; 0 = default, < 0 rejected)
 	Warmup       float64 // discarded leading sim time, s (default 60; 0 = default, < 0 = no warmup)
 
-	Mobility string // waypoint (default) | direction | static | group
-	HopModel string // euclid (default) | bfs
-	Engine   string // scan (default) | kinetic — link-maintenance engine
+	// Mobility selects the mobility model by registry name (default
+	// "waypoint"; see MobilityModels for the full zoo).
+	Mobility string
+	// Link selects the level-0 link model by registry name (default
+	// "unitdisk"; see LinkModels). "logshadow" is scan-only — the
+	// kinetic engine is rejected with it (see the kinetic-compatibility
+	// contract on topology.LinkModel).
+	Link string
+	// Log-shadowing parameters (Link == "logshadow"): path-loss
+	// exponent η (default 3; 0 = default, <= 0 rejected), shadowing
+	// std dev σ in dB (default 4; 0 = default, < 0 = exactly 0), and
+	// the hysteresis margin M in dB split around the nominal threshold
+	// (default 3; 0 = default, < 0 = exactly 0 — no hysteresis).
+	PathLossExp float64
+	ShadowSigma float64
+	LinkMargin  float64
+	HopModel    string // euclid (default) | bfs
+	Engine      string // scan (default) | kinetic — link-maintenance engine
 	// Maintainer selects the hierarchy-maintenance strategy: "oracle"
 	// (default) rebuilds the ALCA fixed point from scratch every tick,
 	// "incremental" advances the previous snapshot by the tick's
@@ -234,6 +266,12 @@ func (c Config) withDefaults() Config {
 	if c.Mobility == "" {
 		c.Mobility = MobilityWaypoint
 	}
+	if c.Link == "" {
+		c.Link = LinkUnitDisk
+	}
+	c.PathLossExp = fdef(c.PathLossExp, 3)
+	c.ShadowSigma = fdef(c.ShadowSigma, 4)
+	c.LinkMargin = fdef(c.LinkMargin, 3)
 	if c.HopModel == "" {
 		c.HopModel = HopEuclidean
 	}
@@ -287,10 +325,24 @@ func (c Config) validate() error {
 	if c.IntraTickParallelism < 0 {
 		return fmt.Errorf("simnet: IntraTickParallelism must be >= 0 (got %d)", c.IntraTickParallelism)
 	}
+	if _, ok := mobilityRegistry[c.Mobility]; !ok {
+		return fmt.Errorf("simnet: unknown mobility model %q (want one of %v)", c.Mobility, mobilityNames)
+	}
+	link, ok := linkRegistry[c.Link]
+	if !ok {
+		return fmt.Errorf("simnet: unknown link model %q (want one of %v)", c.Link, linkNames)
+	}
+	if c.PathLossExp <= 0 {
+		return fmt.Errorf("simnet: PathLossExp must be positive (got %v)", c.PathLossExp)
+	}
 	switch c.Engine {
 	case EngineScan, EngineKinetic:
 	default:
 		return fmt.Errorf("simnet: unknown engine %q (want %s|%s)", c.Engine, EngineScan, EngineKinetic)
+	}
+	if c.Engine == EngineKinetic && !link.kinetic {
+		return fmt.Errorf("simnet: engine %q requires a kinetic-compatible link model (%q keeps per-pair state; use engine %q or link %q)",
+			EngineKinetic, c.Link, EngineScan, LinkUnitDisk)
 	}
 	switch c.Maintainer {
 	case MaintainerOracle, MaintainerIncremental:
@@ -347,27 +399,9 @@ func setupRun(cfg Config) (*looper, error) {
 	density := cfg.Degree / (math.Pi * cfg.RTX * cfg.RTX)
 	region := geom.DiscForDensity(cfg.N, density)
 
-	var model mobility.Model
-	switch cfg.Mobility {
-	case MobilityWaypoint:
-		model = mobility.NewWaypoint(region, cfg.Mu, root.Stream("mobility"))
-	case MobilityDirection:
-		model = mobility.NewRandomDirection(region, cfg.Mu, 30, root.Stream("mobility"))
-	case MobilityStatic:
-		model = mobility.NewStationary(region, root.Stream("mobility"))
-	case MobilityGroup:
-		size := cfg.GroupSize
-		if size <= 0 {
-			size = 16
-		}
-		radius := cfg.GroupRadius
-		if radius <= 0 {
-			radius = 2 * cfg.RTX
-		}
-		model = mobility.NewGroupMobility(region, cfg.Mu, radius, size, root.Stream("mobility"))
-	default:
-		return nil, fmt.Errorf("simnet: unknown mobility model %q", cfg.Mobility)
-	}
+	// Both registries were validated before setupRun.
+	model := mobilityRegistry[cfg.Mobility](cfg, region, root.Stream("mobility"))
+	link := linkRegistry[cfg.Link].build(cfg, root)
 
 	pos := model.Init(cfg.N)
 	grid := spatial.NewGridForDisc(region, cfg.RTX, cfg.N)
@@ -393,8 +427,10 @@ func setupRun(cfg Config) (*looper, error) {
 	// The paper's analysis assumes a connected network (§1.2). The
 	// clustered hierarchy and LM therefore cover the giant component;
 	// stragglers outside it re-register when they rejoin (counted as
-	// registration overhead, not handoff).
-	graph := topology.BuildUnitDisk(cfg.N, pos, cfg.RTX, grid)
+	// registration overhead, not handoff). The setup build is serial
+	// (nil pool) — serial and sharded builds are byte-identical, so the
+	// choice is unobservable.
+	graph := link.BuildInto(nil, cfg.N, pos, grid, nil, nil)
 	tracker := cluster.NewIdentityTracker()
 	tracker.Passthrough = cfg.NaiveNaming
 	var mnt cluster.Maintainer
@@ -447,7 +483,10 @@ func setupRun(cfg Config) (*looper, error) {
 
 	// Kinetic engine (Config.Engine): the tracker takes over the grid
 	// and maintains the edge set event-driven, seeded from the setup
-	// graph. The scan engine leaves kin nil.
+	// graph. The scan engine leaves kin nil. Validation already
+	// rejected non-kinetic link models for this engine; the mobility
+	// model's kinetic capability is a property of the constructed value
+	// and is checked here.
 	var kin *kinetic.Tracker
 	if cfg.Engine == EngineKinetic {
 		km, ok := model.(mobility.Kinetic)
@@ -466,6 +505,7 @@ func setupRun(cfg Config) (*looper, error) {
 		cfg:        cfg,
 		clusterCfg: clusterCfg,
 		model:      model,
+		link:       link,
 		grid:       grid,
 		kin:        kin,
 		region:     region,

@@ -89,6 +89,11 @@ type looper struct {
 	cfg        Config
 	clusterCfg cluster.Config
 	model      mobility.Model
+	// link is the level-0 link model (Config.Link). The scan engine
+	// rebuilds through it every tick; the kinetic engine bypasses it
+	// (validation guarantees the kinetic engine only runs with the
+	// unit-disk model, whose predicate the tracker maintains).
+	link       topology.LinkModel
 	grid       *spatial.Grid
 	region     geom.Disc
 	pos        []geom.Vec
@@ -235,8 +240,8 @@ func (lp *looper) step(now float64) {
 		}
 		newGraph = lp.kin.GraphInto(lp.spareGraph)
 	} else {
-		newGraph = topology.BuildUnitDiskIntoPar(
-			lp.spareGraph, cfg.N, lp.pos, cfg.RTX, lp.grid, lp.pool, &lp.buildScratch)
+		newGraph = lp.link.BuildInto(
+			lp.spareGraph, cfg.N, lp.pos, lp.grid, lp.pool, &lp.buildScratch)
 		if lp.useEvents {
 			events = lp.linkScratch.Diff(lp.graph, newGraph)
 		}

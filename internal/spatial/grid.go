@@ -124,6 +124,18 @@ func (g *Grid) Contains(id int) bool { return g.location[id] != -1 }
 // rings returns how many cell rings around a cell can hold points
 // within radius r of it. One ring (the 3×3 neighborhood) suffices only
 // while r <= cell side; larger radii need ceil(r/cell) rings.
+//
+// Coverage audit: k = ceil(r/cell) is exact, not merely conservative.
+// Two points in cells k+1 apart on an axis satisfy |Δx| > k·cell
+// STRICTLY (cell membership is a half-open interval [lo, hi), so the
+// far point sits at >= lo and the near point at < hi of non-adjacent
+// cells), hence d > k·cell >= r and the pair can never pass d² <= r².
+// The strictness argument requires positions to lie inside the
+// indexed square — cellIndex clamps outliers into border cells, which
+// would break it — and every mobility model keeps nodes inside the
+// deployment disc's bounding square (Manhattan uses the square
+// itself), so the bound holds for radii beyond the cell side too
+// (logshadow's widened candidate radius relies on this).
 func (g *Grid) rings(r float64) int {
 	k := int(math.Ceil(r / g.cell))
 	if k < 1 {

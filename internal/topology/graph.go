@@ -206,26 +206,12 @@ func BuildUnitDisk(n int, pos []geom.Vec, rtx float64, idx *spatial.Grid) *Graph
 // The build takes the bulk path: the grid emits each in-range pair
 // exactly once, so edges bypass the dedup hash set — adjacency lists
 // grow in grid emission order (row-major over owner cells) and the
-// edge keys are collected and sorted once at the end.
+// edge keys are collected and sorted once at the end. It is the
+// predicate-free instance of the generalized link build (see link.go).
 //
 //manet:hotpath
 func BuildUnitDiskInto(g *Graph, n int, pos []geom.Vec, rtx float64, idx *spatial.Grid) *Graph {
-	if g == nil {
-		//lint:ignore hotpath warm-up: nil dst allocates the double-buffered graph once
-		g = NewGraph(n)
-	} else {
-		g.Reset(n)
-	}
-	//lint:ignore hotpath per-tick accessor closure, counted in the tick alloc budget
-	at := func(i int) geom.Vec { return pos[i] }
-	//lint:ignore hotpath per-tick emit closure, counted in the tick alloc budget
-	idx.ForEachPair(rtx, at, func(a, b int) {
-		g.adj[a] = append(g.adj[a], b)
-		g.adj[b] = append(g.adj[b], a)
-		g.bulk = append(g.bulk, MakeEdgeKey(a, b))
-	})
-	slices.Sort(g.bulk)
-	return g
+	return buildLinksInto(g, n, pos, rtx, idx, nil)
 }
 
 // BuildFromSortedEdgesInto materializes a graph from an ascending edge

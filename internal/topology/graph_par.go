@@ -1,8 +1,6 @@
 package topology
 
 import (
-	"slices"
-
 	"repro/internal/geom"
 	"repro/internal/par"
 	"repro/internal/spatial"
@@ -28,71 +26,13 @@ type BuildScratch struct {
 // A nil or single-worker pool falls back to the serial build. sc (nil
 // = allocate fresh) supplies the per-shard edge buffers; reusing one
 // scratch across ticks makes the steady-state build allocation-free.
+// It is the predicate-free instance of the generalized sharded link
+// build (see link.go).
 //
 //manet:hotpath
 func BuildUnitDiskIntoPar(
 	g *Graph, n int, pos []geom.Vec, rtx float64, idx *spatial.Grid,
 	p *par.Pool, sc *BuildScratch,
 ) *Graph {
-	if p.Workers() == 1 {
-		return BuildUnitDiskInto(g, n, pos, rtx, idx)
-	}
-	if g == nil {
-		//lint:ignore hotpath warm-up: nil dst allocates the double-buffered graph once
-		g = NewGraph(n)
-	} else {
-		g.Reset(n)
-	}
-	if sc == nil {
-		//lint:ignore hotpath warm-up: callers reuse one scratch across ticks
-		sc = &BuildScratch{}
-	}
-	shards := par.Shards(p.Workers(), idx.Rows())
-	for len(sc.shards) < shards {
-		sc.shards = append(sc.shards, nil)
-	}
-	//lint:ignore hotpath per-tick accessor closure, counted in the tick alloc budget
-	at := func(i int) geom.Vec { return pos[i] }
-
-	// Phase 1: enumerate pairs per row-range shard.
-	//lint:ignore hotpath per-tick shard callback closure, counted in the tick alloc budget
-	p.RunShards(shards, func(_, s int) {
-		lo, hi := par.Shard(idx.Rows(), shards, s)
-		buf := sc.shards[s][:0]
-		//lint:ignore hotpath per-shard emit closure, counted in the tick alloc budget
-		idx.ForEachPairRows(rtx, lo, hi, at, func(a, b int) {
-			buf = append(buf, MakeEdgeKey(a, b))
-		})
-		sc.shards[s] = buf
-	})
-
-	// Phase 2: ordered merge — concatenating in shard order yields the
-	// serial scan's emission order.
-	for s := 0; s < shards; s++ {
-		g.bulk = append(g.bulk, sc.shards[s]...)
-	}
-
-	// Phase 3: fill adjacency rows from the emission sequence. Worker
-	// w owns the contiguous node range Shard(n, W, w), so all writes
-	// are disjoint and each list grows in emission order — exactly the
-	// serial insertion order.
-	//lint:ignore hotpath per-tick worker callback closure, counted in the tick alloc budget
-	p.Run(func(w int) {
-		lo, hi := par.Shard(n, p.Workers(), w)
-		if lo == hi {
-			return
-		}
-		for _, k := range g.bulk {
-			a, b := k.Nodes()
-			if a >= lo && a < hi {
-				g.adj[a] = append(g.adj[a], b)
-			}
-			if b >= lo && b < hi {
-				g.adj[b] = append(g.adj[b], a)
-			}
-		}
-	})
-
-	slices.Sort(g.bulk)
-	return g
+	return buildLinksIntoPar(g, n, pos, rtx, idx, p, sc, nil)
 }

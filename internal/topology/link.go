@@ -1,0 +1,347 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"repro/internal/geom"
+	"repro/internal/par"
+	"repro/internal/rng"
+	"repro/internal/spatial"
+)
+
+// LinkModel abstracts the level-0 link predicate: given the current
+// node positions, which unordered pairs are connected this scan. The
+// unit-disk model of the paper's §1.2 is one implementation; lossy
+// radio models (path loss + shadowing with hysteresis) are another.
+//
+// Kinetic-compatibility contract: Kinetic() reports whether the model
+// is exactly the memoryless unit-disk predicate dist(a,b) <= Radius(),
+// evaluated with the same float operations as a grid scan. Only then
+// may the event-driven engine (internal/kinetic) maintain the edge set
+// from motion certificates — its correctness rests on the link state
+// being a pure threshold on current squared distance. Models that keep
+// per-pair state (hysteresis) or use any other predicate must return
+// false, and Config validation falls back to the scan engine.
+//
+// Determinism contract: BuildInto must produce byte-identical graphs
+// (adjacency order and sorted edge list) for the same positions across
+// serial and parallel builds, and across fresh and reused destination
+// storage. Stateful models must evolve their state identically in all
+// of those cases — state may be read during a build but only updated
+// from the finished, deterministic edge set.
+type LinkModel interface {
+	// Name returns the registry key of the model (e.g. "unitdisk").
+	Name() string
+	// Kinetic reports event-driven-engine compatibility (see the
+	// kinetic-compatibility contract above).
+	Kinetic() bool
+	// Radius returns the maximum distance at which the model can ever
+	// report a link: the grid candidate-scan radius. Pairs farther
+	// apart are never examined.
+	Radius() float64
+	// BuildInto rebuilds the level-0 graph over positions into g (nil
+	// allocates; non-nil is Reset and refilled, allocation-free in
+	// steady state). idx must already index every node. A nil or
+	// single-worker pool builds serially; otherwise the build is
+	// sharded over p with byte-identical output.
+	BuildInto(g *Graph, n int, pos []geom.Vec, idx *spatial.Grid, p *par.Pool, sc *BuildScratch) *Graph
+}
+
+// buildLinksInto is the serial core of every link-model build: the
+// grid emits each unordered pair within radius exactly once (row-major
+// over owner cells); pairs passing keep (nil = all) land in adjacency
+// lists in emission order and in the bulk edge list, sorted once at
+// the end. BuildUnitDiskInto is this with keep == nil.
+//
+//manet:hotpath
+func buildLinksInto(g *Graph, n int, pos []geom.Vec, radius float64, idx *spatial.Grid, keep func(a, b int) bool) *Graph {
+	if g == nil {
+		//lint:ignore hotpath warm-up: nil dst allocates the double-buffered graph once
+		g = NewGraph(n)
+	} else {
+		g.Reset(n)
+	}
+	//lint:ignore hotpath per-tick accessor closure, counted in the tick alloc budget
+	at := func(i int) geom.Vec { return pos[i] }
+	//lint:ignore hotpath per-tick emit closure, counted in the tick alloc budget
+	idx.ForEachPair(radius, at, func(a, b int) {
+		if keep != nil && !keep(a, b) {
+			return
+		}
+		g.adj[a] = append(g.adj[a], b)
+		g.adj[b] = append(g.adj[b], a)
+		g.bulk = append(g.bulk, MakeEdgeKey(a, b))
+	})
+	slices.Sort(g.bulk)
+	return g
+}
+
+// buildLinksIntoPar is buildLinksInto fanned out over pool p, sharded
+// by grid row ranges exactly like BuildUnitDiskIntoPar (which is this
+// with keep == nil): per-shard enumeration, ordered concat reproducing
+// the serial emission order, parallel adjacency fill by node range.
+// keep may be invoked concurrently from shard workers and must be safe
+// for concurrent calls (read-only state).
+//
+//manet:hotpath
+func buildLinksIntoPar(
+	g *Graph, n int, pos []geom.Vec, radius float64, idx *spatial.Grid,
+	p *par.Pool, sc *BuildScratch, keep func(a, b int) bool,
+) *Graph {
+	if p.Workers() == 1 {
+		return buildLinksInto(g, n, pos, radius, idx, keep)
+	}
+	if g == nil {
+		//lint:ignore hotpath warm-up: nil dst allocates the double-buffered graph once
+		g = NewGraph(n)
+	} else {
+		g.Reset(n)
+	}
+	if sc == nil {
+		//lint:ignore hotpath warm-up: callers reuse one scratch across ticks
+		sc = &BuildScratch{}
+	}
+	shards := par.Shards(p.Workers(), idx.Rows())
+	for len(sc.shards) < shards {
+		sc.shards = append(sc.shards, nil)
+	}
+	//lint:ignore hotpath per-tick accessor closure, counted in the tick alloc budget
+	at := func(i int) geom.Vec { return pos[i] }
+
+	// Phase 1: enumerate surviving pairs per row-range shard.
+	//lint:ignore hotpath per-tick shard callback closure, counted in the tick alloc budget
+	p.RunShards(shards, func(_, s int) {
+		lo, hi := par.Shard(idx.Rows(), shards, s)
+		buf := sc.shards[s][:0]
+		//lint:ignore hotpath per-shard emit closure, counted in the tick alloc budget
+		idx.ForEachPairRows(radius, lo, hi, at, func(a, b int) {
+			if keep != nil && !keep(a, b) {
+				return
+			}
+			buf = append(buf, MakeEdgeKey(a, b))
+		})
+		sc.shards[s] = buf
+	})
+
+	// Phase 2: ordered merge — concatenating in shard order yields the
+	// serial scan's emission order.
+	for s := 0; s < shards; s++ {
+		g.bulk = append(g.bulk, sc.shards[s]...)
+	}
+
+	// Phase 3: fill adjacency rows from the emission sequence. Worker
+	// w owns the contiguous node range Shard(n, W, w), so all writes
+	// are disjoint and each list grows in emission order — exactly the
+	// serial insertion order.
+	//lint:ignore hotpath per-tick worker callback closure, counted in the tick alloc budget
+	p.Run(func(w int) {
+		lo, hi := par.Shard(n, p.Workers(), w)
+		if lo == hi {
+			return
+		}
+		for _, k := range g.bulk {
+			a, b := k.Nodes()
+			if a >= lo && a < hi {
+				g.adj[a] = append(g.adj[a], b)
+			}
+			if b >= lo && b < hi {
+				g.adj[b] = append(g.adj[b], a)
+			}
+		}
+	})
+
+	slices.Sort(g.bulk)
+	return g
+}
+
+// UnitDisk is the paper's link model: a link exists iff the pair is
+// within RTX. Memoryless and threshold-exact, so it is the one model
+// the event-driven kinetic engine can maintain.
+type UnitDisk struct {
+	RTX float64 // transmission radius, m
+}
+
+// NewUnitDisk returns the unit-disk link model with radius rtx.
+func NewUnitDisk(rtx float64) UnitDisk {
+	if rtx <= 0 {
+		panic("topology: unit-disk radius must be positive")
+	}
+	return UnitDisk{RTX: rtx}
+}
+
+// Name returns "unitdisk".
+func (u UnitDisk) Name() string { return "unitdisk" }
+
+// Kinetic reports true: the predicate is exactly dist <= RTX.
+func (u UnitDisk) Kinetic() bool { return true }
+
+// Radius returns RTX.
+func (u UnitDisk) Radius() float64 { return u.RTX }
+
+// BuildInto rebuilds the unit-disk graph (serial or sharded).
+//
+//manet:hotpath
+func (u UnitDisk) BuildInto(g *Graph, n int, pos []geom.Vec, idx *spatial.Grid, p *par.Pool, sc *BuildScratch) *Graph {
+	return buildLinksIntoPar(g, n, pos, u.RTX, idx, p, sc, nil)
+}
+
+// shadowGamma decorrelates per-pair shadowing streams: the edge key is
+// spread by a splitmix64-style odd multiplier before seeding, so
+// adjacent keys do not produce adjacent stream states.
+const shadowGamma = 0x9E3779B97F4A7C15
+
+// LogShadow is a log-distance path-loss link model with lognormal
+// shadowing and RSSI hysteresis. Received power at distance d falls as
+// 10·η·log10(d/RTX) dB below the nominal sensitivity threshold plus a
+// per-pair shadowing offset X ~ N(0, σ²) dB (clamped to ±3σ), constant
+// for the pair's lifetime (deterministic in the pair key and the model
+// seed, and symmetric by construction: link(a,b) == link(b,a)).
+//
+// Hysteresis: the margin M dB is split around the nominal threshold,
+// which in the distance domain gives each pair two radii
+//
+//	d_make  = RTX · 10^((x - M/2)/(10η))   (link forms below this)
+//	d_break = RTX · 10^((x + M/2)/(10η))   (link drops above this)
+//
+// with x the pair's shadowing offset in dB (sign chosen so positive x
+// extends range). d_make < d_break whenever M > 0, so a pair sitting
+// in the dead band keeps its previous state and a threshold-straddling
+// RSSI cannot flap the link on and off every scan.
+//
+// The model keeps per-pair link state, so it declares itself
+// non-kinetic: Config validation rejects the event-driven engine and
+// runs it under the scan engine only. State is updated only from the
+// finished edge set of each build, never during one, so serial and
+// parallel builds (which may evaluate pairs in different orders and on
+// different goroutines) read an identical, frozen snapshot.
+type LogShadow struct {
+	rtx    float64 // nominal (unshadowed, zero-margin) radius, m
+	eta    float64 // path-loss exponent η
+	sigma  float64 // shadowing std dev σ, dB
+	margin float64 // hysteresis margin M, dB
+	seed   uint64  // shadowing stream seed
+
+	rtx2   float64 // RTX²
+	dscale float64 // ln10/(5η): dB -> d² exponent scale
+	mHi    float64 // exp(dscale · M/2): break/make threshold² ratio, halved
+	radius float64 // max d_break over the clamped shadow range
+
+	linked map[EdgeKey]struct{} // pairs up as of the last finished build
+}
+
+// NewLogShadow builds the lossy link model. rtx is the nominal radius
+// (where the unshadowed received power crosses the sensitivity
+// threshold), eta the path-loss exponent (> 0), sigmaDB the shadowing
+// standard deviation in dB (>= 0), marginDB the hysteresis margin in
+// dB (>= 0), and seed the per-pair shadowing stream seed.
+func NewLogShadow(rtx, eta, sigmaDB, marginDB float64, seed uint64) *LogShadow {
+	if rtx <= 0 {
+		panic("topology: logshadow radius must be positive")
+	}
+	if eta <= 0 {
+		panic("topology: logshadow path-loss exponent must be positive")
+	}
+	if sigmaDB < 0 || marginDB < 0 {
+		panic("topology: logshadow sigma and margin must be non-negative")
+	}
+	m := &LogShadow{
+		rtx: rtx, eta: eta, sigma: sigmaDB, margin: marginDB, seed: seed,
+		rtx2:   rtx * rtx,
+		dscale: math.Ln10 / (5 * eta),
+	}
+	m.mHi = math.Exp(m.dscale * marginDB / 2)
+	m.radius = rtx * math.Pow(10, (3*sigmaDB+marginDB/2)/(10*eta))
+	return m
+}
+
+// Name returns "logshadow".
+func (m *LogShadow) Name() string { return "logshadow" }
+
+// Kinetic reports false: hysteresis keeps per-pair state, which the
+// certificate-driven engine cannot maintain.
+func (m *LogShadow) Kinetic() bool { return false }
+
+// Radius returns the largest possible break distance — RTX scaled by
+// the most favorable clamped shadow plus the upper hysteresis margin.
+// The grid candidate scan uses this, so no linkable pair escapes it.
+func (m *LogShadow) Radius() float64 { return m.radius }
+
+// shadow returns the pair's deterministic shadowing offset in dB:
+// a standard normal drawn from a stack-local rng.Source seeded by
+// (seed, key), clamped to ±3, scaled by σ. Symmetric in the pair by
+// construction (EdgeKey is canonical) and allocation-free.
+func (m *LogShadow) shadow(k EdgeKey) float64 {
+	s := rng.NewLocal(m.seed ^ uint64(k)*shadowGamma)
+	x := s.Norm()
+	if x > 3 {
+		x = 3
+	} else if x < -3 {
+		x = -3
+	}
+	return x * m.sigma
+}
+
+// pairUp evaluates the hysteresis predicate for one candidate pair
+// against the state frozen at the last build. Safe for concurrent
+// calls: it only reads.
+//
+//manet:hotpath
+func (m *LogShadow) pairUp(pa, pb geom.Vec, k EdgeKey) bool {
+	d2 := pa.Dist2(pb)
+	e := m.rtx2 * math.Exp(m.dscale*m.shadow(k))
+	if _, up := m.linked[k]; up {
+		return d2 <= e*m.mHi // break threshold²
+	}
+	return d2 <= e/m.mHi // make threshold²
+}
+
+// BuildInto rebuilds the lossy graph (serial or sharded) and then
+// refreshes the hysteresis state from the finished edge set.
+//
+//manet:hotpath
+func (m *LogShadow) BuildInto(g *Graph, n int, pos []geom.Vec, idx *spatial.Grid, p *par.Pool, sc *BuildScratch) *Graph {
+	//lint:ignore hotpath per-tick predicate closure, counted in the tick alloc budget
+	keep := func(a, b int) bool {
+		return m.pairUp(pos[a], pos[b], MakeEdgeKey(a, b))
+	}
+	g = buildLinksIntoPar(g, n, pos, m.radius, idx, p, sc, keep)
+	if m.linked == nil {
+		//lint:ignore hotpath warm-up: the state map is allocated once per model
+		m.linked = make(map[EdgeKey]struct{}, len(g.bulk))
+	} else {
+		clear(m.linked)
+	}
+	for _, k := range g.bulk {
+		m.linked[k] = struct{}{}
+	}
+	return g
+}
+
+// Thresholds reports the pair's make/break distances (m), for tests
+// and diagnostics.
+func (m *LogShadow) Thresholds(a, b int) (dMake, dBreak float64) {
+	x := m.shadow(MakeEdgeKey(a, b))
+	dMake = m.rtx * math.Pow(10, (x-m.margin/2)/(10*m.eta))
+	dBreak = m.rtx * math.Pow(10, (x+m.margin/2)/(10*m.eta))
+	return
+}
+
+// Linked reports the pair's hysteresis state as of the last build, for
+// tests and diagnostics.
+func (m *LogShadow) Linked(a, b int) bool {
+	_, ok := m.linked[MakeEdgeKey(a, b)]
+	return ok
+}
+
+// compile-time interface checks
+var (
+	_ LinkModel = UnitDisk{}
+	_ LinkModel = (*LogShadow)(nil)
+)
+
+// String formats the model for diagnostics.
+func (m *LogShadow) String() string {
+	return fmt.Sprintf("logshadow(rtx=%g, eta=%g, sigma=%gdB, margin=%gdB)", m.rtx, m.eta, m.sigma, m.margin)
+}

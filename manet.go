@@ -50,14 +50,28 @@ type Config = simnet.Config
 // of one run.
 type Results = simnet.Results
 
-// Mobility and hop-model selector constants.
+// Mobility, link-model, and hop-model selector constants.
 const (
-	MobilityWaypoint  = simnet.MobilityWaypoint
-	MobilityDirection = simnet.MobilityDirection
-	MobilityStatic    = simnet.MobilityStatic
-	HopEuclidean      = simnet.HopEuclidean
-	HopBFS            = simnet.HopBFS
+	MobilityWaypoint    = simnet.MobilityWaypoint
+	MobilityDirection   = simnet.MobilityDirection
+	MobilityStatic      = simnet.MobilityStatic
+	MobilityGroup       = simnet.MobilityGroup
+	MobilityGaussMarkov = simnet.MobilityGaussMarkov
+	MobilityManhattan   = simnet.MobilityManhattan
+	MobilityHotspot     = simnet.MobilityHotspot
+	LinkUnitDisk        = simnet.LinkUnitDisk
+	LinkLogShadow       = simnet.LinkLogShadow
+	HopEuclidean        = simnet.HopEuclidean
+	HopBFS              = simnet.HopBFS
 )
+
+// MobilityModels lists the registered mobility model names in canonical
+// order; LinkModels likewise for link models. Every name is a valid
+// Config.Mobility / Config.Link value.
+func MobilityModels() []string { return simnet.MobilityModels() }
+
+// LinkModels lists the registered link model names in canonical order.
+func LinkModels() []string { return simnet.LinkModels() }
 
 // Run executes one simulation.
 func Run(cfg Config) (*Results, error) { return simnet.Run(cfg) }

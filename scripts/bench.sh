@@ -5,10 +5,12 @@
 #   make bench-json          # appends an entry to BENCH_<date>.json
 #   BENCH_COUNT=5 sh scripts/bench.sh   # more samples per benchmark
 #
-# Only the Tick* sub-benchmarks are recorded: they isolate the scan
-# tick's hot stages (graph rebuild, diff, hierarchy, LM update, and
-# the scan-vs-kinetic link maintenance matrix) in fresh vs reuse vs
-# par variants, which is the comparison worth tracking. The
+# Only the Tick* and BuildLinks sub-benchmarks are recorded: they
+# isolate the scan tick's hot stages (graph rebuild, diff, hierarchy,
+# LM update, and the scan-vs-kinetic link maintenance matrix) in fresh
+# vs reuse vs par variants, plus the per-link-model build cost
+# (unitdisk vs logshadow µs/simsec, serial and par), which is the
+# comparison worth tracking. The
 # ClusterMaintain matrix (oracle-vs-incremental hierarchy maintenance
 # across waypoint pause intervals) and the LMUpdate lowchurn legs
 # record the churn-proportional maintenance speedup in µs/simsec. The -count
@@ -34,7 +36,7 @@ raw="$(mktemp)"
 entry="$(mktemp)"
 trap 'rm -f "$raw" "$entry"' EXIT
 
-go test -run '^$' -bench 'BenchmarkTick(GraphRebuild|Diff|Hierarchy|LMUpdate|LinkMaintain|ClusterMaintain)' \
+go test -run '^$' -bench 'Benchmark(Tick(GraphRebuild|Diff|Hierarchy|LMUpdate|LinkMaintain|ClusterMaintain)|BuildLinks)' \
 	-benchmem -benchtime=20x -count="$count" . >"$raw"
 
 awk -v date="$date" -v time="$time" -v commit="$commit" '

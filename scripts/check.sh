@@ -64,6 +64,15 @@ echo "== maintainer equivalence (oracle vs incremental)"
 # already runs every scenario under both maintainers).
 go test -run TestIncrementalMatchesOracle -count=1 ./internal/simnet || fail=1
 
+echo "== model zoo (cross-model differential matrix, race)"
+# Mirrors the CI modelzoo job: every mobility model keeps the
+# scan/kinetic and oracle/incremental equivalences byte-identical, the
+# scan-only lossy link model passes the every-tick battery and is
+# rejected by the kinetic engine, and the zoo unit suites hold.
+go test -race -run 'TestZoo|TestGaussMarkov|TestManhattan|TestHotspot|TestSegmentMatchesAdvance' -count=1 ./internal/mobility || fail=1
+go test -race -run 'TestLogShadow' -count=1 ./internal/topology || fail=1
+go test -race -run 'TestLogShadow|TestKineticRejectsScanOnlyLink|TestLinkConfigValidation' -count=1 ./internal/simnet || fail=1
+
 echo "== race tests (measurement pipeline + serving path)"
 go test -race ./internal/obs ./internal/trace ./internal/stats ./internal/runner ./internal/serve || fail=1
 
